@@ -1,0 +1,36 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Each benchmark regenerates one paper table/figure: it runs the
+corresponding :mod:`repro.eval.experiments` entry point once inside
+pytest-benchmark (the measured time is the simulation cost, the printed
+table is the reproduced artifact) and records headline numbers in
+``extra_info`` so ``--benchmark-json`` output carries them.
+
+``QUETZAL_BENCH_SCALE`` (default 1.0) scales dataset pair counts for
+quicker runs, e.g. ``QUETZAL_BENCH_SCALE=0.2 pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval.reporting import render_table
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("QUETZAL_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture
+def pairs_scale() -> float:
+    return bench_scale()
+
+
+def run_and_report(benchmark, fn, title: str, **kwargs):
+    """Run one experiment under pytest-benchmark and print its table."""
+    rows = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title))
+    return rows

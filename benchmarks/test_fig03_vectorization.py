@@ -1,0 +1,31 @@
+"""Fig. 3 — speedup of hand-vectorised (VEC) WFA/SS over the autovec baseline.
+
+Paper: ~1.3x for short reads, ~2.5x for long reads.  The baseline cost
+constants are calibrated to this figure (see EXPERIMENTS.md), so the
+assertion here checks the regime *ordering* and rough magnitudes.
+"""
+
+from statistics import geometric_mean
+
+from conftest import run_and_report
+
+from repro.eval.experiments import fig3_vectorization
+
+
+def test_fig3_vectorization(benchmark, pairs_scale):
+    rows = run_and_report(
+        benchmark, fig3_vectorization, "Fig. 3: VEC speedup over baseline",
+        pairs_scale=pairs_scale,
+    )
+    short = geometric_mean(
+        r["speedup_vec_over_base"] for r in rows if r["regime"] == "short"
+    )
+    long = geometric_mean(
+        r["speedup_vec_over_base"] for r in rows if r["regime"] == "long"
+    )
+    benchmark.extra_info["short_speedup"] = round(short, 2)
+    benchmark.extra_info["long_speedup"] = round(long, 2)
+    benchmark.extra_info["paper"] = "short 1.3x, long 2.5x"
+    assert long > short
+    assert 0.9 < short < 2.0
+    assert 1.3 < long < 4.0

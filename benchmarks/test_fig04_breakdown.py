@@ -1,0 +1,24 @@
+"""Fig. 4 — execution-time breakdown of the VEC algorithms.
+
+Paper: cache accesses account for 32%-65% of execution time across
+VEC WFA/BiWFA/SS.
+"""
+
+from conftest import run_and_report
+
+from repro.eval.experiments import fig4_breakdown
+
+
+def test_fig4_breakdown(benchmark, pairs_scale):
+    rows = run_and_report(
+        benchmark, fig4_breakdown, "Fig. 4: VEC execution-time breakdown",
+        pairs_scale=pairs_scale,
+    )
+    shares = [r["cache_access_share"] for r in rows]
+    benchmark.extra_info["cache_share_range"] = (
+        f"{min(shares):.2f}..{max(shares):.2f}"
+    )
+    benchmark.extra_info["paper"] = "cache accesses are 32%-65% of time"
+    # The memory share must be a large minority of execution time.
+    assert all(0.10 <= s <= 0.80 for s in shares)
+    assert max(shares) >= 0.25

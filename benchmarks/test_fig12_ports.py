@@ -1,0 +1,23 @@
+"""Fig. 12 — QBUFFER read-port design-space exploration.
+
+Paper: performance improves monotonically from QZ_1P to QZ_8P; the
+QZ_8P point is chosen for the main evaluation.
+"""
+
+from conftest import run_and_report
+
+from repro.eval.experiments import fig12_ports
+
+
+def test_fig12_ports(benchmark, pairs_scale):
+    rows = run_and_report(
+        benchmark, fig12_ports, "Fig. 12: relative performance vs read ports",
+        pairs_scale=pairs_scale,
+    )
+    for dataset in {r["dataset"] for r in rows}:
+        series = [
+            r["relative_performance"] for r in rows if r["dataset"] == dataset
+        ]
+        assert series[0] == 1.0  # normalised to QZ_1P
+        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+        benchmark.extra_info[f"{dataset}_qz8p"] = round(series[-1], 3)

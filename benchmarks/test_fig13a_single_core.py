@@ -1,0 +1,64 @@
+"""Fig. 13a — single-core speedups of every algorithm x dataset x style.
+
+Paper headline numbers (speedups over each algorithm's baseline):
+  WFA/BiWFA short reads: QZ 1.5x, QZ+C 2.1x;  long reads: 5.1x / 5.5x
+  SneakySnake:           QZ+C 2.1x short, 5.2x long
+  classic DP (sw/nw):    1.3x / 1.4x  (see EXPERIMENTS.md: our model
+                         reproduces ~1.0x here — documented deviation)
+  protein:               QZ 6.0x, QZ+C 6.6x
+"""
+
+from statistics import geometric_mean
+
+from conftest import run_and_report
+
+from repro.eval.experiments import fig13a_single_core
+
+SHORT = ("100bp_1", "250bp_1")
+LONG = ("10Kbp", "30Kbp")
+
+
+def _geo(rows, algo, style, datasets):
+    vals = [
+        r["speedup_vs_baseline"]
+        for r in rows
+        if r["algorithm"] == algo and r["style"] == style and r["dataset"] in datasets
+    ]
+    return geometric_mean(vals) if vals else None
+
+
+def test_fig13a_single_core(benchmark, pairs_scale):
+    rows = run_and_report(
+        benchmark, fig13a_single_core, "Fig. 13a: single-core speedups",
+        pairs_scale=pairs_scale,
+    )
+    # Style ordering for the modern algorithms, every DNA dataset.
+    for algo in ("wfa", "biwfa", "ss"):
+        for ds in SHORT + LONG:
+            sp = {
+                r["style"]: r["speedup_vs_baseline"]
+                for r in rows
+                if r["algorithm"] == algo and r["dataset"] == ds
+            }
+            assert sp["qzc"] >= sp["qz"] > 1.0, (algo, ds, sp)
+    # Long-read speedups exceed short-read speedups (the paper's trend).
+    for algo in ("wfa", "ss"):
+        assert _geo(rows, algo, "qzc", LONG) > _geo(rows, algo, "qzc", SHORT)
+    benchmark.extra_info["wfa_qzc_short"] = round(_geo(rows, "wfa", "qzc", SHORT), 2)
+    benchmark.extra_info["wfa_qzc_long"] = round(_geo(rows, "wfa", "qzc", LONG), 2)
+    benchmark.extra_info["ss_qzc_long"] = round(_geo(rows, "ss", "qzc", LONG), 2)
+    benchmark.extra_info["sw_qz"] = round(
+        _geo(rows, "sw", "qz", SHORT + LONG) or 0, 2
+    )
+    protein = {
+        r["style"]: r["speedup_vs_baseline"]
+        for r in rows
+        if r["dataset"] == "protein" and r["algorithm"] == "wfa"
+    }
+    if protein:
+        assert protein["qzc"] > 1.0
+        benchmark.extra_info["protein_wfa_qzc"] = round(protein["qzc"], 2)
+    benchmark.extra_info["paper"] = (
+        "WFA qz/qzc: 1.5/2.1 short, 5.1/5.5 long; SS qzc 2.1/5.2; "
+        "classic 1.3-1.4; protein 6.0/6.6"
+    )

@@ -1,0 +1,33 @@
+"""Fig. 13b — multicore scalability of the QUETZAL+C implementations.
+
+Paper: good but sub-linear scaling; memory bandwidth limits long reads.
+"""
+
+from conftest import run_and_report
+
+from repro.eval.experiments import fig13b_multicore
+
+
+def test_fig13b_multicore(benchmark, pairs_scale):
+    rows = run_and_report(
+        benchmark, fig13b_multicore, "Fig. 13b: multicore scaling (QZ+C WFA)",
+        pairs_scale=pairs_scale,
+    )
+    for dataset in {r["dataset"] for r in rows}:
+        nominal = sorted(
+            (r["cores"], r["speedup_vs_1core"]) for r in rows
+            if r["dataset"] == dataset and r["memory"].startswith("HBM2")
+        )
+        speedups = [s for _, s in nominal]
+        assert speedups[0] == 1.0
+        assert all(b >= a for a, b in zip(speedups, speedups[1:]))
+        assert speedups[-1] <= 16.0
+        assert speedups[-1] > 4.0  # "good performance scalability"
+        benchmark.extra_info[f"{dataset}_16core"] = round(speedups[-1], 2)
+        constrained = [
+            r["speedup_vs_1core"] for r in rows
+            if r["dataset"] == dataset and "constrained" in r["memory"]
+        ]
+        # The bandwidth-limited plateau the paper attributes Fig. 13b's
+        # sub-linearity to.
+        assert max(constrained) < speedups[-1]

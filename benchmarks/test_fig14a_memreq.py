@@ -1,0 +1,23 @@
+"""Fig. 14a — reduction of memory requests to the cache hierarchy.
+
+Paper: all sequence accesses execute inside the QBUFFERs, significantly
+reducing cache-hierarchy requests; the remainder are strided accesses
+the prefetcher handles.
+"""
+
+from conftest import run_and_report
+
+from repro.eval.experiments import fig14a_memory_requests
+
+
+def test_fig14a_memory_requests(benchmark, pairs_scale):
+    rows = run_and_report(
+        benchmark, fig14a_memory_requests,
+        "Fig. 14a: cache-hierarchy requests, VEC vs QUETZAL+C",
+        pairs_scale=pairs_scale,
+    )
+    for row in rows:
+        assert row["reduction"] > 1.5, row
+    worst = min(r["reduction"] for r in rows)
+    best = max(r["reduction"] for r in rows)
+    benchmark.extra_info["reduction_range"] = f"{worst:.1f}x..{best:.1f}x"

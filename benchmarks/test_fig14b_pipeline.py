@@ -1,0 +1,23 @@
+"""Fig. 14b — SS + WFA pipeline on 16 cores (use case 5).
+
+Paper: QUETZAL outperforms VEC by 1.8x / 2.7x / 3.6x / 3.1x on the
+100bp_1 / 250bp_1 / 10Kbp / 30Kbp datasets.
+"""
+
+from conftest import run_and_report
+
+from repro.eval.experiments import fig14b_pipeline
+
+
+def test_fig14b_pipeline(benchmark, pairs_scale):
+    rows = run_and_report(
+        benchmark, fig14b_pipeline, "Fig. 14b: SS+WFA pipeline, 16 cores",
+        pairs_scale=pairs_scale,
+    )
+    by_ds = {r["dataset"]: r["speedup"] for r in rows}
+    for dataset, sp in by_ds.items():
+        assert sp > 1.2, (dataset, sp)
+        benchmark.extra_info[dataset] = round(sp, 2)
+    # Long reads gain at least as much as the shortest dataset.
+    assert by_ds["10Kbp"] > by_ds["100bp_1"]
+    benchmark.extra_info["paper"] = "1.8x / 2.7x / 3.6x / 3.1x"

@@ -1,0 +1,34 @@
+"""Fig. 15a — 16-core CPU (VEC / QUETZAL+C) vs NVIDIA A40 GPU aligners.
+
+Paper: the GPU wins on short reads; for long reads QUETZAL outperforms
+GASAL2 by ~1.1x and WFA-GPU by ~2.7x (occupancy collapse).
+"""
+
+from conftest import run_and_report
+
+from repro.eval.experiments import fig15a_gpu
+
+
+def test_fig15a_gpu(benchmark, pairs_scale):
+    rows = run_and_report(
+        benchmark, fig15a_gpu, "Fig. 15a: CPU vs GPU throughput (pairs/s)",
+        pairs_scale=pairs_scale,
+    )
+    wfa_rows = {r["dataset"]: r for r in rows if r["gpu_tool"] == "WFA-GPU"}
+    # Short reads: the GPU's parallelism wins.
+    short = wfa_rows["100bp_1"]
+    assert short["gpu_per_s"] > short["cpu_qzc_per_s"]
+    # Long reads: occupancy collapse hands the win to QUETZAL.
+    long = wfa_rows["30Kbp"]
+    assert long["cpu_qzc_per_s"] > long["gpu_per_s"]
+    assert long["gpu_occupancy"] < 0.25
+    benchmark.extra_info["qzc_vs_wfagpu_30k"] = round(
+        long["cpu_qzc_per_s"] / long["gpu_per_s"], 2
+    )
+    gasal_long = next(
+        r for r in rows if r["gpu_tool"] == "GASAL2" and r["dataset"] == "30Kbp"
+    )
+    benchmark.extra_info["qzc_vs_gasal2_30k"] = round(
+        gasal_long["cpu_qzc_per_s"] / gasal_long["gpu_per_s"], 2
+    )
+    benchmark.extra_info["paper"] = "long reads: 2.7x vs WFA-GPU, 1.1x vs GASAL2"

@@ -1,0 +1,21 @@
+"""Fig. 15b — QUETZAL beyond genomics: histogram and SpMV.
+
+Paper: 3.02x (histogram) and 1.94x (SpMV) over the vectorised kernels.
+"""
+
+from conftest import run_and_report
+
+from repro.eval.experiments import fig15b_other_domains
+
+
+def test_fig15b_other_domains(benchmark, pairs_scale):
+    rows = run_and_report(
+        benchmark, fig15b_other_domains, "Fig. 15b: other application domains",
+        scale=pairs_scale,
+    )
+    by_kernel = {r["kernel"]: r["speedup"] for r in rows}
+    assert 1.5 < by_kernel["histogram"] < 8.0
+    assert 1.2 < by_kernel["spmv"] < 5.0
+    benchmark.extra_info["histogram"] = round(by_kernel["histogram"], 2)
+    benchmark.extra_info["spmv"] = round(by_kernel["spmv"], 2)
+    benchmark.extra_info["paper"] = "histogram 3.02x, spmv 1.94x"

@@ -1,0 +1,12 @@
+"""Table I — the simulated system setup."""
+
+from conftest import run_and_report
+
+from repro.eval.experiments import table1_system
+
+
+def test_table1_system(benchmark):
+    rows = run_and_report(benchmark, table1_system, "Table I: simulated system")
+    assert any("A64FX" in r["value"] for r in rows)
+    assert any("SVE" in r["value"] for r in rows)
+    benchmark.extra_info["parameters"] = len(rows)

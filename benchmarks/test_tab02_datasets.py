@@ -1,0 +1,16 @@
+"""Table II — input dataset characteristics."""
+
+from conftest import run_and_report
+
+from repro.eval.experiments import table2_datasets
+
+
+def test_table2_datasets(benchmark):
+    rows = run_and_report(benchmark, table2_datasets, "Table II: datasets")
+    lengths = {r["dataset"]: r["read_length"] for r in rows}
+    assert lengths == {
+        "100bp_1": 100,
+        "250bp_1": 250,
+        "10Kbp": 10_000,
+        "30Kbp": 30_000,
+    }

@@ -1,0 +1,21 @@
+"""Table III — area and power of the QUETZAL design points (7nm P&R)."""
+
+import pytest
+
+from conftest import run_and_report
+
+from repro.eval.experiments import table3_area
+
+
+def test_table3_area(benchmark):
+    rows = run_and_report(benchmark, table3_area, "Table III: area / power")
+    by_name = {r["config"]: r for r in rows}
+    assert by_name["QZ_8P"]["area_mm2"] == pytest.approx(0.097)
+    assert by_name["QZ_8P"]["power_mw"] == pytest.approx(0.746)
+    # The abstract's headline: ~1.4% SoC overhead for QZ_8P.
+    assert 1.3 <= by_name["QZ_8P"]["soc_overhead_pct"] <= 1.5
+    areas = [by_name[n]["area_mm2"] for n in ("QZ_1P", "QZ_2P", "QZ_4P", "QZ_8P")]
+    assert areas == sorted(areas)
+    benchmark.extra_info["qz8p_soc_overhead_pct"] = round(
+        by_name["QZ_8P"]["soc_overhead_pct"], 2
+    )

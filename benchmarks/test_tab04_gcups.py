@@ -1,0 +1,27 @@
+"""Table IV — GCUPS per area against domain-specific accelerators.
+
+Competitor rows are the paper's published values (we cannot re-run those
+ASICs); the QUETZAL rows are measured on this model and divided by the
+Table III area.
+"""
+
+from conftest import run_and_report
+
+from repro.eval.experiments import table4_gcups
+
+
+def test_table4_gcups(benchmark, pairs_scale):
+    rows = run_and_report(
+        benchmark, table4_gcups, "Table IV: PGCUPS per mm^2",
+        pairs_scale=pairs_scale,
+    )
+    quetzal = next(r for r in rows if r["design"].startswith("QUETZAL"))
+    core = next(r for r in rows if r["design"] == "Core+QUETZAL")
+    assert quetzal["pgcups_per_mm2"] > 0
+    # Charging the whole core's area lowers the density figure.
+    assert core["pgcups_per_mm2"] < quetzal["pgcups_per_mm2"]
+    published = {r["design"] for r in rows if r["device"] == "ASIC"}
+    assert {"GenASM", "GenDP", "Darwin"} <= published
+    benchmark.extra_info["quetzal_pgcups_per_mm2"] = round(
+        quetzal["pgcups_per_mm2"], 1
+    )

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Use case 4: protein alignment with the 8-bit encoding.
+
+Builds a synthetic protein family (a BAliBase-style multiple-sequence
+group), aligns every within-family pair with WFA in VEC and QUETZAL+C
+styles, and prints per-pair distances plus the aggregate speedup.  The
+20-letter alphabet exercises the accelerator's 8-bit element mode
+(Section IV-A): 8 symbols per 64-bit window instead of 32.
+
+    python examples/protein_search.py
+"""
+
+from repro.align.quetzal_impl import WfaQzc
+from repro.align.vectorized import WfaVec
+from repro.align.needleman_wunsch import nw_edit_distance
+from repro.eval.runner import run_implementation
+from repro.genomics.generator import ProteinFamilyGenerator
+
+
+def main() -> None:
+    gen = ProteinFamilyGenerator(length=180, members=4, divergence=0.12, seed=5)
+    pairs = gen.family_pairs(1)
+    print(f"protein family: 4 members, {len(pairs)} within-family pairs, "
+          "~12% divergence\n")
+
+    vec = run_implementation(WfaVec(), pairs)
+    qzc = run_implementation(WfaQzc(), pairs)
+
+    print(f"{'pair':>4} {'edit distance':>14} {'vec cycles':>12} {'qzc cycles':>12}")
+    for i, (pair, v, q) in enumerate(
+        zip(pairs, vec.pair_results, qzc.pair_results)
+    ):
+        assert v.output == q.output == nw_edit_distance(pair.pattern, pair.text)
+        print(f"{i:>4} {v.output:>14} {v.cycles:>12,} {q.cycles:>12,}")
+
+    print(f"\ntotals: vec={vec.cycles:,} qzc={qzc.cycles:,} "
+          f"speedup={vec.cycles / qzc.cycles:.2f}x")
+    print("(the paper reports larger protein gains — 6.6x — because protein "
+          "pairs\nneed many more edits, multiplying the accelerated "
+          "iterations; raise the\ndivergence parameter to watch the speedup "
+          "grow)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""QUETZAL reproduction: vector acceleration framework for genome sequence analysis.
+
+This package is a functional + cycle-level Python reproduction of
+*QUETZAL: Vector Acceleration Framework for Modern Genome Sequence Analysis
+Algorithms* (Pavon et al., ISCA 2024).
+
+Layout
+------
+``repro.genomics``   sequences, alphabets, encodings, datasets
+``repro.memory``     cache hierarchy / DRAM timing model
+``repro.vector``     SVE-like vector machine with a scoreboard cycle model
+``repro.quetzal``    the QUETZAL accelerator (QBUFFERs, encoder, count ALU)
+``repro.align``      alignment / filtering algorithms (scalar, VEC, QUETZAL)
+``repro.kernels``    non-genomics kernels (histogram, SpMV)
+``repro.gpu``        analytic GPU throughput model
+``repro.eval``       experiment runner + per-figure/table experiments
+"""
+
+from repro._version import __version__
+from repro.config import SystemConfig, QuetzalConfig
+
+__all__ = ["__version__", "SystemConfig", "QuetzalConfig"]

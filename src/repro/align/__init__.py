@@ -1,0 +1,45 @@
+"""Alignment and edit-distance algorithms: scalar, vectorized (VEC), QUETZAL."""
+
+from repro.align.types import Alignment, Cigar, Penalties
+from repro.align.needleman_wunsch import nw_edit_align, nw_edit_distance, nw_score_matrix
+from repro.align.smith_waterman import (
+    sw_gotoh_local,
+    nw_gotoh_global,
+    banded_global_affine,
+    adaptive_banded_affine,
+)
+from repro.align.wavefront import (
+    wfa_affine_align,
+    wfa_affine_score,
+    wfa_edit_align,
+    wfa_edit_distance,
+)
+from repro.align.biwfa import biwfa_edit_distance, biwfa_edit_align
+from repro.align.sneakysnake import sneakysnake_filter, SneakySnakeResult
+from repro.align.myers import myers_edit_distance, myers_within
+from repro.align.shouji import shouji_filter, ShoujiResult
+
+__all__ = [
+    "Alignment",
+    "Cigar",
+    "Penalties",
+    "nw_edit_align",
+    "nw_edit_distance",
+    "nw_score_matrix",
+    "sw_gotoh_local",
+    "nw_gotoh_global",
+    "banded_global_affine",
+    "adaptive_banded_affine",
+    "wfa_edit_align",
+    "wfa_edit_distance",
+    "wfa_affine_score",
+    "wfa_affine_align",
+    "biwfa_edit_distance",
+    "biwfa_edit_align",
+    "sneakysnake_filter",
+    "SneakySnakeResult",
+    "myers_edit_distance",
+    "myers_within",
+    "shouji_filter",
+    "ShoujiResult",
+]

@@ -1,0 +1,86 @@
+"""Myers' bit-parallel edit distance (Myers 1999).
+
+The classic bit-vector formulation of the NW edit DP: one column of the
+table is encoded as delta bit-vectors (``Pv``/``Mv``) and a whole column
+transition costs a constant number of 64-bit operations.  This is the
+algorithmic family behind bitap-style accelerators such as GenASM (the
+paper's Table IV comparator), included here both as another classical ASM
+algorithm the framework covers and as an independent oracle for the DP
+implementations.
+
+Supports arbitrary pattern lengths via the standard block (multi-word)
+extension; the score is the exact Levenshtein distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AlignmentError
+
+_W = 64
+_ONES = (1 << _W) - 1
+
+
+def _peq_tables(p_codes: np.ndarray, alphabet_size: int) -> list[list[int]]:
+    """Per-symbol match bit-masks, one 64-bit word per pattern block."""
+    blocks = -(-len(p_codes) // _W)
+    peq = [[0] * blocks for _ in range(alphabet_size)]
+    for i, code in enumerate(p_codes.tolist()):
+        peq[code][i // _W] |= 1 << (i % _W)
+    return peq
+
+
+def myers_edit_distance(pattern, text) -> int:
+    """Exact Levenshtein distance, O(n * ceil(m/64)) word operations."""
+    from repro.align.wavefront import _codes
+
+    p = _codes(pattern)
+    t = _codes(text)
+    m, n = len(p), len(t)
+    if m == 0:
+        return n
+    if n == 0:
+        return m
+    codes = np.unique(np.concatenate([p, t]))
+    remap = {int(c): i for i, c in enumerate(codes.tolist())}
+    p_m = np.asarray([remap[int(c)] for c in p])
+    t_m = np.asarray([remap[int(c)] for c in t])
+    peq = _peq_tables(p_m, len(codes))
+
+    blocks = -(-m // _W)
+    pv = [_ONES] * blocks
+    mv = [0] * blocks
+    score = m
+    last_bit = 1 << ((m - 1) % _W)
+    for c in t_m.tolist():
+        carry_h_pos = 1  # the +1 entering from the text boundary row
+        carry_h_neg = 0
+        for b in range(blocks):
+            eq = peq[c][b]
+            pvb, mvb = pv[b], mv[b]
+            eq |= carry_h_neg
+            xv = eq | mvb
+            xh = (((eq & pvb) + pvb) ^ pvb) | eq
+            ph = mvb | (~(xh | pvb) & _ONES)
+            mh = pvb & xh
+            if b == blocks - 1:
+                if ph & last_bit:
+                    score += 1
+                elif mh & last_bit:
+                    score -= 1
+            next_carry_pos = (ph >> (_W - 1)) & 1
+            next_carry_neg = (mh >> (_W - 1)) & 1
+            ph = ((ph << 1) | carry_h_pos) & _ONES
+            mh = ((mh << 1) | carry_h_neg) & _ONES
+            pv[b] = mh | (~(xv | ph) & _ONES)
+            mv[b] = ph & xv
+            carry_h_pos, carry_h_neg = next_carry_pos, next_carry_neg
+    return score
+
+
+def myers_within(pattern, text, threshold: int) -> bool:
+    """Convenience: is the edit distance at most ``threshold``?"""
+    if threshold < 0:
+        raise AlignmentError(f"threshold must be non-negative: {threshold}")
+    return myers_edit_distance(pattern, text) <= threshold

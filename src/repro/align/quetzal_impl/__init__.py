@@ -1,0 +1,32 @@
+"""QUETZAL-accelerated implementations (QZ / QZ+C in Fig. 13)."""
+
+from repro.align.quetzal_impl.qz_extend import (
+    qz_window_extend,
+    qz_count_extend,
+    qz_count_iterations,
+    QzWindowCostModel,
+    QzCountCostModel,
+)
+from repro.align.quetzal_impl.wfa_qz import WfaQz, WfaQzc
+from repro.align.quetzal_impl.biwfa_qz import BiwfaQz, BiwfaQzc
+from repro.align.quetzal_impl.ss_qz import SsQz, SsQzc
+from repro.align.quetzal_impl.dp_qz import KswQz, ParasailNwQz
+from repro.align.quetzal_impl.pipeline import SsWfaPipelineVec, SsWfaPipelineQzc
+
+__all__ = [
+    "qz_window_extend",
+    "qz_count_extend",
+    "qz_count_iterations",
+    "QzWindowCostModel",
+    "QzCountCostModel",
+    "WfaQz",
+    "WfaQzc",
+    "BiwfaQz",
+    "BiwfaQzc",
+    "SsQz",
+    "SsQzc",
+    "KswQz",
+    "ParasailNwQz",
+    "SsWfaPipelineVec",
+    "SsWfaPipelineQzc",
+]

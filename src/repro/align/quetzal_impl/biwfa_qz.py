@@ -1,0 +1,88 @@
+"""BiWFA with QUETZAL acceleration.
+
+The forward half uses the same loops as :mod:`.wfa_qz`.  Backward waves
+read the *forward-staged* QBUFFERs at mirrored indices — the QZ window
+loop shifts-and-counts from the top, and QZ+C uses ``qzmhm<rcount>`` (the
+leading-ones mirror of the count ALU; see DESIGN.md).  This avoids
+re-staging the sequences on every direction switch.
+"""
+
+from __future__ import annotations
+
+from repro.align.interface import Implementation, PairResult
+from repro.align.quetzal_impl.qz_extend import QzKernel, stage_pair_in_qbuffers
+from repro.align.vectorized.biwfa_vec import account_overlap_scan
+from repro.align.vectorized.wavefront_machine import (
+    extend_wave_with_kernel,
+    init_root_wave,
+    next_machine_wave,
+)
+from repro.align.vectorized.wfa_vec import FAST_LENGTH_THRESHOLD
+from repro.errors import AlignmentError, QuetzalError
+from repro.genomics.generator import SequencePair
+from repro.vector.machine import VectorMachine
+
+
+class BiwfaQz(Implementation):
+    """Bidirectional WFA on QUETZAL (QBUFFERs only)."""
+
+    algorithm = "biwfa"
+    style = "qz"
+
+    def __init__(self, fast: bool | None = None, max_score: int | None = None):
+        self.fast = fast
+        self.max_score = max_score
+
+    def run_pair(self, machine: VectorMachine, pair: SequencePair) -> PairResult:
+        if machine.quetzal is None:
+            raise QuetzalError(f"{self.name} requires a QUETZAL-capable machine")
+        if self.style == "qzc" and not machine.quetzal.config.count_alu:
+            raise QuetzalError(f"{self.name} requires the count ALU")
+        before = machine.snapshot()
+        m_len, n_len = len(pair.pattern), len(pair.text)
+        if m_len == 0 or n_len == 0:
+            machine.scalar(4)
+            return self._wrap(machine, before, max(m_len, n_len))
+        fast = self.fast if self.fast is not None else (
+            pair.max_length > FAST_LENGTH_THRESHOLD
+        )
+        stage_pair_in_qbuffers(machine, pair.pattern, pair.text)
+        fwd_kernel = QzKernel(machine, self.style, backward=False)
+        bwd_kernel = QzKernel(machine, self.style, backward=True)
+        consts = fwd_kernel.consts(machine, m_len, n_len)
+        fwd_model = fwd_kernel.cost_model(machine) if fast else None
+        bwd_model = bwd_kernel.cost_model(machine) if fast else None
+        z = n_len - m_len
+
+        def extend(wave, backward: bool) -> None:
+            extend_wave_with_kernel(
+                machine, wave,
+                bwd_kernel if backward else fwd_kernel,
+                consts, fast,
+                bwd_model if backward else fwd_model,
+            )
+
+        fwd = init_root_wave(machine)
+        extend(fwd, backward=False)
+        bwd = init_root_wave(machine)
+        extend(bwd, backward=True)
+        s_f = s_b = 0
+        while not account_overlap_scan(machine, fwd, bwd, n_len, z):
+            if self.max_score is not None and s_f + s_b >= self.max_score:
+                raise AlignmentError("BiWFA exceeded max_score")
+            if s_f <= s_b:
+                fwd = next_machine_wave(machine, fwd, m_len, n_len)
+                extend(fwd, backward=False)
+                s_f += 1
+            else:
+                bwd = next_machine_wave(machine, bwd, m_len, n_len)
+                extend(bwd, backward=True)
+                s_b += 1
+        machine.scalar(8)  # breakpoint extraction bookkeeping
+        return self._wrap(machine, before, s_f + s_b)
+
+
+class BiwfaQzc(BiwfaQz):
+    """Bidirectional WFA on QUETZAL with the count ALU."""
+
+    style = "qzc"

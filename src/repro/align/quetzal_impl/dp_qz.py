@@ -1,0 +1,17 @@
+"""Classic DP with QUETZAL (Fig. 7 steps 3-4): QBUFFER-resident operands."""
+
+from __future__ import annotations
+
+from repro.align.dp_machine import KswVec, ParasailNwVec
+
+
+class KswQz(KswVec):
+    """Banded global affine alignment with QBUFFER-resident operands."""
+
+    style = "qz"
+
+
+class ParasailNwQz(ParasailNwVec):
+    """Full-table NW with QBUFFER-resident operands."""
+
+    style = "qz"

@@ -1,0 +1,70 @@
+"""Use case 5: SneakySnake filter + WFA alignment in one pipeline (Fig. 14b).
+
+SS screens each pair against the edit threshold; pairs it accepts go on
+to WFA alignment.  The paper demonstrates QUETZAL switching between both
+algorithms at run time with a single staging of the sequences — here the
+QZ+C pipeline stages the pair once and both stages read the QBUFFERs.
+"""
+
+from __future__ import annotations
+
+from repro.align.interface import Implementation, PairResult
+from repro.align.quetzal_impl.ss_qz import SsQzc
+from repro.align.quetzal_impl.wfa_qz import WfaQzc
+from repro.align.vectorized.ss_vec import SsVec
+from repro.align.vectorized.wfa_vec import WfaVec
+from repro.genomics.generator import SequencePair
+from repro.vector.machine import VectorMachine
+
+
+class _PipelineBase(Implementation):
+    """Shared SS -> WFA control flow."""
+
+    algorithm = "ss+wfa"
+
+    def __init__(self, filter_impl, align_impl) -> None:
+        self._filter = filter_impl
+        self._align = align_impl
+
+    def run_pair(self, machine: VectorMachine, pair: SequencePair) -> PairResult:
+        before = machine.snapshot()
+        verdict = self._filter.run_pair(machine, pair).output
+        machine.scalar(3)  # accept/reject branch
+        distance = None
+        if verdict.accepted:
+            distance = self._align.run_pair(machine, pair).output
+        return self._wrap(machine, before, (verdict, distance))
+
+
+class SsWfaPipelineVec(_PipelineBase):
+    """VEC filter + VEC aligner."""
+
+    style = "vec"
+
+    def __init__(
+        self,
+        threshold: int | None = None,
+        threshold_frac: float = 0.05,
+        fast: bool | None = None,
+    ) -> None:
+        super().__init__(
+            SsVec(threshold=threshold, threshold_frac=threshold_frac, fast=fast),
+            WfaVec(fast=fast),
+        )
+
+
+class SsWfaPipelineQzc(_PipelineBase):
+    """QUETZAL+C filter + QUETZAL+C aligner (single staging per pair)."""
+
+    style = "qzc"
+
+    def __init__(
+        self,
+        threshold: int | None = None,
+        threshold_frac: float = 0.05,
+        fast: bool | None = None,
+    ) -> None:
+        super().__init__(
+            SsQzc(threshold=threshold, threshold_frac=threshold_frac, fast=fast),
+            WfaQzc(fast=fast),
+        )

@@ -1,0 +1,63 @@
+"""SneakySnake with QUETZAL acceleration (paper Fig. 6b)."""
+
+from __future__ import annotations
+
+from repro.align.interface import Implementation, PairResult
+from repro.align.quetzal_impl.qz_extend import QzKernel, stage_pair_in_qbuffers
+from repro.align.sneakysnake import SneakySnakeResult
+from repro.align.vectorized.ss_vec import run_snake
+from repro.align.vectorized.wfa_vec import FAST_LENGTH_THRESHOLD
+from repro.errors import AlignmentError, QuetzalError
+from repro.genomics.generator import SequencePair
+from repro.vector.machine import VectorMachine
+
+
+class SsQz(Implementation):
+    """SneakySnake filter on QUETZAL (QBUFFERs only)."""
+
+    algorithm = "ss"
+    style = "qz"
+
+    def __init__(
+        self,
+        threshold: int | None = None,
+        threshold_frac: float = 0.05,
+        fast: bool | None = None,
+    ) -> None:
+        if threshold is not None and threshold < 0:
+            raise AlignmentError("threshold must be non-negative")
+        self.threshold = threshold
+        self.threshold_frac = threshold_frac
+        self.fast = fast
+
+    def threshold_for(self, pair: SequencePair) -> int:
+        if self.threshold is not None:
+            return self.threshold
+        return max(1, int(len(pair.pattern) * self.threshold_frac))
+
+    def run_pair(self, machine: VectorMachine, pair: SequencePair) -> PairResult:
+        if machine.quetzal is None:
+            raise QuetzalError(f"{self.name} requires a QUETZAL-capable machine")
+        if self.style == "qzc" and not machine.quetzal.config.count_alu:
+            raise QuetzalError(f"{self.name} requires the count ALU")
+        before = machine.snapshot()
+        m = machine
+        n = len(pair.pattern)
+        threshold = self.threshold_for(pair)
+        if n == 0:
+            m.scalar(2)
+            result = SneakySnakeResult(accepted=True, edits=0, threshold=threshold)
+            return self._wrap(m, before, result)
+        fast = self.fast if self.fast is not None else (
+            pair.max_length > FAST_LENGTH_THRESHOLD
+        )
+        stage_pair_in_qbuffers(m, pair.pattern, pair.text)
+        kernel = QzKernel(m, self.style)
+        result = run_snake(m, kernel, n, len(pair.text), threshold, fast)
+        return self._wrap(m, before, result)
+
+
+class SsQzc(SsQz):
+    """SneakySnake filter on QUETZAL with the count ALU."""
+
+    style = "qzc"

@@ -1,0 +1,75 @@
+"""WFA with QUETZAL acceleration (paper Fig. 6a).
+
+Shares the wavefront recurrence with the VEC implementation; only the
+sequence staging (into QBUFFERs, counted per Section V-B) and the extend
+inner loop differ:
+
+* :class:`WfaQz` — 2-cycle window ``qzload``s + software counting;
+* :class:`WfaQzc` — fused ``qzmhm<qzcount>`` loop (count ALU).
+"""
+
+from __future__ import annotations
+
+from repro.align.interface import Implementation, PairResult
+from repro.align.quetzal_impl.qz_extend import QzKernel, stage_pair_in_qbuffers
+from repro.align.vectorized.wavefront_machine import (
+    MachineWavefront,
+    account_traceback,
+    extend_wave_with_kernel,
+    run_wavefront_loop,
+)
+from repro.align.vectorized.wfa_vec import FAST_LENGTH_THRESHOLD
+from repro.errors import QuetzalError
+from repro.genomics.generator import SequencePair
+from repro.vector.machine import VectorMachine
+
+
+class WfaQz(Implementation):
+    """Edit-distance WFA on QUETZAL (QBUFFERs only)."""
+
+    algorithm = "wfa"
+    style = "qz"
+
+    def __init__(
+        self,
+        fast: bool | None = None,
+        traceback: bool = True,
+        max_score: int | None = None,
+    ) -> None:
+        self.fast = fast
+        self.traceback = traceback
+        self.max_score = max_score
+
+    def run_pair(self, machine: VectorMachine, pair: SequencePair) -> PairResult:
+        if machine.quetzal is None:
+            raise QuetzalError(f"{self.name} requires a QUETZAL-capable machine")
+        if self.style == "qzc" and not machine.quetzal.config.count_alu:
+            raise QuetzalError(f"{self.name} requires the count ALU")
+        before = machine.snapshot()
+        m_len, n_len = len(pair.pattern), len(pair.text)
+        if m_len == 0 or n_len == 0:
+            machine.scalar(4)
+            return self._wrap(machine, before, max(m_len, n_len))
+        fast = self.fast if self.fast is not None else (
+            pair.max_length > FAST_LENGTH_THRESHOLD
+        )
+        stage_pair_in_qbuffers(machine, pair.pattern, pair.text)
+        kernel = QzKernel(machine, self.style)
+        consts = kernel.consts(machine, m_len, n_len)
+        cost_model = kernel.cost_model(machine) if fast else None
+
+        def extend(mach: VectorMachine, wave: MachineWavefront) -> None:
+            extend_wave_with_kernel(mach, wave, kernel, consts, fast, cost_model)
+
+        distance, waves = run_wavefront_loop(
+            machine, m_len, n_len, extend, max_score=self.max_score
+        )
+        if self.traceback:
+            account_traceback(machine, waves, distance)
+        return self._wrap(machine, before, distance)
+
+
+class WfaQzc(WfaQz):
+    """Edit-distance WFA on QUETZAL with the count ALU (QUETZAL+C)."""
+
+    style = "qzc"

@@ -1,0 +1,72 @@
+"""The Shouji pre-alignment filter (Alser et al. 2019).
+
+SneakySnake's sibling filter, referenced alongside it throughout the
+paper (Section I / II-C).  Shouji slides a small window (4 columns)
+along the neighbourhood map of ``2E+1`` diagonals; within each window it
+keeps the diagonal segment with the most matches, ORs those segments
+into a *common subsequence bitmask*, and estimates the edit count as the
+number of zero runs left in the mask.  Like SneakySnake it never
+underestimates similarity (no false negatives): a pair within ``E``
+edits is always accepted.
+
+Included as a third member of the edit-distance-approximation family the
+framework covers (with SneakySnake and Myers), and exercised against
+SneakySnake in the filter-accuracy tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.wavefront import _codes
+from repro.errors import AlignmentError
+
+_WINDOW = 4
+
+
+@dataclass(frozen=True)
+class ShoujiResult:
+    """Filter verdict for one pair."""
+
+    accepted: bool
+    estimated_edits: int
+    threshold: int
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+
+def shouji_filter(pattern, text, threshold: int) -> ShoujiResult:
+    """Accept iff the Shouji edit estimate is within ``threshold``."""
+    if threshold < 0:
+        raise AlignmentError(f"threshold must be non-negative: {threshold}")
+    p, t = _codes(pattern), _codes(text)
+    n = len(p)
+    if n == 0:
+        return ShoujiResult(accepted=True, estimated_edits=0, threshold=threshold)
+    # Neighbourhood map: match[k][j] == 1 iff p[j] == t[j + k].
+    ks = range(-threshold, threshold + 1)
+    match = np.zeros((len(ks), n), dtype=bool)
+    for row, k in enumerate(ks):
+        j_lo = max(0, -k)
+        j_hi = min(n, len(t) - k)
+        if j_hi > j_lo:
+            match[row, j_lo:j_hi] = p[j_lo:j_hi] == t[j_lo + k : j_hi + k]
+    # Overlapping sliding windows (step 1): OR the best diagonal segment
+    # of every window into the common subsequence bitmask.  Overlap lets
+    # matches from shifted diagonals cover both sides of an indel, which
+    # is what preserves the no-false-negative guarantee.
+    mask = np.zeros(n, dtype=bool)
+    for start in range(0, n):
+        window = match[:, start : start + _WINDOW]
+        best_row = int(np.argmax(window.sum(axis=1)))
+        mask[start : start + _WINDOW] |= window[best_row]
+    # Every zero left in the mask witnesses at least one edit nearby.
+    zeros = int(np.count_nonzero(~mask))
+    estimate = zeros
+    return ShoujiResult(
+        accepted=estimate <= threshold, estimated_edits=estimate,
+        threshold=threshold,
+    )

@@ -1,0 +1,218 @@
+"""Smith-Waterman-Gotoh affine-gap alignment, plus banded variants.
+
+These are the *classical DP* algorithms of the paper's use case 3:
+
+* :func:`sw_gotoh_local` — local affine-gap alignment (Smith-Waterman-Gotoh),
+* :func:`nw_gotoh_global` — global affine-gap alignment (cost-minimising),
+* :func:`banded_global_affine` — fixed-band global affine DP (the ksw2-style
+  heuristic: only cells within ``band`` of the main diagonal are evaluated),
+* :func:`adaptive_banded_affine` — the adaptive band that recentres on the
+  best cell of each row (Suzuki-Kasahara style).
+
+Costs follow :class:`~repro.align.types.Penalties` (positive costs, lower
+is better) for the global variants; the local variant maximises a
+similarity score as is conventional for SW.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.types import Penalties
+from repro.errors import AlignmentError
+
+_INF = np.int64(1 << 40)
+
+
+def _codes(seq) -> np.ndarray:
+    if hasattr(seq, "codes"):
+        return np.asarray(seq.codes, dtype=np.int64)
+    return np.frombuffer(str(seq).encode("ascii"), dtype=np.uint8).astype(np.int64)
+
+
+def sw_gotoh_local(
+    pattern,
+    text,
+    match_score: int = 2,
+    mismatch_score: int = -4,
+    gap_open: int = 4,
+    gap_extend: int = 2,
+) -> int:
+    """Best local alignment *score* (maximising; 0 floor).
+
+    Row-vectorised Gotoh recurrence with separate E (gap in pattern) and
+    F (gap in text) matrices.
+    """
+    if match_score <= 0 or mismatch_score >= 0:
+        raise AlignmentError("local SW expects match_score>0 and mismatch_score<0")
+    p, t = _codes(pattern), _codes(text)
+    m, n = len(p), len(t)
+    if n == 0 or m == 0:
+        return 0
+    h_prev = np.zeros(n + 1, dtype=np.int64)
+    e_prev = np.full(n + 1, -_INF, dtype=np.int64)
+    best = 0
+    open_total = gap_open + gap_extend
+    j_idx = np.arange(1, n + 1, dtype=np.int64)
+    for i in range(1, m + 1):
+        sub = np.where(t == p[i - 1], match_score, mismatch_score)
+        e_row = np.maximum(e_prev[1:] - gap_extend, h_prev[1:] - open_total)
+        cand = np.maximum(h_prev[:-1] + sub, e_row)
+        cand = np.maximum(cand, 0)
+        # F (gap along the row): f[j] = max_{k<j}(cand[k] - open - ext*(j-k))
+        # = max_{k<j}(cand[k] + ext*k) - open - ext*j, a running maximum.
+        run = np.maximum.accumulate(cand + gap_extend * j_idx)
+        f_row = (
+            np.concatenate(([-_INF], run[:-1])) - gap_open - gap_extend * j_idx
+        )
+        h_row = np.maximum(np.maximum(cand, f_row), 0)
+        best = max(best, int(h_row.max()))
+        h_prev = np.concatenate(([0], h_row))
+        e_prev = np.concatenate(([-_INF], e_row))
+    return best
+
+
+def _gotoh_cost_rows(p: np.ndarray, t: np.ndarray, pen: Penalties):
+    """Yield (h_row, i) for the cost-minimising global Gotoh DP."""
+    n = len(t)
+    open_total = pen.gap_open + pen.gap_extend
+    h_prev = np.concatenate(
+        ([0], pen.gap_open + pen.gap_extend * np.arange(1, n + 1))
+    ).astype(np.int64)
+    e_prev = np.full(n + 1, _INF, dtype=np.int64)  # gap in text (vertical)
+    yield h_prev, 0
+    j_idx = np.arange(1, n + 1, dtype=np.int64)
+    for i in range(1, len(p) + 1):
+        sub = np.where(t == p[i - 1], pen.match, pen.mismatch)
+        e_row = np.minimum(e_prev[1:] + pen.gap_extend, h_prev[1:] + open_total)
+        cand = np.minimum(h_prev[:-1] + sub, e_row)
+        left0 = pen.gap_open + pen.gap_extend * i
+        # F closure: f[j] = min_{k<j}(h_nonF[k] + open + ext*(j-k)); paths
+        # through two consecutive horizontal gaps are dominated by one, so
+        # only non-F candidates (cand, and the column-0 cell) need enter.
+        best = np.concatenate(([left0], cand))
+        closure = np.minimum.accumulate(best - pen.gap_extend * np.arange(n + 1))
+        f_row = closure[:-1] + pen.gap_extend * j_idx + pen.gap_open
+        h_row = np.minimum(cand, f_row)
+        h_full = np.concatenate(([left0], h_row))
+        e_full = np.concatenate(([_INF], e_row))
+        yield h_full, i
+        h_prev, e_prev = h_full, e_full
+
+
+def nw_gotoh_global(pattern, text, penalties: Penalties | None = None) -> int:
+    """Optimal global affine-gap alignment cost (Gotoh)."""
+    pen = penalties or Penalties()
+    p, t = _codes(pattern), _codes(text)
+    if len(p) == 0:
+        return pen.gap_open + pen.gap_extend * len(t) if len(t) else 0
+    if len(t) == 0:
+        return pen.gap_open + pen.gap_extend * len(p)
+    last = None
+    for h_row, _ in _gotoh_cost_rows(p, t, pen):
+        last = h_row
+    return int(last[-1])
+
+
+def banded_global_affine(
+    pattern, text, band: int, penalties: Penalties | None = None
+) -> int | None:
+    """ksw2-style banded global affine alignment.
+
+    Only cells with ``|j - i| <= band`` are evaluated.  Returns the
+    alignment cost, or ``None`` when the optimal path escapes the band
+    (the heuristic failure mode described in Section II-A).
+    """
+    if band < 0:
+        raise AlignmentError("band must be non-negative")
+    pen = penalties or Penalties()
+    p, t = _codes(pattern), _codes(text)
+    m, n = len(p), len(t)
+    if abs(n - m) > band:
+        return None
+    open_total = pen.gap_open + pen.gap_extend
+    cap = _INF // 4  # clamp ceiling so +penalty arithmetic cannot wrap
+    h_prev = np.full(n + 1, _INF, dtype=np.int64)
+    e_prev = np.full(n + 1, _INF, dtype=np.int64)
+    width = min(band, n)
+    h_prev[0] = 0
+    if width:
+        h_prev[1 : width + 1] = pen.gap_open + pen.gap_extend * np.arange(1, width + 1)
+    j_all = np.arange(0, n + 1, dtype=np.int64)
+    for i in range(1, m + 1):
+        lo = max(0, i - band)
+        hi = min(n, i + band)
+        h_row = np.full(n + 1, _INF, dtype=np.int64)
+        e_row = np.full(n + 1, _INF, dtype=np.int64)
+        if lo == 0:
+            h_row[0] = pen.gap_open + pen.gap_extend * i
+        j0 = max(1, lo)
+        if j0 <= hi:
+            js = j_all[j0 : hi + 1]
+            sub = np.where(t[j0 - 1 : hi] == p[i - 1], pen.match, pen.mismatch)
+            e_w = np.minimum(
+                e_prev[j0 : hi + 1] + pen.gap_extend,
+                h_prev[j0 : hi + 1] + open_total,
+            )
+            e_w = np.minimum(e_w, cap)
+            cand = np.minimum(h_prev[j0 - 1 : hi] + sub, e_w)
+            cand = np.minimum(cand, cap)
+            # F closure within the window: f[j] = min over k < j of
+            # (hcand[k] + open + ext*(j-k)), seeded by h_row[j0-1].
+            seed = min(int(h_row[j0 - 1]), cap)
+            best = np.concatenate(([seed], cand))
+            ks = np.concatenate(([j0 - 1], js))
+            closure = np.minimum.accumulate(best - pen.gap_extend * ks)
+            f_w = closure[:-1] + pen.gap_extend * js + pen.gap_open
+            h_w = np.minimum(cand, f_w)
+            e_row[j0 : hi + 1] = e_w
+            h_row[j0 : hi + 1] = np.minimum(h_w, _INF)
+        h_prev, e_prev = h_row, e_row
+    result = int(h_prev[n])
+    return None if result >= cap else result
+
+
+def adaptive_banded_affine(
+    pattern, text, band: int, penalties: Penalties | None = None
+) -> int | None:
+    """Adaptive-band affine DP: the band recentres on each row's best cell.
+
+    A fixed-width window slides to follow the locally optimal path
+    (Suzuki-Kasahara adaptive banding, used by modern long-read aligners).
+    Returns ``None`` if the end cell falls outside the final window.
+    """
+    if band < 1:
+        raise AlignmentError("band must be positive")
+    pen = penalties or Penalties()
+    p, t = _codes(pattern), _codes(text)
+    m, n = len(p), len(t)
+    open_total = pen.gap_open + pen.gap_extend
+    center = 0
+    h_prev = np.full(n + 1, _INF, dtype=np.int64)
+    e_prev = np.full(n + 1, _INF, dtype=np.int64)
+    h_prev[0] = 0
+    width = min(band, n)
+    if width:
+        h_prev[1 : width + 1] = pen.gap_open + pen.gap_extend * np.arange(1, width + 1)
+    for i in range(1, m + 1):
+        lo = max(0, center - band + i)
+        lo = max(0, min(lo, n - 1))
+        hi = min(n, lo + 2 * band)
+        h_row = np.full(n + 1, _INF, dtype=np.int64)
+        e_row = np.full(n + 1, _INF, dtype=np.int64)
+        if lo == 0:
+            h_row[0] = pen.gap_open + pen.gap_extend * i
+        f = _INF
+        for j in range(max(1, lo), hi + 1):
+            sub = pen.match if p[i - 1] == t[j - 1] else pen.mismatch
+            e = min(e_prev[j] + pen.gap_extend, h_prev[j] + open_total)
+            f = min(f + pen.gap_extend, h_row[j - 1] + open_total)
+            h = min(h_prev[j - 1] + sub, e, f)
+            e_row[j] = e
+            h_row[j] = h
+        window = h_row[max(1, lo) : hi + 1]
+        if window.size:
+            center = int(np.argmin(window)) + max(1, lo) - i
+        h_prev, e_prev = h_row, e_row
+    result = int(h_prev[n])
+    return None if result >= _INF else result

@@ -1,0 +1,73 @@
+"""SneakySnake edit-distance approximation (Section II-C, Fig. 1c).
+
+SneakySnake builds a conceptual grid of ``2E+1`` diagonal rows (row ``k``
+holds matches of ``P[j]`` against ``T[j+k]``) and greedily chains the
+longest available exact-match run from the current column, paying one edit
+to cross each obstacle.  The resulting edit count is a *lower bound* on
+the true edit distance, so rejecting a pair whenever the count exceeds the
+threshold ``E`` never discards a pair that actually aligns within ``E``
+edits (no false negatives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.wavefront import lcp, _codes
+from repro.errors import AlignmentError
+
+
+@dataclass(frozen=True)
+class SneakySnakeResult:
+    """Filter verdict for one pair."""
+
+    accepted: bool
+    edits: int
+    threshold: int
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+
+def snake_run_length(
+    p: np.ndarray, t: np.ndarray, col: int, k: int
+) -> int:
+    """Length of the exact-match run on diagonal row ``k`` from ``col``."""
+    if col + k < 0:
+        return 0
+    return lcp(p, t, col, col + k)
+
+
+def sneakysnake_filter(pattern, text, threshold: int) -> SneakySnakeResult:
+    """Greedy Single-Net-Play over diagonals ``[-E, E]``.
+
+    Accepts iff the pair needs at most ``threshold`` obstacle crossings to
+    traverse the whole pattern.
+    """
+    if threshold < 0:
+        raise AlignmentError(f"threshold must be non-negative: {threshold}")
+    p, t = _codes(pattern), _codes(text)
+    n = len(p)
+    if n == 0:
+        return SneakySnakeResult(accepted=True, edits=0, threshold=threshold)
+    col = 0
+    edits = 0
+    while col < n:
+        best = 0
+        for k in range(-threshold, threshold + 1):
+            run = snake_run_length(p, t, col, k)
+            if run > best:
+                best = run
+                if col + best >= n:
+                    break
+        col += best
+        if col >= n:
+            break
+        # Cross one obstacle: costs one edit and one column.
+        edits += 1
+        col += 1
+        if edits > threshold:
+            return SneakySnakeResult(accepted=False, edits=edits, threshold=threshold)
+    return SneakySnakeResult(accepted=edits <= threshold, edits=edits, threshold=threshold)

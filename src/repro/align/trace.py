@@ -1,0 +1,238 @@
+"""Algorithm traces: the exact work an algorithm performs on one pair.
+
+A *trace* records, for one input pair, every extend/compare step a scalar
+reference execution performs (wavefront shapes, match-run lengths, snake
+steps).  All implementation styles consume the same trace:
+
+* the autovectorised **baseline** converts it to cycles with a per-char
+  scalar cost model;
+* the **VEC/QUETZAL fast paths** convert it to per-iteration active-lane
+  counts and replay measured loop-body costs, avoiding per-character
+  Python execution on long reads (tests pin fast == slow on small inputs);
+* the **instruction-level paths** do not need it (they recompute), but are
+  cross-checked against the trace's functional outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.align.sneakysnake import SneakySnakeResult
+from repro.align.wavefront import EditWavefront, _codes, _next_wave, lcp
+from repro.errors import AlignmentError
+
+_NEG = -(1 << 40)
+
+
+@dataclass
+class WaveStep:
+    """One wavefront of an edit-WFA execution, before and after extension."""
+
+    lo: int
+    hi: int
+    #: Offsets entering the extend step (post-recurrence), _NEG when invalid.
+    pre: np.ndarray
+    #: Exact-match run each diagonal extends by (0 for invalid diagonals).
+    runs: np.ndarray
+
+    @property
+    def post(self) -> np.ndarray:
+        return np.where(self.pre > _NEG, self.pre + self.runs, self.pre)
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo + 1
+
+    def valid_mask(self) -> np.ndarray:
+        return self.pre > _NEG
+
+
+@dataclass
+class WfaTrace:
+    """Full edit-WFA execution trace for one pair."""
+
+    m: int
+    n: int
+    distance: int
+    waves: list[WaveStep] = field(default_factory=list)
+
+    @property
+    def total_diagonals(self) -> int:
+        return sum(w.width for w in self.waves)
+
+    @property
+    def total_extend_chars(self) -> int:
+        return int(sum(w.runs.sum() for w in self.waves))
+
+
+def _extend_runs(
+    wave: EditWavefront, p: np.ndarray, t: np.ndarray
+) -> np.ndarray:
+    """Per-diagonal match runs, also applying them to ``wave`` in place."""
+    runs = np.zeros(wave.width if hasattr(wave, "width") else wave.hi - wave.lo + 1,
+                    dtype=np.int64)
+    for k in range(wave.lo, wave.hi + 1):
+        h = wave.get(k)
+        if h <= _NEG:
+            continue
+        run = lcp(p, t, h - k, h)
+        runs[k - wave.lo] = run
+        if run:
+            wave.set(k, h + run)
+    return runs
+
+
+def build_wfa_trace(pattern, text, max_score: int | None = None) -> WfaTrace:
+    """Run scalar edit-WFA, recording every wave's shape and runs."""
+    p, t = _codes(pattern), _codes(text)
+    m, n = len(p), len(t)
+    k_end = n - m
+    wave = EditWavefront(0, 0, np.zeros(1, dtype=np.int64))
+    steps: list[WaveStep] = []
+    pre = wave.offsets.copy()
+    runs = _extend_runs(wave, p, t)
+    steps.append(WaveStep(wave.lo, wave.hi, pre, runs))
+    s = 0
+    while wave.get(k_end) < n:
+        if max_score is not None and s >= max_score:
+            raise AlignmentError(f"WFA trace exceeded max_score={max_score}")
+        wave = _next_wave(wave, m, n)
+        pre = wave.offsets.copy()
+        runs = _extend_runs(wave, p, t)
+        steps.append(WaveStep(wave.lo, wave.hi, pre, runs))
+        s += 1
+    return WfaTrace(m=m, n=n, distance=s, waves=steps)
+
+
+@dataclass
+class BiwfaTrace:
+    """Forward + backward wave history of a BiWFA execution."""
+
+    m: int
+    n: int
+    distance: int
+    fwd_waves: list[WaveStep]
+    bwd_waves: list[WaveStep]
+
+    @property
+    def total_diagonals(self) -> int:
+        return sum(w.width for w in self.fwd_waves) + sum(
+            w.width for w in self.bwd_waves
+        )
+
+
+def build_biwfa_trace(pattern, text) -> BiwfaTrace:
+    """Run scalar BiWFA (alternating waves), recording both directions."""
+    p, t = _codes(pattern), _codes(text)
+    m, n = len(p), len(t)
+    z = n - m
+    pr, tr = p[::-1].copy(), t[::-1].copy()
+
+    def one(seq_p, seq_t):
+        wave = EditWavefront(0, 0, np.zeros(1, dtype=np.int64))
+        pre = wave.offsets.copy()
+        runs = _extend_runs(wave, seq_p, seq_t)
+        return wave, [WaveStep(wave.lo, wave.hi, pre, runs)]
+
+    fwd, fwd_steps = one(p, t)
+    bwd, bwd_steps = one(pr, tr)
+    s_f = s_b = 0
+
+    def overlap() -> bool:
+        for k in range(fwd.lo, fwd.hi + 1):
+            fo = fwd.get(k)
+            if fo <= _NEG:
+                continue
+            bo = bwd.get(z - k)
+            if bo > _NEG and fo + bo >= n:
+                return True
+        return False
+
+    while not overlap():
+        if s_f <= s_b:
+            fwd = _next_wave(fwd, m, n)
+            pre = fwd.offsets.copy()
+            runs = _extend_runs(fwd, p, t)
+            fwd_steps.append(WaveStep(fwd.lo, fwd.hi, pre, runs))
+            s_f += 1
+        else:
+            bwd = _next_wave(bwd, m, n)
+            pre = bwd.offsets.copy()
+            runs = _extend_runs(bwd, pr, tr)
+            bwd_steps.append(WaveStep(bwd.lo, bwd.hi, pre, runs))
+            s_b += 1
+    return BiwfaTrace(
+        m=m, n=n, distance=s_f + s_b, fwd_waves=fwd_steps, bwd_waves=bwd_steps
+    )
+
+
+@dataclass
+class SnakeStep:
+    """One greedy step of SneakySnake: runs for all diagonals from ``col``."""
+
+    col: int
+    #: Match-run length per diagonal, ordered k = -E .. +E.
+    runs: np.ndarray
+
+    @property
+    def best(self) -> int:
+        return int(self.runs.max()) if self.runs.size else 0
+
+
+@dataclass
+class SsTrace:
+    """Full SneakySnake execution trace for one pair."""
+
+    n: int
+    threshold: int
+    result: SneakySnakeResult
+    steps: list[SnakeStep] = field(default_factory=list)
+
+    @property
+    def total_runs_chars(self) -> int:
+        return int(sum(s.runs.sum() for s in self.steps))
+
+    @property
+    def total_diagonals(self) -> int:
+        return sum(len(s.runs) for s in self.steps)
+
+
+def build_ss_trace(pattern, text, threshold: int) -> SsTrace:
+    """Run scalar SneakySnake, recording each step's per-diagonal runs.
+
+    Unlike the early-exiting scalar filter, the trace computes *all*
+    diagonal runs per step (what the vectorised versions do), so every
+    style consumes identical work items.  The verdict is identical.
+    """
+    if threshold < 0:
+        raise AlignmentError(f"threshold must be non-negative: {threshold}")
+    p, t = _codes(pattern), _codes(text)
+    n = len(p)
+    ks = np.arange(-threshold, threshold + 1)
+    steps: list[SnakeStep] = []
+    col = 0
+    edits = 0
+    rejected = False
+    while col < n:
+        runs = np.zeros(len(ks), dtype=np.int64)
+        for i, k in enumerate(ks):
+            if col + k < 0:
+                continue
+            runs[i] = lcp(p, t, col, col + int(k))
+        steps.append(SnakeStep(col=col, runs=runs))
+        col += int(runs.max()) if runs.size else 0
+        if col >= n:
+            break
+        edits += 1
+        col += 1
+        if edits > threshold:
+            rejected = True
+            break
+    result = SneakySnakeResult(
+        accepted=not rejected and edits <= threshold,
+        edits=edits,
+        threshold=threshold,
+    )
+    return SsTrace(n=n, threshold=threshold, result=result, steps=steps)

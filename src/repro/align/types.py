@@ -1,0 +1,183 @@
+"""Alignment result types: CIGAR strings, penalties, validation.
+
+CIGAR conventions (pattern -> text):
+
+* ``M`` both characters equal (consume one of each);
+* ``X`` substitution (consume one of each);
+* ``I`` insertion — a text character absent from the pattern (consume text);
+* ``D`` deletion — a pattern character absent from the text (consume pattern).
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass
+
+from repro.errors import AlignmentError
+
+_CIGAR_RE = re.compile(r"(\d+)([MXID])")
+_VALID_OPS = set("MXID")
+
+
+class Cigar:
+    """A run-length encoded edit transcript."""
+
+    __slots__ = ("_ops",)
+
+    def __init__(self, ops: "str | list[tuple[int, str]]") -> None:
+        if isinstance(ops, str):
+            parsed = _CIGAR_RE.findall(ops)
+            if "".join(f"{n}{o}" for n, o in parsed) != ops:
+                raise AlignmentError(f"malformed CIGAR string: {ops!r}")
+            self._ops = [(int(n), o) for n, o in parsed]
+        else:
+            self._ops = []
+            for n, o in ops:
+                if o not in _VALID_OPS:
+                    raise AlignmentError(f"invalid CIGAR op: {o!r}")
+                if n < 0:
+                    raise AlignmentError(f"negative CIGAR run: {n}")
+                if n:
+                    self._ops.append((n, o))
+        self._ops = self._coalesce(self._ops)
+
+    @staticmethod
+    def _coalesce(ops: list[tuple[int, str]]) -> list[tuple[int, str]]:
+        out: list[tuple[int, str]] = []
+        for n, o in ops:
+            if out and out[-1][1] == o:
+                out[-1] = (out[-1][0] + n, o)
+            else:
+                out.append((n, o))
+        return out
+
+    @classmethod
+    def from_ops_string(cls, expanded: str) -> "Cigar":
+        """Build from a per-character op string like ``"MMXMID"``."""
+        ops = [(len(list(g)), o) for o, g in itertools.groupby(expanded)]
+        return cls(ops)
+
+    def __str__(self) -> str:
+        return "".join(f"{n}{o}" for n, o in self._ops)
+
+    def __repr__(self) -> str:
+        return f"Cigar({str(self)!r})"
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Cigar):
+            return self._ops == other._ops
+        if isinstance(other, str):
+            return str(self) == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(str(self))
+
+    def __iter__(self):
+        return iter(self._ops)
+
+    @property
+    def ops(self) -> list[tuple[int, str]]:
+        return list(self._ops)
+
+    def expanded(self) -> str:
+        return "".join(o * n for n, o in self._ops)
+
+    def count(self, op: str) -> int:
+        return sum(n for n, o in self._ops if o == op)
+
+    @property
+    def edits(self) -> int:
+        """Levenshtein cost of this transcript (X + I + D)."""
+        return self.count("X") + self.count("I") + self.count("D")
+
+    @property
+    def pattern_length(self) -> int:
+        return self.count("M") + self.count("X") + self.count("D")
+
+    @property
+    def text_length(self) -> int:
+        return self.count("M") + self.count("X") + self.count("I")
+
+    def validate(self, pattern: str, text: str) -> None:
+        """Check the transcript really transforms ``pattern`` into ``text``."""
+        pattern, text = str(pattern), str(text)
+        if self.pattern_length != len(pattern) or self.text_length != len(text):
+            raise AlignmentError(
+                f"CIGAR lengths ({self.pattern_length}, {self.text_length}) "
+                f"do not cover inputs ({len(pattern)}, {len(text)})"
+            )
+        i = j = 0
+        for n, o in self._ops:
+            if o == "M":
+                if pattern[i : i + n] != text[j : j + n]:
+                    raise AlignmentError(f"M run at ({i},{j}) is not a match")
+                i += n
+                j += n
+            elif o == "X":
+                for d in range(n):
+                    if pattern[i + d] == text[j + d]:
+                        raise AlignmentError(f"X at ({i + d},{j + d}) is a match")
+                i += n
+                j += n
+            elif o == "D":
+                i += n
+            else:  # I
+                j += n
+
+    def score(self, penalties: "Penalties") -> int:
+        """Gap-affine score of this transcript under ``penalties``."""
+        total = 0
+        for n, o in self._ops:
+            if o == "M":
+                total += n * penalties.match
+            elif o == "X":
+                total += n * penalties.mismatch
+            else:
+                total += penalties.gap_open + n * penalties.gap_extend
+        return total
+
+
+@dataclass(frozen=True)
+class Penalties:
+    """Gap-affine penalties (costs are positive, match usually 0).
+
+    Defaults are the WFA paper's canonical ``(0, 4, 6, 2)`` scheme.
+    """
+
+    match: int = 0
+    mismatch: int = 4
+    gap_open: int = 6
+    gap_extend: int = 2
+
+    def __post_init__(self) -> None:
+        if self.mismatch <= self.match:
+            raise AlignmentError("mismatch penalty must exceed match")
+        if self.gap_extend <= 0:
+            raise AlignmentError("gap_extend must be positive")
+        if self.gap_open < 0:
+            raise AlignmentError("gap_open must be non-negative")
+
+
+#: Unit-cost (Levenshtein) penalties, for edit-distance modes.
+EDIT_PENALTIES = Penalties(match=0, mismatch=1, gap_open=0, gap_extend=1)
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A scored alignment with an optional transcript."""
+
+    score: int
+    cigar: Cigar | None = None
+    algorithm: str = ""
+
+    def validate(self, pattern: str, text: str) -> None:
+        if self.cigar is not None:
+            self.cigar.validate(pattern, text)
+
+    @property
+    def edits(self) -> int:
+        if self.cigar is None:
+            raise AlignmentError("alignment carries no transcript")
+        return self.cigar.edits

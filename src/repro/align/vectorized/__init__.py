@@ -1,0 +1,28 @@
+"""Hand-vectorised (SVE-intrinsics style) implementations (VEC in Fig. 13)."""
+
+from repro.align.vectorized.extend_loop import (
+    vec_extend,
+    extend_iterations,
+    window_iterations,
+    ExtendCostModel,
+    VecExtendKernel,
+    extend_chunks,
+)
+from repro.align.vectorized.wfa_vec import WfaVec
+from repro.align.vectorized.biwfa_vec import BiwfaVec
+from repro.align.vectorized.ss_vec import SsVec
+from repro.align.dp_machine import KswVec, ParasailNwVec
+
+__all__ = [
+    "vec_extend",
+    "extend_iterations",
+    "window_iterations",
+    "ExtendCostModel",
+    "VecExtendKernel",
+    "extend_chunks",
+    "WfaVec",
+    "BiwfaVec",
+    "SsVec",
+    "KswVec",
+    "ParasailNwVec",
+]

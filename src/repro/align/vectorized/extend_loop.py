@@ -1,0 +1,577 @@
+"""The VEC extend inner loop and its scheduling / fast-path machinery.
+
+Real vectorised extend kernels process *blocks*, not single characters:
+each lane gathers an unaligned 64-bit window of the sequence (8 symbols),
+XORs pattern against text, converts the trailing matching bits into a
+symbol count (``RBIT`` + ``CLZ`` + shift), clamps against the sequence
+ends and advances:
+
+    while any lane active:
+        a = gather64(pattern, v);  b = gather64(text, h)
+        c = ctz(a ^ b) >> 3                      # matching symbols
+        c = min(c, m - v, n - h)
+        v += c; h += c
+        active = (c == 8) & (v < m) & (h < n)
+
+Production kernels also *software-pipeline* the loop across independent
+diagonal chunks so the gather/ALU latency chain of one chunk hides under
+the issue slots of the others; :func:`run_interleaved` reproduces this by
+round-robining one iteration of every live chunk, which the scoreboard
+overlaps naturally.  With many chunks the wave becomes issue-bound
+(gather AGU occupancy — the bottleneck the paper attacks); with one chunk
+it degenerates to the serial latency chain.
+
+Per-window Python execution is exact but too slow for 30Kbp reads.
+:class:`LoopCostModel` measures the loop body's issue occupancy and
+serial cost per active-lane count once, and :func:`account_wave_extend`
+replays a whole wave as ``max(issue-bound, longest-chunk serial bound)``.
+Tests pin the fast path against the instruction-level path.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.errors import MachineError
+from repro.vector.machine import VectorMachine
+from repro.vector.register import Pred, SimBuffer, VReg
+from repro.vector.stats import MachineStats
+
+#: Symbols per 64-bit window in the byte-oriented VEC loop.
+VEC_WINDOW = 8
+
+
+class ExtendConsts:
+    """Loop-invariant broadcast registers, hoisted once per pair."""
+
+    __slots__ = ("m_len", "n_len", "window", "mvec", "nvec", "mtop", "ntop", "wtop")
+
+    def __init__(
+        self, machine: VectorMachine, m_len: int, n_len: int, window: int
+    ) -> None:
+        self.m_len = m_len
+        self.n_len = n_len
+        self.window = window
+        self.mvec = machine.dup(m_len, ebits=64)
+        self.nvec = machine.dup(n_len, ebits=64)
+        self.mtop = machine.dup(m_len - 1, ebits=64)
+        self.ntop = machine.dup(n_len - 1, ebits=64)
+        self.wtop = machine.dup(window - 1, ebits=64)
+
+
+class ChunkState:
+    """Mutable per-chunk loop state: offsets and the live predicate."""
+
+    __slots__ = ("v", "h", "inb")
+
+    def __init__(self, v: VReg, h: VReg, inb: Pred) -> None:
+        self.v = v
+        self.h = h
+        self.inb = inb
+
+    @property
+    def alive(self) -> bool:
+        return bool(self.inb.data.any())
+
+
+def enter_extend(
+    machine: VectorMachine,
+    consts: ExtendConsts,
+    v: VReg,
+    h: VReg,
+    active: Pred,
+) -> ChunkState:
+    """Loop entry: build the in-bounds predicate."""
+    pv = machine.cmp("lt", v, consts.m_len, pred=active)
+    inb = machine.cmp("lt", h, consts.n_len, pred=pv)
+    return ChunkState(v, h, inb)
+
+
+def enter_extend_many(
+    machine: VectorMachine,
+    consts: ExtendConsts,
+    chunks: list[tuple[VReg, VReg, Pred]],
+) -> list[ChunkState]:
+    """Stage-major loop entry for a set of chunks (overlaps the cmps)."""
+    pvs = [
+        machine.cmp("lt", v, consts.m_len, pred=a) for v, _h, a in chunks
+    ]
+    inbs = [
+        machine.cmp("lt", h, consts.n_len, pred=pv)
+        for (_v, h, _a), pv in zip(chunks, pvs)
+    ]
+    return [
+        ChunkState(v, h, inb) for (v, h, _a), inb in zip(chunks, inbs)
+    ]
+
+
+def vec_step(
+    machine: VectorMachine,
+    pbuf: SimBuffer,
+    tbuf: SimBuffer,
+    consts: ExtendConsts,
+    st: ChunkState,
+) -> None:
+    """One iteration of the VEC word-window extend body."""
+    m = machine
+    inb = st.inb
+    a = m.gather64(pbuf, st.v, pred=inb)
+    b = m.gather64(tbuf, st.h, pred=inb)
+    x = m.xor(a, b, pred=inb)
+    tz = m.clz(m.rbit(x, pred=inb), pred=inb)
+    cnt = m.shr(tz, 3, pred=inb)
+    c = m.min(cnt, m.sub(consts.mvec, st.v, pred=inb), pred=inb)
+    c = m.min(c, m.sub(consts.nvec, st.h, pred=inb), pred=inb)
+    st.v = m.add(st.v, c, pred=inb)
+    st.h = m.add(st.h, c, pred=inb)
+    full = m.cmp("eq", c, VEC_WINDOW, pred=inb)
+    pv = m.cmp("lt", st.v, consts.m_len, pred=full)
+    st.inb = m.cmp("lt", st.h, consts.n_len, pred=pv)
+
+
+def vec_extend(
+    machine: VectorMachine,
+    pbuf: SimBuffer,
+    tbuf: SimBuffer,
+    v: VReg,
+    h: VReg,
+    active: Pred,
+    m_len: int,
+    n_len: int,
+    consts: ExtendConsts | None = None,
+    iter_hook=None,
+):
+    """Standalone (single-chunk, serial) extend; returns (v, h)."""
+    if consts is None:
+        consts = ExtendConsts(machine, m_len, n_len, VEC_WINDOW)
+    st = enter_extend(machine, consts, v, h, active)
+    while machine.ptest_spec(st.inb):
+        vec_step(machine, pbuf, tbuf, consts, st)
+        if iter_hook is not None:
+            iter_hook(machine)
+    return st.v, st.h
+
+
+def run_interleaved(machine: VectorMachine, chunks: list, step_fn) -> None:
+    """Round-robin one iteration of every live chunk (software pipelining).
+
+    ``chunks`` holds :class:`ChunkState` objects after :func:`enter_extend`;
+    ``step_fn(machine, state)`` emits one loop-body iteration.  Each round
+    issues every live chunk's body back-to-back, so the scoreboard hides
+    one chunk's latency chain under the others'; the round loop branches
+    once per round on a combined live predicate (one ``POR`` per chunk +
+    a single predicted test), so only the final wave exit mispredicts.
+    """
+    combined = None
+    live = []
+    for st in chunks:
+        combined = st.inb if combined is None else machine.por(combined, st.inb)
+        if st.alive:
+            live.append(st)
+    if combined is None or not machine.ptest_spec(combined):
+        return
+    while live:
+        combined = None
+        for st in live:
+            step_fn(machine, st)
+            combined = st.inb if combined is None else machine.por(combined, st.inb)
+        machine.ptest_spec(combined)
+        live = [c for c in live if c.alive]
+
+
+# ----------------------------------------------------------------------
+# Iteration math shared by all window loops
+# ----------------------------------------------------------------------
+def window_iterations(
+    runs: np.ndarray, bounds: np.ndarray, entered: np.ndarray, window: int
+) -> np.ndarray:
+    """Loop iterations per lane of a window-at-a-time extend loop.
+
+    A lane with run ``L`` consumes ``L // window + 1`` iterations (the
+    last window is partial or empty), except when the run ends exactly on
+    a window boundary *at* the sequence boundary (``L % window == 0`` and
+    ``L == B``), where the bounds check retires the lane one iteration
+    earlier.  Lanes that never enter iterate zero times.
+    """
+    runs = np.asarray(runs, dtype=np.int64)
+    bounds = np.asarray(bounds, dtype=np.int64)
+    base = runs // window + 1
+    exact = (runs % window == 0) & (runs == bounds) & (runs > 0)
+    iters = np.where(exact, runs // window, base)
+    return np.where(entered & (bounds > 0), iters, 0)
+
+
+def extend_iterations(
+    runs: np.ndarray, bounds: np.ndarray, entered: np.ndarray
+) -> np.ndarray:
+    """Iterations of the VEC loop (8-symbol windows)."""
+    return window_iterations(runs, bounds, entered, VEC_WINDOW)
+
+
+def active_counts(iters: np.ndarray) -> np.ndarray:
+    """Per-iteration active-lane counts: ``a_j = #{i: iters_i >= j}``."""
+    iters = np.asarray(iters, dtype=np.int64)
+    max_iter = int(iters.max()) if iters.size else 0
+    if max_iter == 0:
+        return np.zeros(0, dtype=np.int64)
+    hist = np.bincount(iters[iters > 0], minlength=max_iter + 1)
+    # a_j = number of lanes with iters >= j, j = 1..max_iter.
+    return np.cumsum(hist[::-1])[::-1][1:]
+
+
+# ----------------------------------------------------------------------
+# Measured loop costs
+# ----------------------------------------------------------------------
+class _StopLoop(Exception):
+    """Internal: bounds a measurement run."""
+
+
+class LoopCostModel:
+    """Measured steady-state per-iteration cost of an extend loop.
+
+    ``per_iteration(k)`` is the :class:`MachineStats` delta of one serial
+    loop-body iteration with ``k`` active lanes: its ``busy`` counters are
+    the issue occupancy (the issue-bound contribution under pipelining)
+    and its ``cycles`` the serial latency chain.  ``entry()`` is the fixed
+    entry/exit cost.  Measurements run once per parameter set and cache.
+    """
+
+    _cache: dict = {}
+    kind = "base"
+    lanes_ebits = 64
+
+    def __init__(self, system: SystemConfig) -> None:
+        self.system = system
+        self.lanes = system.lanes_for(self.lanes_ebits)
+        self._key = (self.kind,) + self._key_extra() + (
+            system.vlen_bits,
+            system.lat_gather_base,
+            system.lat_vector_arith,
+            system.lat_predicate,
+            system.mispredict_penalty,
+            system.l1d.load_to_use,
+        )
+
+    def _key_extra(self) -> tuple:
+        return ()
+
+    # -- subclass hooks -------------------------------------------------
+    def _setup(self) -> tuple[VectorMachine, object]:
+        """Build a scratch machine + context with long all-match sequences."""
+        raise NotImplementedError
+
+    def _run(self, machine, ctx, v, h, act, length, hook) -> None:
+        raise NotImplementedError
+
+    # -- measurement ----------------------------------------------------
+    def _measure(self) -> dict:
+        table: dict = {}
+        for k in range(0, self.lanes + 1):
+            machine, ctx = self._setup()
+            length = 4096
+            v0 = np.where(np.arange(self.lanes) < k, 0, length)
+            v = machine.from_values(v0, self.lanes_ebits)
+            h = machine.from_values(v0, self.lanes_ebits)
+            act = machine.ptrue(self.lanes_ebits)
+            machine.barrier()
+            if k == 0:
+                before = machine.snapshot()
+                self._run(machine, ctx, v, h, act, length, None)
+                machine.barrier()
+                table["entry"] = machine.snapshot().delta(before)
+                continue
+            snaps: list[MachineStats] = []
+            seen = [0]
+
+            def hook(m, _s=snaps, _n=seen):
+                _s.append(m.snapshot())
+                _n[0] += 1
+                if _n[0] >= 6:
+                    raise _StopLoop()
+
+            try:
+                self._run(machine, ctx, v, h, act, length, hook)
+            except _StopLoop:
+                pass
+            table[k] = snaps[4].delta(snaps[3])
+        return table
+
+    def _table(self) -> dict:
+        table = LoopCostModel._cache.get(self._key)
+        if table is None:
+            table = self._measure()
+            LoopCostModel._cache[self._key] = table
+        return table
+
+    # -- replay ---------------------------------------------------------
+    def per_iteration(self, k: int) -> MachineStats:
+        if not 0 <= k <= self.lanes:
+            raise MachineError(f"active count {k} out of range")
+        if k == 0:
+            return MachineStats()
+        return self._table()[k]
+
+    def entry(self) -> MachineStats:
+        return self._table()["entry"]
+
+    @property
+    def stall_category(self) -> str:
+        """Category carrying exposed dependency latency in fast replays."""
+        return "vector"
+
+
+class ExtendCostModel(LoopCostModel):
+    """Cost of the VEC word-window extend loop."""
+
+    kind = "vec-window"
+    lanes_ebits = 64
+
+    def _setup(self):
+        machine = VectorMachine(self.system)
+        length = 4096
+        data = np.zeros(length, dtype=np.uint8)
+        pbuf = machine.new_buffer("p", data, elem_bytes=1)
+        tbuf = machine.new_buffer("t", data, elem_bytes=1)
+        machine.mem.touch(pbuf.base, length)
+        machine.mem.touch(tbuf.base, length)
+        consts = ExtendConsts(machine, length, length, VEC_WINDOW)
+        return machine, (pbuf, tbuf, consts)
+
+    def _run(self, machine, ctx, v, h, act, length, hook):
+        pbuf, tbuf, consts = ctx
+        vec_extend(
+            machine, pbuf, tbuf, v, h, act, length, length,
+            consts=consts, iter_hook=hook,
+        )
+
+    @property
+    def stall_category(self) -> str:
+        return "memory"
+
+
+def account_wave_extend(
+    machine: VectorMachine,
+    cost_model: LoopCostModel,
+    chunk_iter_series: list[np.ndarray],
+) -> int:
+    """Fast-path replay of one interleaved wave of extend chunks.
+
+    ``chunk_iter_series`` holds each chunk's per-iteration active-lane
+    counts.  Instruction and busy (issue) counters sum exactly; the clock
+    advances by ``max(total issue, longest chunk's serial time)`` — the
+    software-pipelining bound.  Returns total iterations (for QBUFFER
+    read accounting by QUETZAL callers).
+    """
+    entry = cost_model.entry()
+    # The interleaved schedule branches once per *round*, so only one
+    # wave-exit branch mispredicts; the measured per-chunk entry includes
+    # one mispredict, credited back for all chunks but the first.
+    penalty = machine.system.mispredict_penalty
+    instructions: Counter = Counter()
+    busy: Counter = Counter()
+    extra_stall = 0
+    total_iters = 0
+    serial_worst = 0
+    n_chunks = len(chunk_iter_series)
+    for counts in chunk_iter_series:
+        serial = entry.cycles
+        for k in counts.tolist():
+            if k == 0:
+                continue
+            per = cost_model.per_iteration(int(k))
+            instructions.update(per.instructions)
+            busy.update(per.busy)
+            serial += per.cycles
+            total_iters += 1
+        serial_worst = max(serial_worst, serial)
+    for _ in range(n_chunks):
+        instructions.update(entry.instructions)
+        busy.update(entry.busy)
+    extra_stall += entry.stall.get("control", 0) * n_chunks - penalty * max(
+        0, n_chunks - 1
+    )
+    extra_stall = max(0, extra_stall)
+    issue_total = sum(busy.values())
+    extra = max(extra_stall, serial_worst - issue_total)
+    machine.account_mix(
+        instructions, busy, extra_stall=extra,
+        stall_category=cost_model.stall_category,
+    )
+    return total_iters
+
+
+def account_extend_memory(
+    machine: VectorMachine,
+    pbuf: SimBuffer,
+    tbuf: SimBuffer,
+    v0: np.ndarray,
+    h0: np.ndarray,
+    iters: np.ndarray,
+) -> None:
+    """Fast-path memory accounting for VEC extend lanes.
+
+    The instruction-level loop issues one 8-byte window access per active
+    lane per iteration to each sequence.  The fast path touches each
+    distinct cache line once (keeping hierarchy contents truthful and
+    charging cold-line penalties) and accounts the remaining requests as
+    the L1 hits they would have been.
+    """
+    total_requests = 2 * int(iters.sum())
+    if total_requests == 0:
+        return
+    line = machine.system.l1d.line_bytes
+    l1_lat = machine.system.l1d.load_to_use
+    lines: set[int] = set()
+    for buf, starts in ((pbuf, v0), (tbuf, h0)):
+        for s, it in zip(starts.tolist(), iters.tolist()):
+            if it <= 0:
+                continue
+            a0 = buf.addr_of(int(s))
+            a1 = buf.addr_of(min(len(buf.data) - 1, int(s) + int(it) * VEC_WINDOW))
+            lines.update(range(a0 - a0 % line, a1 + 1, line))
+    extra = 0
+    for line_addr in sorted(lines):
+        lat = machine.mem.access_line(line_addr)
+        if lat > l1_lat:
+            extra += lat - l1_lat
+    machine.mem.account_extra_hits(max(0, total_requests - len(lines)))
+    if extra:
+        machine.account_block("memory", stall=extra, stall_category="memory")
+
+
+def lane_iterations(
+    p_codes: np.ndarray,
+    t_codes: np.ndarray,
+    v: VReg,
+    h: VReg,
+    valid: Pred,
+    m_len: int,
+    n_len: int,
+    window: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Functional run lengths + iteration counts for one chunk's lanes.
+
+    Returns ``(runs, iters, v0, h0)``.
+    """
+    from repro.align.wavefront import lcp  # local import to avoid a cycle
+
+    mask = valid.data
+    v0 = np.where(mask, v.data, 0)
+    h0 = np.where(mask, h.data, 0)
+    runs = np.zeros(len(mask), dtype=np.int64)
+    for i in np.flatnonzero(mask):
+        runs[i] = lcp(p_codes, t_codes, int(v0[i]), int(h0[i]))
+    bounds = np.minimum(m_len - v0, n_len - h0)
+    entered = mask & (v0 < m_len) & (h0 < n_len)
+    iters = window_iterations(runs, bounds, entered, window)
+    return runs, iters, v0, h0
+
+
+# ----------------------------------------------------------------------
+# Kernel strategies + the shared chunk orchestrator
+# ----------------------------------------------------------------------
+class ExtendKernel:
+    """One extend style (VEC / QZ / QZ+C, forward or backward).
+
+    Bundles the loop-body step, the window size, the functional view of
+    the sequences, the cost model used by the fast path, and how the fast
+    path accounts the style's memory traffic.
+    """
+
+    window: int = VEC_WINDOW
+
+    def consts(self, machine: VectorMachine, m_len: int, n_len: int) -> ExtendConsts:
+        return ExtendConsts(machine, m_len, n_len, self.window)
+
+    def step(self, machine: VectorMachine, consts: ExtendConsts, st: ChunkState):
+        raise NotImplementedError
+
+    def codes(self) -> tuple[np.ndarray, np.ndarray]:
+        """Functional symbol arrays (pattern, text) the loop compares."""
+        raise NotImplementedError
+
+    def cost_model(self, machine: VectorMachine) -> LoopCostModel:
+        raise NotImplementedError
+
+    def account_memory(
+        self, machine: VectorMachine, chunk_mem, total_iters: int
+    ) -> None:
+        """Fast-path traffic accounting; ``chunk_mem`` is [(v0, h0, iters)]."""
+        raise NotImplementedError
+
+
+class VecExtendKernel(ExtendKernel):
+    """Word-window gathers from cached sequence buffers."""
+
+    window = VEC_WINDOW
+
+    def __init__(self, pbuf: SimBuffer, tbuf: SimBuffer) -> None:
+        self.pbuf = pbuf
+        self.tbuf = tbuf
+
+    def step(self, machine, consts, st):
+        vec_step(machine, self.pbuf, self.tbuf, consts, st)
+
+    def codes(self):
+        return self.pbuf.data, self.tbuf.data
+
+    def cost_model(self, machine):
+        return ExtendCostModel(machine.system)
+
+    def account_memory(self, machine, chunk_mem, total_iters):
+        for v0, h0, iters in chunk_mem:
+            account_extend_memory(machine, self.pbuf, self.tbuf, v0, h0, iters)
+
+
+def extend_chunks(
+    machine: VectorMachine,
+    kernel: ExtendKernel,
+    consts: ExtendConsts,
+    chunks: list[tuple[VReg, VReg, Pred]],
+    fast: bool,
+    cost_model: LoopCostModel | None = None,
+) -> list[tuple[VReg, np.ndarray]]:
+    """Extend a set of lane chunks; returns per-chunk (h', runs).
+
+    Slow mode interleaves every chunk's loop (software pipelining);
+    fast mode derives iteration counts from run lengths and replays the
+    measured wave bound.
+    """
+    if not chunks:
+        return []
+    m_len, n_len = consts.m_len, consts.n_len
+    if not fast:
+        states = enter_extend_many(machine, consts, chunks)
+        run_interleaved(
+            machine, states, lambda mm, st: kernel.step(mm, consts, st)
+        )
+        out = []
+        for st, (v, h, valid) in zip(states, chunks):
+            out.append((st.h, st.h.data - h.data))
+        return out
+    if cost_model is None:
+        cost_model = kernel.cost_model(machine)
+    p_codes, t_codes = kernel.codes()
+    series = []
+    chunk_mem = []
+    results = []
+    for v, h, valid in chunks:
+        runs, iters, v0, h0 = lane_iterations(
+            p_codes, t_codes, v, h, valid, m_len, n_len, kernel.window
+        )
+        series.append(active_counts(iters))
+        chunk_mem.append((v0, h0, iters))
+        new_h = np.where(valid.data, h.data + runs, h.data)
+        results.append((new_h, runs))
+    total = account_wave_extend(machine, cost_model, series)
+    kernel.account_memory(machine, chunk_mem, total)
+    # The last iteration's arithmetic tail is still in flight when the
+    # accounting block ends; consumers (the wavefront stores) wait for it.
+    ready = machine.clock + 2 * machine.system.lat_vector_arith
+    return [
+        (VReg(new_h, 64, ready, category=cost_model.stall_category), runs)
+        for new_h, runs in results
+    ]

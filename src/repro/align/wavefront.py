@@ -1,0 +1,349 @@
+"""Wavefront Alignment (WFA) — the modern O(ns) exact DP (Section II-B).
+
+Implements:
+
+* :func:`wfa_edit_distance` / :func:`wfa_edit_align` — unit-cost WFA with
+  full traceback (the Fig. 1b formulation: offsets per diagonal, extended
+  along exact-match runs);
+* :func:`wfa_affine_score` — gap-affine WFA (M/I/D wavefront components)
+  computing the optimal affine cost for a zero-cost match scheme.
+
+Conventions: pattern ``p`` (length m, vertical), text ``t`` (length n,
+horizontal); diagonal ``k = h - v``; an offset stores ``h``.  Wavefront
+``M[s][k]`` is the furthest offset on diagonal k reachable with score s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.types import Alignment, Cigar, Penalties
+from repro.errors import AlignmentError
+
+_NEG = -(1 << 40)
+
+
+def _codes(seq) -> np.ndarray:
+    if hasattr(seq, "codes"):
+        return np.asarray(seq.codes, dtype=np.int64)
+    return np.frombuffer(str(seq).encode("ascii"), dtype=np.uint8).astype(np.int64)
+
+
+def lcp(p: np.ndarray, t: np.ndarray, v: int, h: int, chunk: int = 128) -> int:
+    """Length of the common prefix of ``p[v:]`` and ``t[h:]``."""
+    m, n = len(p), len(t)
+    if v >= m or h >= n or p[v] != t[h]:
+        return 0
+    total = 0
+    while True:
+        size = min(chunk, m - v, n - h)
+        if size <= 0:
+            return total
+        diff = p[v : v + size] != t[h : h + size]
+        if diff.any():
+            return total + int(np.argmax(diff))
+        total += size
+        v += size
+        h += size
+        chunk = min(chunk * 2, 4096)
+
+
+class EditWavefront:
+    """One wave: diagonals ``[lo, hi]`` with furthest offsets."""
+
+    __slots__ = ("lo", "hi", "offsets")
+
+    def __init__(self, lo: int, hi: int, offsets: np.ndarray) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.offsets = offsets
+
+    def get(self, k: int) -> int:
+        if self.lo <= k <= self.hi:
+            return int(self.offsets[k - self.lo])
+        return _NEG
+
+    def set(self, k: int, value: int) -> None:
+        self.offsets[k - self.lo] = value
+
+
+def _extend_wave(wave: EditWavefront, p: np.ndarray, t: np.ndarray) -> None:
+    m, n = len(p), len(t)
+    for k in range(wave.lo, wave.hi + 1):
+        h = wave.get(k)
+        if h < 0:
+            continue
+        v = h - k
+        run = lcp(p, t, v, h)
+        if run:
+            wave.set(k, h + run)
+
+
+def _next_wave(
+    wave: EditWavefront, m: int, n: int
+) -> EditWavefront:
+    """Edit-distance wavefront recurrence (ins / mismatch / del)."""
+    lo = max(wave.lo - 1, -m)
+    hi = min(wave.hi + 1, n)
+    width = hi - lo + 1
+    prev = np.full(width + 2, _NEG, dtype=np.int64)
+    # prev[i] holds the previous wave's offset for diagonal lo-1+i.
+    for k in range(max(wave.lo, lo - 1), min(wave.hi, hi + 1) + 1):
+        prev[k - (lo - 1)] = wave.get(k)
+    ins = np.where(prev[:-2] > _NEG, prev[:-2] + 1, _NEG)  # from k-1
+    mis = np.where(prev[1:-1] > _NEG, prev[1:-1] + 1, _NEG)  # from k
+    dele = prev[2:]  # from k+1, offset unchanged
+    new = np.maximum(np.maximum(ins, mis), dele)
+    # Validity: offsets must satisfy 0 <= h <= n and 0 <= v = h - k <= m.
+    ks = np.arange(lo, hi + 1)
+    vs = new - ks
+    invalid = (new > n) | (vs > m) | (new < 0)
+    new[invalid] = _NEG
+    return EditWavefront(lo, hi, new)
+
+
+def wfa_edit_distance(
+    pattern, text, max_score: int | None = None, keep_waves: bool = False
+):
+    """Edit distance by WFA; optionally returns the wave history.
+
+    Returns ``distance`` or ``(distance, waves)`` with ``keep_waves``.
+    ``max_score`` aborts (returns ``None``) past a threshold.
+    """
+    p, t = _codes(pattern), _codes(text)
+    m, n = len(p), len(t)
+    k_end = n - m
+    wave = EditWavefront(0, 0, np.zeros(1, dtype=np.int64))
+    _extend_wave(wave, p, t)
+    waves = [wave]
+    s = 0
+    while wave.get(k_end) < n:
+        if max_score is not None and s >= max_score:
+            return (None, waves) if keep_waves else None
+        wave = _next_wave(wave, m, n)
+        _extend_wave(wave, p, t)
+        waves.append(wave)
+        s += 1
+    return (s, waves) if keep_waves else s
+
+
+def wfa_edit_align(pattern, text) -> Alignment:
+    """Edit-distance WFA with full traceback (optimal transcript)."""
+    p, t = _codes(pattern), _codes(text)
+    m, n = len(p), len(t)
+    distance, waves = wfa_edit_distance(pattern, text, keep_waves=True)
+    s, k, o = distance, n - m, n
+    ops: list[str] = []
+    while s > 0:
+        prev = waves[s - 1]
+        cand_ins = prev.get(k - 1)
+        cand_mis = prev.get(k)
+        cand_del = prev.get(k + 1)
+        best = max(
+            cand_ins + 1 if cand_ins > _NEG else _NEG,
+            cand_mis + 1 if cand_mis > _NEG else _NEG,
+            cand_del if cand_del > _NEG else _NEG,
+        )
+        if best <= _NEG or best > o:
+            raise AlignmentError("WFA traceback lost the optimal path")
+        ops.append("M" * (o - best))
+        if cand_del > _NEG and cand_del == best:
+            ops.append("D")
+            k += 1
+            o = best
+        elif cand_ins > _NEG and cand_ins + 1 == best:
+            ops.append("I")
+            k -= 1
+            o = best - 1
+        else:
+            ops.append("X")
+            o = best - 1
+        s -= 1
+    if k != 0:
+        raise AlignmentError("WFA traceback did not return to the origin")
+    ops.append("M" * o)
+    cigar = Cigar.from_ops_string("".join(reversed(ops)))
+    return Alignment(score=distance, cigar=cigar, algorithm="wfa-edit")
+
+
+# ----------------------------------------------------------------------
+# Gap-affine WFA
+# ----------------------------------------------------------------------
+class AffineWavefront:
+    """M/I/D components of one gap-affine wave."""
+
+    __slots__ = ("lo", "hi", "m", "i", "d")
+
+    def __init__(self, lo: int, hi: int) -> None:
+        self.lo = lo
+        self.hi = hi
+        width = hi - lo + 1
+        self.m = np.full(width, _NEG, dtype=np.int64)
+        self.i = np.full(width, _NEG, dtype=np.int64)
+        self.d = np.full(width, _NEG, dtype=np.int64)
+
+    def get(self, comp: str, k: int) -> int:
+        if self.lo <= k <= self.hi:
+            return int(getattr(self, comp)[k - self.lo])
+        return _NEG
+
+
+def wfa_affine_score(
+    pattern, text, penalties: Penalties | None = None, max_score: int = 100_000
+) -> int:
+    """Optimal gap-affine cost via WFA (requires ``penalties.match == 0``)."""
+    score, _ = _wfa_affine_waves(pattern, text, penalties, max_score)
+    return score
+
+
+def _wfa_affine_waves(
+    pattern, text, penalties: Penalties | None = None, max_score: int = 100_000
+) -> tuple[int, "dict[int, AffineWavefront] | None"]:
+    """Gap-affine WFA returning (score, wave history) for traceback."""
+    pen = penalties or Penalties()
+    if pen.match != 0:
+        raise AlignmentError("WFA requires a zero match cost")
+    x, o, e = pen.mismatch, pen.gap_open, pen.gap_extend
+    p, t = _codes(pattern), _codes(text)
+    m, n = len(p), len(t)
+    if m == 0 and n == 0:
+        return 0, None
+    if m == 0:
+        return o + e * n, None
+    if n == 0:
+        return o + e * m, None
+    k_end = n - m
+    waves: dict[int, AffineWavefront] = {}
+    w0 = AffineWavefront(0, 0)
+    run = lcp(p, t, 0, 0)
+    w0.m[0] = run
+    waves[0] = w0
+    if k_end == 0 and run >= n:
+        return 0, waves
+    for s in range(1, max_score + 1):
+        src_x = waves.get(s - x)
+        src_oe = waves.get(s - o - e)
+        src_e = waves.get(s - e)
+        if src_x is None and src_oe is None and src_e is None:
+            continue
+        los = [w.lo for w in (src_x, src_oe, src_e) if w is not None]
+        his = [w.hi for w in (src_x, src_oe, src_e) if w is not None]
+        lo = max(min(los) - 1, -m)
+        hi = min(max(his) + 1, n)
+        wave = AffineWavefront(lo, hi)
+        for k in range(lo, hi + 1):
+            ins_src = max(
+                src_oe.get("m", k - 1) if src_oe else _NEG,
+                src_e.get("i", k - 1) if src_e else _NEG,
+            )
+            ins = ins_src + 1 if ins_src > _NEG else _NEG
+            if ins > n or (ins > _NEG and ins - k > m) or (ins > _NEG and ins - k < 0):
+                ins = _NEG
+            del_src = max(
+                src_oe.get("m", k + 1) if src_oe else _NEG,
+                src_e.get("d", k + 1) if src_e else _NEG,
+            )
+            dele = del_src if del_src > _NEG else _NEG
+            if dele > n or (dele > _NEG and dele - k > m) or (dele > _NEG and dele - k < 0):
+                dele = _NEG
+            mis_src = src_x.get("m", k) if src_x else _NEG
+            mis = mis_src + 1 if mis_src > _NEG else _NEG
+            if mis > n or (mis > _NEG and mis - k > m):
+                mis = _NEG
+            best = max(mis, ins, dele)
+            wave.i[k - lo] = ins
+            wave.d[k - lo] = dele
+            if best > _NEG:
+                v = best - k
+                if 0 <= v <= m and 0 <= best <= n:
+                    run = lcp(p, t, v, best)
+                    wave.m[k - lo] = best + run
+                else:
+                    wave.m[k - lo] = _NEG
+        waves[s] = wave
+        if wave.get("m", k_end) >= n:
+            return s, waves
+    raise AlignmentError(f"no alignment within max_score={max_score}")
+
+
+def wfa_affine_align(
+    pattern, text, penalties: Penalties | None = None, max_score: int = 100_000
+) -> Alignment:
+    """Optimal gap-affine alignment with transcript (M/I/D traceback).
+
+    Walks the M/I/D wavefront components backwards: an M value retraces
+    its extension run, then whichever of {mismatch from s-x, I, D}
+    produced it; I/D values retrace gap-open (from M at s-o-e) or
+    gap-extend (from I/D at s-e) steps.
+    """
+    pen = penalties or Penalties()
+    p, t = _codes(pattern), _codes(text)
+    m, n = len(p), len(t)
+    score, waves = _wfa_affine_waves(pattern, text, pen, max_score)
+    if m == 0:
+        cigar = Cigar([(n, "I")]) if n else Cigar([])
+        return Alignment(score, cigar, algorithm="wfa-affine")
+    if n == 0:
+        return Alignment(score, Cigar([(m, "D")]), algorithm="wfa-affine")
+    x, o, e = pen.mismatch, pen.gap_open, pen.gap_extend
+
+    def get(s: int, comp: str, k: int) -> int:
+        wave = waves.get(s)
+        return wave.get(comp, k) if wave is not None else _NEG
+
+    ops: list[str] = []
+    s, comp, k, off = score, "m", n - m, n
+    while True:
+        if comp == "m":
+            ins = get(s, "i", k)
+            dele = get(s, "d", k)
+            mis = get(s - x, "m", k)
+            pre = max(
+                mis + 1 if mis > _NEG else _NEG,
+                ins if ins > _NEG else _NEG,
+                dele if dele > _NEG else _NEG,
+            )
+            if s == 0:
+                pre = 0
+            if pre > off or (pre <= _NEG and s != 0):
+                raise AlignmentError("affine WFA traceback lost the path")
+            ops.append("M" * (off - pre))
+            off = pre
+            if s == 0:
+                break
+            if dele > _NEG and dele == pre:
+                comp = "d"
+            elif ins > _NEG and ins == pre:
+                comp = "i"
+            else:
+                ops.append("X")
+                s -= x
+                off -= 1
+        elif comp == "i":
+            ops.append("I")
+            open_src = get(s - o - e, "m", k - 1)
+            ext_src = get(s - e, "i", k - 1)
+            prev = off - 1
+            if ext_src > _NEG and ext_src == prev:
+                s, comp = s - e, "i"
+            elif open_src > _NEG and open_src == prev:
+                s, comp = s - o - e, "m"
+            else:  # pragma: no cover - wave invariant
+                raise AlignmentError("affine WFA I-traceback lost the path")
+            k -= 1
+            off = prev
+        else:  # comp == "d"
+            ops.append("D")
+            open_src = get(s - o - e, "m", k + 1)
+            ext_src = get(s - e, "d", k + 1)
+            if ext_src > _NEG and ext_src == off:
+                s, comp = s - e, "d"
+            elif open_src > _NEG and open_src == off:
+                s, comp = s - o - e, "m"
+            else:  # pragma: no cover - wave invariant
+                raise AlignmentError("affine WFA D-traceback lost the path")
+            k += 1
+    if k != 0 or off != 0:
+        raise AlignmentError("affine WFA traceback did not reach the origin")
+    cigar = Cigar.from_ops_string("".join(reversed(ops)))
+    return Alignment(score, cigar, algorithm="wfa-affine")

@@ -1,0 +1,87 @@
+"""Command-line entry point: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig13a [--scale 0.2]
+    python -m repro all --scale 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.eval import experiments as ex
+from repro.eval.reporting import render_table
+
+#: Experiment id -> (callable, title, kwargs-name for scaling or None).
+EXPERIMENTS = {
+    "tab1": (ex.table1_system, "Table I: simulated system", None),
+    "tab2": (ex.table2_datasets, "Table II: datasets", None),
+    "fig3": (ex.fig3_vectorization, "Fig. 3: VEC speedup over baseline", "pairs_scale"),
+    "fig4": (ex.fig4_breakdown, "Fig. 4: VEC execution-time breakdown", "pairs_scale"),
+    "fig12": (ex.fig12_ports, "Fig. 12: read-port design space", "pairs_scale"),
+    "tab3": (ex.table3_area, "Table III: area / power", None),
+    "fig13a": (ex.fig13a_single_core, "Fig. 13a: single-core speedups", "pairs_scale"),
+    "fig13b": (ex.fig13b_multicore, "Fig. 13b: multicore scaling", "pairs_scale"),
+    "fig14a": (ex.fig14a_memory_requests, "Fig. 14a: memory-request reduction", "pairs_scale"),
+    "fig14b": (ex.fig14b_pipeline, "Fig. 14b: SS+WFA pipeline", "pairs_scale"),
+    "fig15a": (ex.fig15a_gpu, "Fig. 15a: CPU vs GPU throughput", "pairs_scale"),
+    "fig15b": (ex.fig15b_other_domains, "Fig. 15b: other domains", "scale"),
+    "tab4": (ex.table4_gcups, "Table IV: PGCUPS per area", "pairs_scale"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="QUETZAL reproduction: regenerate paper tables/figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), or 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="dataset pair-count scale (default 1.0; use 0.1-0.3 for quick runs)",
+    )
+    return parser
+
+
+def run_experiment(name: str, scale: float) -> str:
+    fn, title, scale_kw = EXPERIMENTS[name]
+    kwargs = {scale_kw: scale} if scale_kw else {}
+    start = time.time()
+    rows = fn(**kwargs)
+    elapsed = time.time() - start
+    return render_table(rows, title) + f"\n[{name}: {elapsed:.1f}s]"
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name, (_, title, _) in EXPERIMENTS.items():
+            print(f"{name:<8} {title}")
+        return 0
+    if args.experiment == "all":
+        for name in EXPERIMENTS:
+            print(run_experiment(name, args.scale))
+            print()
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from {', '.join(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    print(run_experiment(args.experiment, args.scale))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,180 @@
+"""System and accelerator configurations.
+
+:class:`SystemConfig` mirrors the simulated system of the paper's Table I
+(an A64FX-like HPC ARM CPU with 512-bit SVE).  :class:`QuetzalConfig`
+mirrors the four QUETZAL design points of the port-count design-space
+exploration (QZ_1P .. QZ_8P, Section VI / Table III).
+
+All latencies are in core clock cycles at :attr:`SystemConfig.clock_ghz`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import MachineError, MemoryModelError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+    load_to_use: int = 4
+    prefetcher: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.ways * self.line_bytes) != 0:
+            raise MemoryModelError(
+                f"cache size {self.size_bytes} not divisible by "
+                f"ways*line ({self.ways}*{self.line_bytes})"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """An A64FX-like simulated CPU (paper Table I).
+
+    The defaults model: 2.0 GHz, 16 cores, ARM SVE with a 512-bit vector
+    length, 64KB 8-way L1D (4-cycle load-to-use), 8MB shared 16-way L2
+    (37-cycle load-to-use), 4-channel HBM2 main memory, and stride
+    prefetchers at both cache levels.
+    """
+
+    clock_ghz: float = 2.0
+    num_cores: int = 16
+    vlen_bits: int = 512
+    # Issue model: a simple in-order-issue scoreboard.
+    issue_width: int = 2
+    # Latency (beyond issue) of common instruction classes.
+    lat_arith: int = 2
+    lat_vector_arith: int = 4
+    lat_predicate: int = 2
+    lat_reduce: int = 6
+    lat_permute: int = 4
+    # Gather/scatter split into per-element scalar requests (Section II-G):
+    # address generation serialises in the load unit at roughly
+    # ``gather_element_occupancy`` cycles per active element, so a full
+    # 8-element gather occupies the pipe ~19 cycles even on all-L1 hits
+    # (19 on A64FX, 22 on Intel) — issue bandwidth other work cannot use.
+    gather_element_occupancy: float = 2.4
+    lat_gather_base: int = 19
+    lat_scatter_base: int = 19
+    # Pipeline refill after a mispredicted loop-exit branch.
+    mispredict_penalty: int = 14
+    # Extra load-to-use latency of *vector* loads over scalar ones
+    # (SVE loads on A64FX take ~8-9 cycles L1-hit vs 4 for scalar).
+    lat_vector_load_extra: int = 5
+    # Cycles after a vector store before a load of the same line can
+    # complete (vector store-to-load forwarding is not supported; the
+    # load waits for the store to drain — the Fig. 7 bottleneck).
+    store_to_load_visible: int = 24
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=64 * 1024, ways=8, load_to_use=4
+        )
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=8 * 1024 * 1024, ways=16, load_to_use=37
+        )
+    )
+    dram_latency: int = 120
+    # HBM2, 4 channels: 256 GB/s per socket in the A64FX CMG organisation.
+    dram_bandwidth_gbs: float = 256.0
+
+    def __post_init__(self) -> None:
+        if self.vlen_bits % 64 != 0:
+            raise MachineError("vector length must be a multiple of 64 bits")
+        if self.issue_width < 1:
+            raise MachineError("issue width must be >= 1")
+
+    @property
+    def vlen_bytes(self) -> int:
+        return self.vlen_bits // 8
+
+    @property
+    def num_lanes_64(self) -> int:
+        """Number of 64-bit VPU lanes (8 for a 512-bit vector)."""
+        return self.vlen_bits // 64
+
+    def lanes_for(self, element_bits: int) -> int:
+        """Number of elements of ``element_bits`` held in one vector."""
+        if element_bits not in (8, 16, 32, 64):
+            raise MachineError(f"unsupported element width: {element_bits}")
+        return self.vlen_bits // element_bits
+
+    def with_cores(self, num_cores: int) -> "SystemConfig":
+        return replace(self, num_cores=num_cores)
+
+
+#: Element-size codes used by ``qzconf`` (Section III-A).
+QZ_ESIZE_2BIT = 0
+QZ_ESIZE_8BIT = 1
+QZ_ESIZE_64BIT = 2
+
+_ESIZE_BITS = {QZ_ESIZE_2BIT: 2, QZ_ESIZE_8BIT: 8, QZ_ESIZE_64BIT: 64}
+
+
+def esize_bits(esize_code: int) -> int:
+    """Translate a ``qzconf`` element-size code into a bit width."""
+    try:
+        return _ESIZE_BITS[esize_code]
+    except KeyError:
+        raise MachineError(f"invalid qzconf element-size code: {esize_code}")
+
+
+@dataclass(frozen=True)
+class QuetzalConfig:
+    """One QUETZAL design point (Section VI).
+
+    Two QBUFFERs of ``qbuffer_kb`` KB each; the read latency follows the
+    paper's port formula ``lanes / read_ports + 1`` (Section IV-C), e.g.
+    9 cycles with 1 port and 2 cycles with 8 ports for an 8-lane VPU.
+    """
+
+    name: str = "QZ_8P"
+    qbuffer_kb: int = 8
+    read_ports: int = 8
+    num_banks: int = 8
+    word_bits: int = 64
+    count_alu: bool = True
+
+    def __post_init__(self) -> None:
+        if self.read_ports < 1 or self.read_ports > self.num_banks:
+            raise MachineError(
+                f"read_ports must be in [1, {self.num_banks}]: {self.read_ports}"
+            )
+        if self.num_banks & (self.num_banks - 1):
+            raise MachineError("num_banks must be a power of two")
+
+    @property
+    def qbuffer_bytes(self) -> int:
+        return self.qbuffer_kb * 1024
+
+    def read_latency(self, lanes: int = 8) -> int:
+        """Cycles to satisfy ``lanes`` concurrent reads (Section IV-C)."""
+        return -(-lanes // self.read_ports) + 1
+
+    def capacity_elements(self, element_bits: int) -> int:
+        """How many elements of a given width fit in one QBUFFER."""
+        return self.qbuffer_bytes * 8 // element_bits
+
+
+#: The four design points evaluated in Fig. 12 / Table III.
+QZ_1P = QuetzalConfig(name="QZ_1P", read_ports=1)
+QZ_2P = QuetzalConfig(name="QZ_2P", read_ports=2)
+QZ_4P = QuetzalConfig(name="QZ_4P", read_ports=4)
+QZ_8P = QuetzalConfig(name="QZ_8P", read_ports=8)
+
+DESIGN_POINTS = (QZ_1P, QZ_2P, QZ_4P, QZ_8P)
+
+#: The configuration used for the main evaluation (Section VI conclusion).
+DEFAULT_QUETZAL = QZ_8P
+DEFAULT_SYSTEM = SystemConfig()

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the QUETZAL reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class AlphabetError(ReproError):
+    """A sequence contains symbols outside its declared alphabet."""
+
+
+class EncodingError(ReproError):
+    """A value cannot be encoded/decoded with the requested bit width."""
+
+
+class MachineError(ReproError):
+    """Illegal use of the simulated vector machine (bad widths, sizes...)."""
+
+
+class MemoryModelError(ReproError):
+    """Illegal cache/DRAM configuration or out-of-range simulated access."""
+
+
+class QuetzalError(ReproError):
+    """Illegal use of the QUETZAL accelerator (capacity, configuration)."""
+
+
+class AlignmentError(ReproError):
+    """An alignment algorithm was given inconsistent inputs or parameters."""
+
+
+class DatasetError(ReproError):
+    """A dataset cannot be constructed or parsed."""

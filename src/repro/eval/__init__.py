@@ -1,0 +1,17 @@
+"""Evaluation framework: runner, metrics, multicore model, experiments."""
+
+from repro.eval.runner import RunResult, run_implementation, make_machine
+from repro.eval.metrics import speedup, pairs_per_second, gcups, cells_for_pair
+from repro.eval.multicore import multicore_time_seconds, multicore_speedups
+
+__all__ = [
+    "RunResult",
+    "run_implementation",
+    "make_machine",
+    "speedup",
+    "pairs_per_second",
+    "gcups",
+    "cells_for_pair",
+    "multicore_time_seconds",
+    "multicore_speedups",
+]

@@ -1,0 +1,44 @@
+"""Performance metrics: speedups, throughput, GCUPS (Section VII-E)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import ReproError
+from repro.eval.runner import RunResult
+from repro.genomics.generator import SequencePair
+
+
+def speedup(baseline: RunResult, contender: RunResult) -> float:
+    """How many times faster ``contender`` is than ``baseline``."""
+    if contender.cycles <= 0:
+        raise ReproError("contender has no measured cycles")
+    return baseline.cycles / contender.cycles
+
+
+def pairs_per_second(result: RunResult, cores: int = 1) -> float:
+    """Alignment throughput, optionally scaled by an ideal core count."""
+    if result.seconds <= 0:
+        raise ReproError("run has no measured time")
+    return cores * result.num_pairs / result.seconds
+
+
+def cells_for_pair(pair: SequencePair) -> int:
+    """DP-equivalent cells of one alignment (the GCUPS work unit)."""
+    return len(pair.pattern) * len(pair.text)
+
+
+def total_cells(pairs: Iterable[SequencePair]) -> int:
+    return sum(cells_for_pair(p) for p in pairs)
+
+
+def gcups(result: RunResult, pairs: Iterable[SequencePair], cores: int = 1) -> float:
+    """Giga DP-cell updates per second (Table IV's comparison metric).
+
+    GCUPS counts the *equivalent* full-DP work an aligner completes per
+    second, regardless of how many cells it actually touches — the
+    standard cross-accelerator metric the paper adopts.
+    """
+    if result.seconds <= 0:
+        raise ReproError("run has no measured time")
+    return cores * total_cells(pairs) / result.seconds / 1e9

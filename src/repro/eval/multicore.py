@@ -1,0 +1,50 @@
+"""Multicore scaling model (Fig. 13b).
+
+Pairs distribute across cores embarrassingly, so compute time divides by
+the core count; what does not divide is DRAM bandwidth, which all cores
+share.  The paper attributes Fig. 13b's sub-linear long-read scaling to
+exactly this: "memory bandwidth limits performance scaling".  The model
+takes a single-core run's measured cycle count and DRAM traffic and
+returns::
+
+    time(N) = max(compute_cycles / (N * clock),  dram_bytes / bandwidth)
+              + sync_overhead(N)
+
+with a small per-core synchronisation term.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.errors import ReproError
+from repro.eval.runner import RunResult
+
+#: Fixed per-batch synchronisation/imbalance overhead per extra core.
+SYNC_OVERHEAD_FRACTION = 0.01
+
+
+def multicore_time_seconds(
+    result: RunResult, cores: int, system: SystemConfig | None = None
+) -> float:
+    """Projected wall time of the measured batch on ``cores`` cores."""
+    if cores < 1:
+        raise ReproError(f"core count must be positive: {cores}")
+    system = system or result.system
+    clock_hz = system.clock_ghz * 1e9
+    compute = result.cycles / (cores * clock_hz)
+    bandwidth = system.dram_bandwidth_gbs * 1e9
+    memory = result.dram_bytes / bandwidth
+    sync = (result.cycles / clock_hz) * SYNC_OVERHEAD_FRACTION * (
+        (cores - 1) / max(1, cores)
+    ) / cores
+    return max(compute, memory) + sync
+
+
+def multicore_speedups(
+    result: RunResult, core_counts, system: SystemConfig | None = None
+) -> dict[int, float]:
+    """Speedup over one core for each requested core count."""
+    base = multicore_time_seconds(result, 1, system)
+    return {
+        n: base / multicore_time_seconds(result, n, system) for n in core_counts
+    }

@@ -1,0 +1,78 @@
+"""Plain-text rendering of experiment results (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def format_value(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(rows: "Iterable[dict]", title: str = "") -> str:
+    """Fixed-width table from a list of row dicts (shared key order)."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    cells = [[format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(rows: "Iterable[dict]", title: str = "") -> None:
+    print(render_table(rows, title))
+
+
+def render_bars(
+    rows: "Iterable[dict]",
+    label_keys: "str | tuple[str, ...]",
+    value_key: str,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """ASCII bar chart — the closest a terminal gets to a paper figure."""
+    rows = list(rows)
+    if isinstance(label_keys, str):
+        label_keys = (label_keys,)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    labels = [
+        " / ".join(str(row.get(k, "")) for k in label_keys) for row in rows
+    ]
+    values = [float(row[value_key]) for row in rows]
+    peak = max(values) if max(values) > 0 else 1.0
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(f"{label.ljust(label_w)} | {bar} {format_value(value)}")
+    return "\n".join(lines)
+
+
+def geometric_mean(values: "Iterable[float]") -> float:
+    vals = [v for v in values]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))

@@ -1,0 +1,110 @@
+"""Parameter sweeps: sensitivity of the QUETZAL speedup to workload knobs.
+
+Not paper figures — supporting analyses for the ablation benches: how the
+QZ+C advantage responds to read length, error rate, and the SneakySnake
+threshold.  All sweeps are seeded and return reporting-ready rows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.align.quetzal_impl import SsQzc, WfaQzc
+from repro.align.vectorized import SsVec, WfaVec
+from repro.errors import ReproError
+from repro.eval.runner import run_implementation
+from repro.genomics.generator import ErrorProfile, ReadPairGenerator
+
+
+def _profile(error_rate: float) -> ErrorProfile:
+    return ErrorProfile(
+        substitution=error_rate * 0.6,
+        insertion=error_rate * 0.2,
+        deletion=error_rate * 0.2,
+    )
+
+
+def sweep_error_rate(
+    rates: Iterable[float] = (0.002, 0.005, 0.01, 0.02, 0.04),
+    length: int = 2000,
+    pairs: int = 2,
+    seed: int = 33,
+) -> list[dict]:
+    """WFA QZ+C speedup over VEC as the error rate grows.
+
+    More errors mean more wavefronts and shorter match runs: the count
+    ALU's window advantage shrinks while staging amortises better —
+    the sweep shows where the net lands.
+    """
+    rows = []
+    for rate in rates:
+        if not 0 < rate < 0.2:
+            raise ReproError(f"error rate out of range: {rate}")
+        gen = ReadPairGenerator(length, _profile(rate), seed=seed)
+        batch = gen.pairs(pairs)
+        vec = run_implementation(WfaVec(), batch)
+        qzc = run_implementation(WfaQzc(), batch)
+        rows.append(
+            {
+                "error_rate": rate,
+                "mean_distance": sum(vec.outputs) / len(batch),
+                "vec_cycles": vec.cycles,
+                "qzc_cycles": qzc.cycles,
+                "speedup": vec.cycles / qzc.cycles,
+            }
+        )
+    return rows
+
+
+def sweep_read_length(
+    lengths: Iterable[int] = (100, 250, 1000, 4000, 10_000),
+    error_rate: float = 0.005,
+    seed: int = 34,
+) -> list[dict]:
+    """WFA QZ+C speedup over VEC as reads grow (the Fig. 13a x-axis)."""
+    rows = []
+    for length in lengths:
+        gen = ReadPairGenerator(length, _profile(error_rate), seed=seed)
+        batch = gen.pairs(1)
+        vec = run_implementation(WfaVec(), batch)
+        qzc = run_implementation(WfaQzc(), batch)
+        rows.append(
+            {
+                "length": length,
+                "vec_cycles": vec.cycles,
+                "qzc_cycles": qzc.cycles,
+                "speedup": vec.cycles / qzc.cycles,
+            }
+        )
+    return rows
+
+
+def sweep_ss_threshold(
+    thresholds: Iterable[int] = (2, 5, 10, 20, 40),
+    length: int = 1000,
+    error_rate: float = 0.01,
+    pairs: int = 2,
+    seed: int = 35,
+) -> list[dict]:
+    """SneakySnake QZ+C speedup vs the edit threshold E.
+
+    E controls the diagonal count per snake step (2E+1): larger E means
+    more lanes of gather traffic for VEC to pay and QUETZAL to avoid.
+    """
+    rows = []
+    for threshold in thresholds:
+        gen = ReadPairGenerator(length, _profile(error_rate), seed=seed)
+        batch = gen.pairs(pairs)
+        vec = run_implementation(SsVec(threshold=threshold), batch)
+        qzc = run_implementation(SsQzc(threshold=threshold), batch)
+        accepted = sum(1 for out in qzc.outputs if out.accepted)
+        rows.append(
+            {
+                "threshold": threshold,
+                "accepted": f"{accepted}/{len(batch)}",
+                "vec_cycles": vec.cycles,
+                "qzc_cycles": qzc.cycles,
+                "speedup": vec.cycles / qzc.cycles,
+            }
+        )
+    return rows

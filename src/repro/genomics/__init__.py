@@ -1,0 +1,49 @@
+"""Genome sequence substrate: alphabets, sequences, encodings, datasets."""
+
+from repro.genomics.alphabet import (
+    Alphabet,
+    DNA,
+    RNA,
+    DNA_N,
+    PROTEIN,
+)
+from repro.genomics.sequence import Sequence
+from repro.genomics.encoding import (
+    encode_2bit,
+    decode_2bit,
+    pack_2bit_words,
+    unpack_2bit_words,
+    pack_8bit_words,
+    unpack_8bit_words,
+)
+from repro.genomics.generator import ReadPairGenerator, ErrorProfile, SequencePair
+from repro.genomics.datasets import (
+    Dataset,
+    DatasetSpec,
+    TABLE_II_SPECS,
+    build_dataset,
+    build_protein_dataset,
+)
+
+__all__ = [
+    "Alphabet",
+    "DNA",
+    "RNA",
+    "DNA_N",
+    "PROTEIN",
+    "Sequence",
+    "encode_2bit",
+    "decode_2bit",
+    "pack_2bit_words",
+    "unpack_2bit_words",
+    "pack_8bit_words",
+    "unpack_8bit_words",
+    "ReadPairGenerator",
+    "ErrorProfile",
+    "SequencePair",
+    "Dataset",
+    "DatasetSpec",
+    "TABLE_II_SPECS",
+    "build_dataset",
+    "build_protein_dataset",
+]

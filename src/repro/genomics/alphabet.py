@@ -1,0 +1,119 @@
+"""Biological alphabets and their QUETZAL encoding widths.
+
+QUETZAL supports two on-accelerator element encodings for sequence data
+(Section IV-A): a 2-bit encoding for the four-letter DNA/RNA alphabets and
+an 8-bit encoding for protein data (20 letters) or nucleotide data with
+ambiguity codes (``N``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AlphabetError
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """A finite symbol alphabet.
+
+    Parameters
+    ----------
+    name:
+        Short identifier (``"dna"``, ``"protein"``...).
+    letters:
+        The allowed symbols, in canonical order.  The position of a letter
+        is its *code* in software representations.
+    encoded_bits:
+        The QUETZAL storage width for this alphabet (2 or 8).
+    """
+
+    name: str
+    letters: str
+    encoded_bits: int
+    _index: dict = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(set(self.letters)) != len(self.letters):
+            raise AlphabetError(f"duplicate letters in alphabet {self.name!r}")
+        if self.encoded_bits not in (2, 8):
+            raise AlphabetError("encoded_bits must be 2 or 8")
+        if self.encoded_bits == 2 and len(self.letters) > 4:
+            raise AlphabetError(
+                f"2-bit alphabet {self.name!r} cannot hold {len(self.letters)} letters"
+            )
+        object.__setattr__(
+            self, "_index", {c: i for i, c in enumerate(self.letters)}
+        )
+
+    def __len__(self) -> int:
+        return len(self.letters)
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._index
+
+    def index_of(self, symbol: str) -> int:
+        """Return the code of ``symbol``; raise :class:`AlphabetError` if absent."""
+        try:
+            return self._index[symbol]
+        except KeyError:
+            raise AlphabetError(
+                f"symbol {symbol!r} not in alphabet {self.name!r}"
+            )
+
+    def validate(self, text: str) -> None:
+        """Raise :class:`AlphabetError` if ``text`` uses foreign symbols."""
+        bad = set(text) - set(self.letters)
+        if bad:
+            raise AlphabetError(
+                f"symbols {sorted(bad)!r} not in alphabet {self.name!r}"
+            )
+
+    def codes(self, text: str) -> np.ndarray:
+        """Translate ``text`` into an array of uint8 codes."""
+        self.validate(text)
+        table = np.zeros(256, dtype=np.uint8)
+        for i, c in enumerate(self.letters):
+            table[ord(c)] = i
+        return table[np.frombuffer(text.encode("ascii"), dtype=np.uint8)]
+
+    def text(self, codes: np.ndarray) -> str:
+        """Translate an array of codes back into a string."""
+        codes = np.asarray(codes)
+        if codes.size and int(codes.max()) >= len(self.letters):
+            raise AlphabetError(
+                f"code {int(codes.max())} out of range for alphabet {self.name!r}"
+            )
+        lut = np.frombuffer(self.letters.encode("ascii"), dtype=np.uint8)
+        return lut[codes].tobytes().decode("ascii")
+
+
+#: DNA: the canonical 2-bit four-letter alphabet.
+DNA = Alphabet("dna", "ACGT", encoded_bits=2)
+
+#: RNA: uracil replaces thymine; still 2-bit encodable.
+RNA = Alphabet("rna", "ACGU", encoded_bits=2)
+
+#: DNA with the ambiguous nucleotide ``N`` requires the 8-bit encoding.
+DNA_N = Alphabet("dna_n", "ACGTN", encoded_bits=8)
+
+#: The 20 standard amino acids (8-bit encoding).
+PROTEIN = Alphabet("protein", "ACDEFGHIKLMNPQRSTVWY", encoded_bits=8)
+
+_COMPLEMENT = {"dna": str.maketrans("ACGT", "TGCA"), "rna": str.maketrans("ACGU", "UGCA")}
+
+
+def complement(text: str, alphabet: Alphabet = DNA) -> str:
+    """Return the complement of a DNA/RNA string."""
+    table = _COMPLEMENT.get(alphabet.name)
+    if table is None:
+        raise AlphabetError(f"complement undefined for alphabet {alphabet.name!r}")
+    alphabet.validate(text)
+    return text.translate(table)
+
+
+def reverse_complement(text: str, alphabet: Alphabet = DNA) -> str:
+    """Return the reverse complement of a DNA/RNA string."""
+    return complement(text, alphabet)[::-1]

@@ -1,0 +1,167 @@
+"""The evaluation datasets (paper Table II) and the protein dataset.
+
+Four DNA datasets span the short-read (Illumina 100bp / 250bp) and
+long-read (PacBio HiFi 10Kbp / 30Kbp) regimes.  The paper constrains the
+number of reads per dataset for simulation time; we do the same, with the
+counts scaled to what a Python cycle-level model can simulate.  Counts are
+overridable everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DatasetError
+from repro.genomics.generator import (
+    ErrorProfile,
+    HIFI_PROFILE,
+    ILLUMINA_PROFILE,
+    ProteinFamilyGenerator,
+    ReadPairGenerator,
+    SequencePair,
+)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of one Table II dataset."""
+
+    name: str
+    read_length: int
+    technology: str
+    profile: ErrorProfile
+    default_pairs: int
+    #: SneakySnake edit-distance threshold used in the paper's SS runs,
+    #: expressed as a fraction of read length.
+    edit_threshold_frac: float = 0.05
+
+    @property
+    def edit_threshold(self) -> int:
+        return max(1, int(self.read_length * self.edit_threshold_frac))
+
+    @property
+    def is_long_read(self) -> bool:
+        return self.read_length >= 1000
+
+
+#: The four DNA datasets of Table II.
+TABLE_II_SPECS: dict[str, DatasetSpec] = {
+    "100bp_1": DatasetSpec(
+        name="100bp_1",
+        read_length=100,
+        technology="Illumina iSeq100 (real reads in the paper)",
+        profile=ILLUMINA_PROFILE,
+        default_pairs=20,
+    ),
+    "250bp_1": DatasetSpec(
+        name="250bp_1",
+        read_length=250,
+        technology="Illumina NGS (real reads in the paper)",
+        profile=ILLUMINA_PROFILE,
+        default_pairs=12,
+    ),
+    "10Kbp": DatasetSpec(
+        name="10Kbp",
+        read_length=10_000,
+        technology="PacBio HiFi (simulated)",
+        profile=HIFI_PROFILE,
+        default_pairs=3,
+        edit_threshold_frac=0.01,
+    ),
+    "30Kbp": DatasetSpec(
+        name="30Kbp",
+        read_length=30_000,
+        technology="PacBio HiFi (simulated)",
+        profile=HIFI_PROFILE,
+        default_pairs=2,
+        edit_threshold_frac=0.01,
+    ),
+}
+
+SHORT_READ_DATASETS = ("100bp_1", "250bp_1")
+LONG_READ_DATASETS = ("10Kbp", "30Kbp")
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A materialised dataset: spec + generated pairs."""
+
+    spec: DatasetSpec
+    pairs: tuple[SequencePair, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def total_bases(self) -> int:
+        return sum(len(p.pattern) + len(p.text) for p in self.pairs)
+
+
+def build_dataset(
+    name: str, num_pairs: int | None = None, seed: int = 1234
+) -> Dataset:
+    """Materialise one Table II dataset deterministically.
+
+    ``num_pairs=None`` uses the spec's default count (sized for Python
+    simulation time); the seed is combined with the dataset name so each
+    dataset draws independent reads.
+    """
+    try:
+        spec = TABLE_II_SPECS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; choose from {sorted(TABLE_II_SPECS)}"
+        )
+    count = spec.default_pairs if num_pairs is None else num_pairs
+    gen = ReadPairGenerator(
+        length=spec.read_length,
+        profile=spec.profile,
+        seed=seed ^ hash(name) & 0xFFFF_FFFF,
+    )
+    return Dataset(spec=spec, pairs=tuple(gen.pairs(count)))
+
+
+def build_all_datasets(
+    scale: float = 1.0, seed: int = 1234
+) -> dict[str, Dataset]:
+    """Materialise all four DNA datasets, with pair counts scaled."""
+    out = {}
+    for name, spec in TABLE_II_SPECS.items():
+        count = max(1, int(round(spec.default_pairs * scale)))
+        out[name] = build_dataset(name, num_pairs=count, seed=seed)
+    return out
+
+
+def build_protein_dataset(
+    n_families: int = 3,
+    members: int = 4,
+    length: int = 200,
+    divergence: float = 0.10,
+    seed: int = 99,
+) -> Dataset:
+    """BAliBase4 stand-in: all within-family protein pairs.
+
+    BAliBase groups multiple homologous protein sequences; the paper runs
+    all pairwise alignments within each group.  We mirror the structure
+    with synthetic families mutated from a consensus at ``divergence``.
+    """
+    gen = ProteinFamilyGenerator(
+        length=length, members=members, divergence=divergence, seed=seed
+    )
+    pairs = tuple(gen.family_pairs(n_families))
+    spec = DatasetSpec(
+        name="BAliBase4-synthetic",
+        read_length=length,
+        technology="synthetic protein families (BAliBase4 stand-in)",
+        profile=ErrorProfile(substitution=divergence),
+        default_pairs=len(pairs),
+        edit_threshold_frac=2.5 * divergence,
+    )
+    return Dataset(spec=spec, pairs=pairs)

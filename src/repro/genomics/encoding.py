@@ -1,0 +1,141 @@
+"""Software reference for QUETZAL's data encodings (Section IV-A, Fig. 9).
+
+The hardware data encoder derives the 2-bit code of a nucleotide by
+extracting **bits 1 and 2 of its ASCII byte** (bit 0 is the LSB):
+
+====== ========= ==========
+symbol ASCII     2-bit code
+====== ========= ==========
+A      0100_0001 ``00``
+C      0100_0011 ``01``
+T      0101_0100 ``10``
+G      0100_0111 ``11``
+U      0101_0101 ``10`` (same as T)
+====== ========= ==========
+
+Packed words are little-endian in element order: element ``i`` of a packed
+stream occupies bits ``[w*i, w*i + w)`` of word ``i // (64//w)``, matching
+the QBUFFER's SRAM word layout so the count ALU's *trailing-ones* logic
+counts matches starting from the requested element.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.genomics.alphabet import Alphabet, DNA
+
+#: Hardware 2-bit code -> nucleotide, per the bit-extraction rule above.
+HW_CODE_TO_DNA = "ACTG"
+HW_CODE_TO_RNA = "ACUG"
+
+
+def _as_ascii(seq: "str | bytes | np.ndarray") -> np.ndarray:
+    if isinstance(seq, str):
+        return np.frombuffer(seq.encode("ascii"), dtype=np.uint8)
+    if isinstance(seq, (bytes, bytearray)):
+        return np.frombuffer(bytes(seq), dtype=np.uint8)
+    arr = np.asarray(seq, dtype=np.uint8)
+    return arr
+
+
+def encode_2bit(seq: "str | bytes | np.ndarray") -> np.ndarray:
+    """Encode nucleotides to 2-bit hardware codes by ASCII bit extraction.
+
+    Mirrors the data-encoder datapath exactly: ``code = (byte >> 1) & 0b11``.
+    Returns a uint8 array with values in ``[0, 4)``.
+    """
+    ascii_bytes = _as_ascii(seq)
+    return ((ascii_bytes >> 1) & 0b11).astype(np.uint8)
+
+
+def decode_2bit(codes: np.ndarray, rna: bool = False) -> str:
+    """Decode 2-bit hardware codes back to a DNA (or RNA) string."""
+    codes = np.asarray(codes)
+    if codes.size and int(codes.max()) > 3:
+        raise EncodingError("2-bit code out of range")
+    letters = HW_CODE_TO_RNA if rna else HW_CODE_TO_DNA
+    lut = np.frombuffer(letters.encode("ascii"), dtype=np.uint8)
+    return lut[codes].tobytes().decode("ascii")
+
+
+def encode_8bit(seq: "str | bytes | np.ndarray", alphabet: Alphabet) -> np.ndarray:
+    """Encode symbols to their 8-bit alphabet codes (protein / DNA+N mode)."""
+    if isinstance(seq, np.ndarray):
+        return np.asarray(seq, dtype=np.uint8)
+    text = seq.decode("ascii") if isinstance(seq, (bytes, bytearray)) else seq
+    return alphabet.codes(text)
+
+
+def pack_words(values: np.ndarray, element_bits: int) -> np.ndarray:
+    """Pack ``element_bits``-wide values into little-endian uint64 words.
+
+    Element ``i`` occupies bits ``[w*i % 64, ...)`` of word ``i // (64//w)``.
+    The tail word is zero-padded.
+    """
+    if element_bits not in (2, 8, 64):
+        raise EncodingError(f"unsupported element width: {element_bits}")
+    values = np.asarray(values, dtype=np.uint64)
+    if element_bits < 64 and values.size and int(values.max()) >= (1 << element_bits):
+        raise EncodingError(f"value too wide for {element_bits}-bit packing")
+    if element_bits == 64:
+        return values.copy()
+    per_word = 64 // element_bits
+    n_words = -(-values.size // per_word) if values.size else 0
+    padded = np.zeros(n_words * per_word, dtype=np.uint64)
+    padded[: values.size] = values
+    shifts = (np.arange(per_word, dtype=np.uint64) * np.uint64(element_bits))
+    lanes = padded.reshape(n_words, per_word) << shifts
+    return np.bitwise_or.reduce(lanes, axis=1)
+
+
+def unpack_words(words: np.ndarray, element_bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_words`: extract ``count`` elements."""
+    if element_bits not in (2, 8, 64):
+        raise EncodingError(f"unsupported element width: {element_bits}")
+    words = np.asarray(words, dtype=np.uint64)
+    if element_bits == 64:
+        if count > words.size:
+            raise EncodingError("not enough words to unpack")
+        return words[:count].copy()
+    per_word = 64 // element_bits
+    if count > words.size * per_word:
+        raise EncodingError("not enough words to unpack")
+    shifts = (np.arange(per_word, dtype=np.uint64) * np.uint64(element_bits))
+    mask = np.uint64((1 << element_bits) - 1)
+    lanes = (words[:, None] >> shifts) & mask
+    return lanes.reshape(-1)[:count]
+
+
+def pack_2bit_words(values: np.ndarray) -> np.ndarray:
+    """Pack 2-bit codes, 32 per 64-bit word."""
+    return pack_words(values, 2)
+
+
+def unpack_2bit_words(words: np.ndarray, count: int) -> np.ndarray:
+    """Unpack ``count`` 2-bit codes."""
+    return unpack_words(words, 2, count)
+
+
+def pack_8bit_words(values: np.ndarray) -> np.ndarray:
+    """Pack 8-bit codes, 8 per 64-bit word."""
+    return pack_words(values, 8)
+
+
+def unpack_8bit_words(words: np.ndarray, count: int) -> np.ndarray:
+    """Unpack ``count`` 8-bit codes."""
+    return unpack_words(words, 8, count)
+
+
+def encoded_codes(seq: "str | Sequence", alphabet: Alphabet = DNA) -> np.ndarray:
+    """Encode a sequence with the width its alphabet requires.
+
+    2-bit alphabets use the hardware bit-extraction codes; 8-bit alphabets
+    use their canonical alphabet index.
+    """
+    text = str(seq)
+    alphabet.validate(text)
+    if alphabet.encoded_bits == 2:
+        return encode_2bit(text)
+    return encode_8bit(text, alphabet)

@@ -1,0 +1,135 @@
+"""Minimal FASTA / FASTQ and pair-file I/O.
+
+The SneakySnake repository distributes read pairs as text files with one
+sequence per line, pattern and text alternating; we support that format
+(:func:`read_pair_file` / :func:`write_pair_file`) plus standard FASTA and
+FASTQ for interoperability.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.errors import DatasetError
+from repro.genomics.alphabet import Alphabet, DNA
+from repro.genomics.generator import SequencePair
+from repro.genomics.sequence import Sequence
+
+
+def _open(source: "str | Path | TextIO", mode: str = "r"):
+    if isinstance(source, (str, Path)):
+        return open(source, mode), True
+    return source, False
+
+
+def parse_fasta(source: "str | Path | TextIO", alphabet: Alphabet = DNA) -> Iterator[Sequence]:
+    """Yield sequences from a FASTA stream or path."""
+    handle, owned = _open(source)
+    try:
+        name = None
+        chunks: list[str] = []
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    yield Sequence("".join(chunks), alphabet, name=name)
+                name = line[1:].split()[0] if len(line) > 1 else ""
+                chunks = []
+            else:
+                if name is None:
+                    raise DatasetError("FASTA record data before first header")
+                chunks.append(line.upper())
+        if name is not None:
+            yield Sequence("".join(chunks), alphabet, name=name)
+    finally:
+        if owned:
+            handle.close()
+
+
+def write_fasta(
+    sequences: Iterable[Sequence], target: "str | Path | TextIO", width: int = 70
+) -> None:
+    """Write sequences as FASTA with ``width``-column wrapping."""
+    handle, owned = _open(target, "w")
+    try:
+        for i, seq in enumerate(sequences):
+            name = seq.name or f"seq{i}"
+            handle.write(f">{name}\n")
+            text = str(seq)
+            for start in range(0, len(text), width):
+                handle.write(text[start : start + width] + "\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def parse_fastq(source: "str | Path | TextIO", alphabet: Alphabet = DNA) -> Iterator[Sequence]:
+    """Yield sequences from a FASTQ stream or path (qualities are dropped)."""
+    handle, owned = _open(source)
+    try:
+        while True:
+            header = handle.readline()
+            if not header:
+                return
+            header = header.strip()
+            if not header:
+                continue
+            if not header.startswith("@"):
+                raise DatasetError(f"malformed FASTQ header: {header!r}")
+            seq_line = handle.readline().strip()
+            plus = handle.readline().strip()
+            qual = handle.readline().strip()
+            if not plus.startswith("+"):
+                raise DatasetError("malformed FASTQ record (missing '+')")
+            if len(qual) != len(seq_line):
+                raise DatasetError("FASTQ quality length mismatch")
+            yield Sequence(seq_line.upper(), alphabet, name=header[1:].split()[0])
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_pair_file(
+    source: "str | Path | TextIO", alphabet: Alphabet = DNA
+) -> list[SequencePair]:
+    """Read SneakySnake-style pair files: alternating pattern/text lines."""
+    handle, owned = _open(source)
+    try:
+        lines = [ln.strip().upper() for ln in handle if ln.strip()]
+    finally:
+        if owned:
+            handle.close()
+    if len(lines) % 2:
+        raise DatasetError("pair file has an odd number of sequences")
+    pairs = []
+    for i in range(0, len(lines), 2):
+        pairs.append(
+            SequencePair(
+                pattern=Sequence(lines[i], alphabet),
+                text=Sequence(lines[i + 1], alphabet),
+            )
+        )
+    return pairs
+
+
+def write_pair_file(
+    pairs: Iterable[SequencePair], target: "str | Path | TextIO"
+) -> None:
+    """Write pairs in the alternating-line format."""
+    handle, owned = _open(target, "w")
+    try:
+        for pair in pairs:
+            handle.write(str(pair.pattern) + "\n")
+            handle.write(str(pair.text) + "\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def pairs_from_string(text: str, alphabet: Alphabet = DNA) -> list[SequencePair]:
+    """Convenience: parse the alternating-line pair format from a string."""
+    return read_pair_file(io.StringIO(text), alphabet)

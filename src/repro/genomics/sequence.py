@@ -1,0 +1,99 @@
+"""A biological sequence bound to an alphabet."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import AlphabetError
+from repro.genomics import encoding
+from repro.genomics.alphabet import Alphabet, DNA, reverse_complement
+
+
+class Sequence:
+    """An immutable biological sequence with cached code representations.
+
+    The class is deliberately small: algorithms in :mod:`repro.align`
+    operate either on the raw text, on alphabet codes (uint8), or on the
+    QUETZAL hardware encoding, all of which are exposed here and computed
+    lazily once.
+    """
+
+    __slots__ = ("_text", "alphabet", "name", "_codes", "_hw_codes")
+
+    def __init__(self, text: str, alphabet: Alphabet = DNA, name: str = "") -> None:
+        alphabet.validate(text)
+        self._text = text
+        self.alphabet = alphabet
+        self.name = name
+        self._codes: np.ndarray | None = None
+        self._hw_codes: np.ndarray | None = None
+
+    def __str__(self) -> str:
+        return self._text
+
+    def __len__(self) -> int:
+        return len(self._text)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._text)
+
+    def __getitem__(self, item) -> "Sequence | str":
+        if isinstance(item, slice):
+            return Sequence(self._text[item], self.alphabet, self.name)
+        return self._text[item]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Sequence):
+            return self._text == other._text and self.alphabet.name == other.alphabet.name
+        if isinstance(other, str):
+            return self._text == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._text, self.alphabet.name))
+
+    def __repr__(self) -> str:
+        shown = self._text if len(self) <= 24 else self._text[:21] + "..."
+        return f"Sequence({shown!r}, alphabet={self.alphabet.name!r})"
+
+    @property
+    def text(self) -> str:
+        return self._text
+
+    @property
+    def codes(self) -> np.ndarray:
+        """Alphabet-index codes (uint8), cached."""
+        if self._codes is None:
+            self._codes = self.alphabet.codes(self._text)
+            self._codes.flags.writeable = False
+        return self._codes
+
+    @property
+    def hw_codes(self) -> np.ndarray:
+        """QUETZAL hardware codes (2-bit extraction or 8-bit index), cached."""
+        if self._hw_codes is None:
+            self._hw_codes = encoding.encoded_codes(self._text, self.alphabet)
+            self._hw_codes.flags.writeable = False
+        return self._hw_codes
+
+    @property
+    def encoded_bits(self) -> int:
+        return self.alphabet.encoded_bits
+
+    def packed_words(self) -> np.ndarray:
+        """Hardware codes packed into 64-bit words (QBUFFER layout)."""
+        return encoding.pack_words(self.hw_codes, self.alphabet.encoded_bits)
+
+    def reverse(self) -> "Sequence":
+        return Sequence(self._text[::-1], self.alphabet, self.name)
+
+    def reverse_complement(self) -> "Sequence":
+        if self.alphabet.name not in ("dna", "rna"):
+            raise AlphabetError(
+                f"reverse complement undefined for {self.alphabet.name!r}"
+            )
+        return Sequence(
+            reverse_complement(self._text, self.alphabet), self.alphabet, self.name
+        )

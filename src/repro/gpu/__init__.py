@@ -1,0 +1,5 @@
+"""Analytic GPU throughput models (the paper's A40 comparison, Fig. 15a)."""
+
+from repro.gpu.model import GpuConfig, GpuAlignerModel, NVIDIA_A40, WFA_GPU, GASAL2
+
+__all__ = ["GpuConfig", "GpuAlignerModel", "NVIDIA_A40", "WFA_GPU", "GASAL2"]

@@ -1,0 +1,140 @@
+"""Occupancy-limited analytic GPU model (Section VII-D substitution).
+
+We cannot run an NVIDIA A40.  The paper attributes the GPU's long-read
+fade to *occupancy*: each alignment's working set (DP band or wavefronts
+plus sequences) must stay resident on-chip, and as reads grow the
+resident-alignment count per SM falls, idling the machine (Section II-E
+and the WFA-GPU paper it cites).  This model expresses that mechanism:
+
+    workers_per_sm(L)  = clamp(on_chip_bytes / working_set(L), 1, max)
+    occupancy(L)       = workers_per_sm(L) / max_workers
+
+Because this reproduction's absolute cycle counts live on a simulated
+CPU, GPU throughput is anchored *relative to the simulated VEC CPU run*:
+
+    gpu_rate(L) = vec_rate(L) * short_read_advantage * occupancy(L)
+
+``short_read_advantage`` is the paper's measured full-occupancy edge of
+each tool over the 16-core VEC CPU; the occupancy curve then produces the
+long-read fade (the paper reports a 40% drop for WFA-GPU and 83% for
+GASAL2 between the regimes, which the working-set constants are fitted
+to — see EXPERIMENTS.md).  ``alignments_per_second`` remains available
+for standalone absolute estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """Device parameters (public spec values)."""
+
+    name: str = "NVIDIA A40"
+    num_sms: int = 84
+    clock_ghz: float = 1.74
+    #: Shared memory + L1 usable per SM for alignment state.
+    on_chip_kb_per_sm: int = 100
+    max_workers_per_sm: int = 32
+    die_mm2: float = 628.0
+
+
+NVIDIA_A40 = GpuConfig()
+
+
+@dataclass(frozen=True)
+class AlignerKind:
+    """Per-tool analytic parameters."""
+
+    name: str
+    #: Working set per alignment, bytes: a + b*L + c*(err*L)^2.
+    ws_fixed: float
+    ws_per_base: float
+    ws_per_score2: float
+    #: Full-occupancy throughput edge over the 16-core VEC CPU.
+    short_read_advantage: float
+    #: Compute cycles per work unit, for standalone absolute estimates.
+    cycles_per_unit: float
+    #: Work units: "score2" (wavefront area, WFA-like) or "band" (L*band).
+    work_model: str
+    band_frac: float = 0.10
+
+    def working_set(self, length: int, error_rate: float) -> float:
+        s = max(1.0, error_rate * length)
+        return self.ws_fixed + self.ws_per_base * length + self.ws_per_score2 * s * s
+
+    def work_units(self, length: int, error_rate: float) -> float:
+        if self.work_model == "score2":
+            s = max(1.0, error_rate * length)
+            return s * s + 4.0 * length
+        if self.work_model == "band":
+            return length * max(8.0, self.band_frac * length)
+        raise ReproError(f"unknown work model: {self.work_model}")
+
+
+#: WFA-GPU: wavefront state per alignment; moderate per-base footprint.
+WFA_GPU = AlignerKind(
+    name="WFA-GPU",
+    ws_fixed=2048.0,
+    ws_per_base=0.15,
+    ws_per_score2=0.5,
+    short_read_advantage=3.3,
+    cycles_per_unit=140.0,
+    work_model="score2",
+)
+
+#: GASAL2: banded DP tiles; heavy per-base footprint (the 83% drop).
+GASAL2 = AlignerKind(
+    name="GASAL2",
+    ws_fixed=2048.0,
+    ws_per_base=0.55,
+    ws_per_score2=0.0,
+    short_read_advantage=7.6,
+    cycles_per_unit=2.2,
+    work_model="band",
+)
+
+
+class GpuAlignerModel:
+    """Throughput of one GPU aligner across read-length regimes."""
+
+    def __init__(self, kind: AlignerKind, gpu: GpuConfig = NVIDIA_A40) -> None:
+        self.kind = kind
+        self.gpu = gpu
+
+    def workers_per_sm(self, length: int, error_rate: float) -> float:
+        ws = self.kind.working_set(length, error_rate)
+        budget = self.gpu.on_chip_kb_per_sm * 1024
+        return max(1.0, min(self.gpu.max_workers_per_sm, budget / ws))
+
+    def occupancy(self, length: int, error_rate: float) -> float:
+        """Resident workers as a fraction of the maximum."""
+        return self.workers_per_sm(length, error_rate) / self.gpu.max_workers_per_sm
+
+    def advantage_over_vec(self, length: int, error_rate: float) -> float:
+        """Throughput multiple over the 16-core VEC CPU at this regime."""
+        return self.kind.short_read_advantage * self.occupancy(length, error_rate)
+
+    def throughput_vs_vec(
+        self, vec_pairs_per_second: float, length: int, error_rate: float
+    ) -> float:
+        """GPU pairs/s anchored to a measured VEC CPU rate (see module doc)."""
+        if vec_pairs_per_second <= 0:
+            raise ReproError("vec rate must be positive")
+        return vec_pairs_per_second * self.advantage_over_vec(length, error_rate)
+
+    def cycles_per_alignment(self, length: int, error_rate: float) -> float:
+        return self.kind.cycles_per_unit * self.kind.work_units(length, error_rate)
+
+    def alignments_per_second(self, length: int, error_rate: float) -> float:
+        """Standalone absolute estimate (device-calibrated, not CPU-anchored)."""
+        if length < 1:
+            raise ReproError("length must be positive")
+        workers = self.workers_per_sm(length, error_rate) * self.gpu.num_sms
+        rate_per_worker = (
+            self.gpu.clock_ghz * 1e9 / self.cycles_per_alignment(length, error_rate)
+        )
+        return workers * rate_per_worker

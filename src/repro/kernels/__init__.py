@@ -1,0 +1,14 @@
+"""Non-genomics kernels accelerated by QUETZAL (Section VII-F, Fig. 15b)."""
+
+from repro.kernels.histogram import HistogramVec, HistogramQz, histogram_reference
+from repro.kernels.spmv import SpmvVec, SpmvQz, CsrMatrix, spmv_reference
+
+__all__ = [
+    "HistogramVec",
+    "HistogramQz",
+    "histogram_reference",
+    "SpmvVec",
+    "SpmvQz",
+    "CsrMatrix",
+    "spmv_reference",
+]

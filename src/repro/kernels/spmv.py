@@ -1,0 +1,169 @@
+"""Sparse matrix-vector multiplication, CSR (Section VII-F).
+
+The vectorised CSR kernel streams each row's values and column indices
+with unit-stride loads, but fetching ``x[col]`` is a gather — the
+memory-indexed bottleneck.  The QUETZAL version stages ``x`` (or, for
+vectors beyond QBUFFER capacity, one segment at a time with a
+column-blocked matrix) in a QBUFFER and replaces the gather with
+``qzmm<mul>`` at scratchpad latency, following Pavon et al.'s
+scratchpad-vector methodology the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import QZ_ESIZE_64BIT
+from repro.errors import MachineError, QuetzalError
+from repro.vector.machine import VectorMachine
+
+
+@dataclass(frozen=True)
+class CsrMatrix:
+    """A CSR sparse matrix with integer payloads (exact simulation)."""
+
+    rows: int
+    cols: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.indptr) != self.rows + 1:
+            raise MachineError("indptr length must be rows + 1")
+        if len(self.indices) != len(self.data):
+            raise MachineError("indices and data must align")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.cols
+        ):
+            raise MachineError("column index out of range")
+
+    @property
+    def nnz(self) -> int:
+        return len(self.data)
+
+    @classmethod
+    def random(
+        cls, rows: int, cols: int, density: float = 0.05, seed: int = 0
+    ) -> "CsrMatrix":
+        rng = np.random.Generator(np.random.PCG64(seed))
+        nnz_per_row = max(1, int(cols * density))
+        indptr = [0]
+        indices = []
+        for _ in range(rows):
+            cols_here = np.sort(
+                rng.choice(cols, size=min(nnz_per_row, cols), replace=False)
+            )
+            indices.extend(cols_here.tolist())
+            indptr.append(len(indices))
+        data = rng.integers(-4, 5, size=len(indices))
+        return cls(
+            rows=rows,
+            cols=cols,
+            indptr=np.asarray(indptr, dtype=np.int64),
+            indices=np.asarray(indices, dtype=np.int64),
+            data=np.asarray(data, dtype=np.int64),
+        )
+
+
+def spmv_reference(matrix: CsrMatrix, x: np.ndarray) -> np.ndarray:
+    """Ground-truth y = A @ x."""
+    x = np.asarray(x, dtype=np.int64)
+    if len(x) != matrix.cols:
+        raise MachineError("x length must equal matrix cols")
+    y = np.zeros(matrix.rows, dtype=np.int64)
+    for r in range(matrix.rows):
+        lo, hi = matrix.indptr[r], matrix.indptr[r + 1]
+        y[r] = int(np.dot(matrix.data[lo:hi], x[matrix.indices[lo:hi]]))
+    return y
+
+
+class _SpmvBase:
+    name = "spmv"
+
+    def _stage(self, machine: VectorMachine, matrix: CsrMatrix, x: np.ndarray):
+        uid = id(matrix) & 0xFFFFF
+        vals = machine.new_buffer(f"spmv_v{uid}", matrix.data, elem_bytes=8)
+        cols = machine.new_buffer(f"spmv_c{uid}", matrix.indices, elem_bytes=4)
+        xbuf = machine.new_buffer(
+            f"spmv_x{uid}", np.asarray(x, dtype=np.int64), elem_bytes=8
+        )
+        ybuf = machine.new_buffer(
+            f"spmv_y{uid}", np.zeros(matrix.rows, dtype=np.int64), elem_bytes=8
+        )
+        return vals, cols, xbuf, ybuf
+
+
+class SpmvVec(_SpmvBase):
+    """CSR SpMV with x gathered through the cache hierarchy."""
+
+    style = "vec"
+
+    def run(self, machine: VectorMachine, matrix: CsrMatrix, x: np.ndarray):
+        m = machine
+        vals, cols, xbuf, ybuf = self._stage(m, matrix, x)
+        before = m.snapshot()
+        lanes = m.lanes(64)
+        y = np.zeros(matrix.rows, dtype=np.int64)
+        for r in range(matrix.rows):
+            lo, hi = int(matrix.indptr[r]), int(matrix.indptr[r + 1])
+            m.scalar(3)  # row bookkeeping
+            acc = 0
+            for start in range(lo, hi, lanes):
+                count = min(lanes, hi - start)
+                act = m.whilelt(0, count, ebits=64)
+                a = m.load(vals, start, ebits=64, pred=act)
+                c = m.load(cols, start, ebits=64, pred=act)
+                xv = m.gather(xbuf, c, pred=act)
+                prod = m.mul(a, xv, pred=act)
+                acc += m.reduce_add(prod, pred=act)
+            y[r] = acc
+            store = m.from_values([acc], ebits=64)
+            m.store(ybuf, r, store, pred=m.whilelt(0, 1, ebits=64))
+        m.barrier()
+        delta = m.snapshot().delta(before)
+        return y, delta
+
+
+class SpmvQz(_SpmvBase):
+    """CSR SpMV with x resident in a QBUFFER (``qzmm<mul>``)."""
+
+    style = "qz"
+
+    def run(self, machine: VectorMachine, matrix: CsrMatrix, x: np.ndarray):
+        m = machine
+        qz = m.quetzal
+        if qz is None:
+            raise QuetzalError("SpmvQz needs a QUETZAL unit")
+        cap = qz.config.capacity_elements(64)
+        if matrix.cols > cap:
+            raise QuetzalError(
+                f"x of {matrix.cols} elements exceeds QBUFFER capacity {cap}; "
+                "block the matrix by column segments"
+            )
+        vals, cols, xbuf, ybuf = self._stage(m, matrix, x)
+        before = m.snapshot()
+        qz.clear()
+        qz.qzconf(matrix.cols, 0, QZ_ESIZE_64BIT)
+        qz.load_values(0, np.asarray(x, dtype=np.int64).astype(np.uint64))
+        lanes = m.lanes(64)
+        y = np.zeros(matrix.rows, dtype=np.int64)
+        for r in range(matrix.rows):
+            lo, hi = int(matrix.indptr[r]), int(matrix.indptr[r + 1])
+            m.scalar(3)
+            acc = 0
+            for start in range(lo, hi, lanes):
+                count = min(lanes, hi - start)
+                act = m.whilelt(0, count, ebits=64)
+                a = m.load(vals, start, ebits=64, pred=act)
+                c = m.load(cols, start, ebits=64, pred=act)
+                prod = qz.qzmm("mul", a, c, 0, pred=act)
+                acc += m.reduce_add(prod, pred=act)
+            y[r] = acc
+            store = m.from_values([acc], ebits=64)
+            m.store(ybuf, r, store, pred=m.whilelt(0, 1, ebits=64))
+        m.barrier()
+        delta = m.snapshot().delta(before)
+        return y, delta

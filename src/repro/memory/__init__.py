@@ -1,0 +1,15 @@
+"""Cache hierarchy and DRAM timing model."""
+
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.prefetcher import StridePrefetcher
+from repro.memory.dram import MainMemory
+from repro.memory.hierarchy import MemoryHierarchy, MemoryStats
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "StridePrefetcher",
+    "MainMemory",
+    "MemoryHierarchy",
+    "MemoryStats",
+]

@@ -1,0 +1,123 @@
+"""A set-associative, write-allocate, LRU cache model.
+
+The model is request-accurate, not wire-accurate: it tracks which lines are
+resident and in what LRU order, and counts hits/misses/evictions, which is
+what the paper's Fig. 4 (time breakdown) and Fig. 14a (memory-request
+reduction) require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CacheConfig
+from repro.errors import MemoryModelError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    prefetch_fills: int = 0
+    prefetch_hits: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            prefetch_fills=self.prefetch_fills + other.prefetch_fills,
+            prefetch_hits=self.prefetch_hits + other.prefetch_hits,
+        )
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            evictions=self.evictions - earlier.evictions,
+            prefetch_fills=self.prefetch_fills - earlier.prefetch_fills,
+            prefetch_hits=self.prefetch_hits - earlier.prefetch_hits,
+        )
+
+    def copy(self) -> "CacheStats":
+        return CacheStats(
+            self.hits, self.misses, self.evictions,
+            self.prefetch_fills, self.prefetch_hits,
+        )
+
+
+class Cache:
+    """One level of set-associative cache with true-LRU replacement."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.stats = CacheStats()
+        # Per-set list of line addresses, most-recently-used last.
+        self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
+        # Lines brought in by the prefetcher and not yet demanded.
+        self._prefetched: set[int] = set()
+
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self.config.line_bytes) % self.config.num_sets
+
+    def line_of(self, addr: int) -> int:
+        """Line-aligned address containing ``addr``."""
+        if addr < 0:
+            raise MemoryModelError(f"negative address: {addr}")
+        return addr - (addr % self.config.line_bytes)
+
+    def probe(self, line_addr: int) -> bool:
+        """Check residency without touching LRU state or stats."""
+        return line_addr in self._sets[self._set_index(line_addr)]
+
+    def access(self, line_addr: int) -> bool:
+        """Demand access; returns True on hit and updates LRU + stats."""
+        ways = self._sets[self._set_index(line_addr)]
+        if line_addr in ways:
+            ways.remove(line_addr)
+            ways.append(line_addr)
+            self.stats.hits += 1
+            if line_addr in self._prefetched:
+                self._prefetched.discard(line_addr)
+                self.stats.prefetch_hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, line_addr: int, prefetch: bool = False) -> int | None:
+        """Insert a line; returns the evicted line address, if any."""
+        ways = self._sets[self._set_index(line_addr)]
+        if line_addr in ways:
+            return None
+        evicted = None
+        if len(ways) >= self.config.ways:
+            evicted = ways.pop(0)
+            self._prefetched.discard(evicted)
+            self.stats.evictions += 1
+        ways.append(line_addr)
+        if prefetch:
+            self._prefetched.add(line_addr)
+            self.stats.prefetch_fills += 1
+        return evicted
+
+    def invalidate_all(self) -> None:
+        """Drop every resident line (stats are preserved)."""
+        for ways in self._sets:
+            ways.clear()
+        self._prefetched.clear()
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets)

@@ -1,0 +1,55 @@
+"""Main-memory (HBM2) latency/bandwidth model and flat address allocator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MemoryModelError
+
+
+@dataclass
+class MainMemory:
+    """Flat DRAM with a fixed access latency and an aggregate byte counter.
+
+    Bandwidth is not modelled per-request (single-core runs are latency
+    bound); the byte counter feeds the multicore bandwidth-contention model
+    (:mod:`repro.eval.multicore`), which is where bandwidth matters in the
+    paper (Fig. 13b).
+    """
+
+    latency: int = 120
+    bandwidth_gbs: float = 256.0
+    line_bytes: int = 64
+    accesses: int = 0
+    bytes_transferred: int = 0
+
+    def access(self, line_addr: int) -> int:
+        """One line fetch; returns its latency in cycles."""
+        self.accesses += 1
+        self.bytes_transferred += self.line_bytes
+        return self.latency
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.bytes_transferred = 0
+
+
+class AddressAllocator:
+    """Bump allocator handing out non-overlapping simulated address ranges."""
+
+    def __init__(self, base: int = 0x10_0000, alignment: int = 64) -> None:
+        if alignment & (alignment - 1):
+            raise MemoryModelError("alignment must be a power of two")
+        self._next = base
+        self.alignment = alignment
+
+    def alloc(self, size_bytes: int, alignment: int | None = None) -> int:
+        """Reserve ``size_bytes`` and return the base address."""
+        if size_bytes < 0:
+            raise MemoryModelError(f"negative allocation: {size_bytes}")
+        align = self.alignment if alignment is None else alignment
+        if align & (align - 1):
+            raise MemoryModelError("alignment must be a power of two")
+        base = (self._next + align - 1) & ~(align - 1)
+        self._next = base + size_bytes
+        return base

@@ -1,0 +1,201 @@
+"""The two-level cache hierarchy of the simulated system (Table I).
+
+``MemoryHierarchy`` walks a demand request through L1D -> L2 -> DRAM,
+returning the load-to-use latency and updating per-level statistics.
+Both levels train a stride prefetcher; prefetched lines are filled without
+charging latency to the triggering request (their DRAM traffic *is*
+counted, feeding the bandwidth model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+from repro.errors import MemoryModelError
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.dram import AddressAllocator, MainMemory
+from repro.memory.prefetcher import StridePrefetcher
+
+
+@dataclass
+class MemoryStats:
+    """Aggregated request statistics for one run."""
+
+    requests: int = 0
+    l1: CacheStats = field(default_factory=CacheStats)
+    l2: CacheStats = field(default_factory=CacheStats)
+    dram_accesses: int = 0
+    dram_bytes: int = 0
+
+    def delta(self, earlier: "MemoryStats") -> "MemoryStats":
+        return MemoryStats(
+            requests=self.requests - earlier.requests,
+            l1=self.l1.delta(earlier.l1),
+            l2=self.l2.delta(earlier.l2),
+            dram_accesses=self.dram_accesses - earlier.dram_accesses,
+            dram_bytes=self.dram_bytes - earlier.dram_bytes,
+        )
+
+    def copy(self) -> "MemoryStats":
+        return MemoryStats(
+            requests=self.requests,
+            l1=self.l1.copy(),
+            l2=self.l2.copy(),
+            dram_accesses=self.dram_accesses,
+            dram_bytes=self.dram_bytes,
+        )
+
+
+class MemoryHierarchy:
+    """L1D + shared L2 + DRAM, with stride prefetchers at both levels."""
+
+    def __init__(self, system: SystemConfig | None = None) -> None:
+        self.system = system or SystemConfig()
+        self.l1 = Cache(self.system.l1d, name="L1D")
+        self.l2 = Cache(self.system.l2, name="L2")
+        self.dram = MainMemory(
+            latency=self.system.dram_latency,
+            bandwidth_gbs=self.system.dram_bandwidth_gbs,
+            line_bytes=self.system.l1d.line_bytes,
+        )
+        self.allocator = AddressAllocator()
+        line = self.system.l1d.line_bytes
+        self._l1_prefetcher = (
+            StridePrefetcher(line_bytes=line) if self.system.l1d.prefetcher else None
+        )
+        self._l2_prefetcher = (
+            StridePrefetcher(line_bytes=line) if self.system.l2.prefetcher else None
+        )
+        self.requests = 0
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def alloc(self, size_bytes: int, alignment: int | None = None) -> int:
+        """Reserve a simulated address range."""
+        return self.allocator.alloc(size_bytes, alignment)
+
+    # ------------------------------------------------------------------
+    # Demand path
+    # ------------------------------------------------------------------
+    def _fill_from_l2(self, line_addr: int, prefetch: bool = False) -> int:
+        """Bring a line into L1, recursing into L2/DRAM. Returns latency."""
+        if self.l2.access(line_addr):
+            latency = self.system.l2.load_to_use
+        else:
+            latency = self.dram.access(line_addr)
+            self.l2.fill(line_addr)
+        self.l1.fill(line_addr, prefetch=prefetch)
+        return latency
+
+    def _train(self, stream_id: int, addr: int) -> None:
+        """Train the stride prefetcher on a raw request address."""
+        if self._l1_prefetcher is None:
+            return
+        for pf_line in self._l1_prefetcher.observe(stream_id, addr):
+            if not self.l1.probe(pf_line):
+                self._fill_from_l2(pf_line, prefetch=True)
+
+    def access_line(self, line_addr: int, stream_id: int = 0) -> int:
+        """One demand line access; returns load-to-use latency in cycles."""
+        if line_addr % self.system.l1d.line_bytes:
+            raise MemoryModelError(f"unaligned line address: {line_addr:#x}")
+        self.requests += 1
+        self._train(stream_id, line_addr)
+        if self.l1.access(line_addr):
+            return self.system.l1d.load_to_use
+        return self.system.l1d.load_to_use + self._fill_from_l2(line_addr)
+
+    def access(self, addr: int, size_bytes: int = 1, stream_id: int = 0) -> int:
+        """Demand access of ``size_bytes`` at ``addr``.
+
+        Multi-line requests are issued in parallel (one vector load);
+        the returned latency is the slowest line's.  The prefetcher
+        trains on the raw request address, so sub-line strides (e.g.
+        32-byte vector loads) still form confident streams.
+        """
+        if size_bytes < 1:
+            raise MemoryModelError(f"access size must be positive: {size_bytes}")
+        self._train(stream_id, addr)
+        line = self.system.l1d.line_bytes
+        first = addr - (addr % line)
+        last = (addr + size_bytes - 1) - ((addr + size_bytes - 1) % line)
+        latency = 0
+        for line_addr in range(first, last + 1, line):
+            latency = max(latency, self._access_line_untrained(line_addr))
+        return latency
+
+    def _access_line_untrained(self, line_addr: int) -> int:
+        """Demand line access without prefetcher training."""
+        self.requests += 1
+        if self.l1.access(line_addr):
+            return self.system.l1d.load_to_use
+        return self.system.l1d.load_to_use + self._fill_from_l2(line_addr)
+
+    def touch(self, addr: int, size_bytes: int, stream_id: int = 0) -> None:
+        """Warm the hierarchy over a range without collecting latencies."""
+        line = self.system.l1d.line_bytes
+        first = addr - (addr % line)
+        end = addr + size_bytes
+        for line_addr in range(first, end, line):
+            self.access_line(line_addr, stream_id)
+
+    def account_streaming(
+        self, n_requests: int, n_lines: int, dram_fraction: float = 1.0
+    ) -> None:
+        """Account a large streaming access pattern without walking lines.
+
+        Used by fast-forward paths over data sets far larger than the
+        caches (the classic-DP table on long reads): ``n_requests``
+        demand requests touch ``n_lines`` distinct lines, of which
+        ``dram_fraction`` ultimately come from DRAM (stride prefetchers
+        stage them through, so they appear as prefetched L1 fills).
+        """
+        if n_requests < 0 or n_lines < 0 or not 0 <= dram_fraction <= 1:
+            raise MemoryModelError("invalid streaming accounting")
+        n_lines = min(n_lines, n_requests)
+        dram_lines = int(n_lines * dram_fraction)
+        self.requests += n_requests
+        self.l1.stats.hits += n_requests - n_lines
+        self.l1.stats.misses += n_lines
+        self.l1.stats.prefetch_fills += n_lines
+        self.l2.stats.misses += dram_lines
+        self.l2.stats.hits += n_lines - dram_lines
+        self.dram.accesses += dram_lines
+        self.dram.bytes_transferred += dram_lines * self.system.l1d.line_bytes
+
+    def account_extra_hits(self, n: int) -> None:
+        """Record ``n`` additional L1-hit requests without walking the model.
+
+        Fast-forward timing paths touch each cache line once and then call
+        this to account for the remaining per-element requests, which the
+        instruction-by-instruction path would have issued as L1 hits.
+        """
+        if n < 0:
+            raise MemoryModelError("extra hit count must be non-negative")
+        self.requests += n
+        self.l1.stats.hits += n
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> MemoryStats:
+        return MemoryStats(
+            requests=self.requests,
+            l1=self.l1.stats.copy(),
+            l2=self.l2.stats.copy(),
+            dram_accesses=self.dram.accesses,
+            dram_bytes=self.dram.bytes_transferred,
+        )
+
+    def reset(self) -> None:
+        """Clear contents and statistics (allocations persist)."""
+        self.l1 = Cache(self.system.l1d, name="L1D")
+        self.l2 = Cache(self.system.l2, name="L2")
+        self.dram.reset_stats()
+        if self._l1_prefetcher is not None:
+            self._l1_prefetcher.reset()
+        if self._l2_prefetcher is not None:
+            self._l2_prefetcher.reset()
+        self.requests = 0

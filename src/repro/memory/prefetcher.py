@@ -1,0 +1,61 @@
+"""A per-stream stride prefetcher (Table I lists one at L1 and L2).
+
+Classic reference-prediction-table design: each stream (identified by the
+issuing instruction's stream id, a stand-in for the PC) remembers its last
+address and last stride; two consecutive equal strides arm the entry and
+prefetches are issued ``degree`` strides ahead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class _StreamEntry:
+    last_addr: int
+    stride: int = 0
+    confident: bool = False
+
+
+class StridePrefetcher:
+    """Stride detector that proposes prefetch line addresses."""
+
+    def __init__(
+        self, line_bytes: int = 64, degree: int = 2, table_size: int = 64
+    ) -> None:
+        self.line_bytes = line_bytes
+        self.degree = degree
+        self.table_size = table_size
+        self._table: dict[int, _StreamEntry] = {}
+        self.issued = 0
+
+    def observe(self, stream_id: int, addr: int) -> list[int]:
+        """Record a demand access; return line addresses to prefetch."""
+        entry = self._table.get(stream_id)
+        if entry is None:
+            if len(self._table) >= self.table_size:
+                # Evict the oldest entry (dict preserves insertion order).
+                self._table.pop(next(iter(self._table)))
+            self._table[stream_id] = _StreamEntry(last_addr=addr)
+            return []
+        stride = addr - entry.last_addr
+        prefetches: list[int] = []
+        if stride != 0 and stride == entry.stride:
+            entry.confident = True
+            for k in range(1, self.degree + 1):
+                target = addr + stride * k
+                if target >= 0:
+                    line = target - (target % self.line_bytes)
+                    if line not in prefetches:
+                        prefetches.append(line)
+        else:
+            entry.confident = False
+        entry.stride = stride
+        entry.last_addr = addr
+        self.issued += len(prefetches)
+        return prefetches
+
+    def reset(self) -> None:
+        self._table.clear()
+        self.issued = 0

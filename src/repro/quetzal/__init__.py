@@ -1,0 +1,18 @@
+"""The QUETZAL accelerator: QBUFFERs, data encoder, count ALU, qz* instructions."""
+
+from repro.quetzal.count_alu import count_matches_word, count_matches_vector
+from repro.quetzal.encoder import DataEncoder
+from repro.quetzal.qbuffer import QBuffer
+from repro.quetzal.access_control import AccessControl
+from repro.quetzal.accelerator import QuetzalUnit
+from repro.quetzal.area import AreaModel
+
+__all__ = [
+    "count_matches_word",
+    "count_matches_vector",
+    "DataEncoder",
+    "QBuffer",
+    "AccessControl",
+    "QuetzalUnit",
+    "AreaModel",
+]

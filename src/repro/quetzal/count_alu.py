@@ -1,0 +1,96 @@
+"""The count ALU (Section IV-D, Fig. 11).
+
+Counts consecutive matching elements between two 64-bit operands:
+
+1. bitwise XNOR detects matching bits;
+2. count the *trailing ones* of the XNOR result (consecutive matching bits
+   starting at the LSB — element 0 sits at the LSB in the packed layout);
+3. shift right by ``log2(element_bits)`` to convert matching bits into
+   whole matching elements (partial element matches are floored away).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QuetzalError
+
+_MASK64 = (1 << 64) - 1
+_SHIFT_FOR_BITS = {2: 1, 8: 3, 64: 6}
+
+
+def trailing_ones(x: int) -> int:
+    """Number of consecutive 1-bits starting at the LSB of a 64-bit value."""
+    x &= _MASK64
+    if x == _MASK64:
+        return 64
+    # Trailing ones of x == trailing zeros of ~x; isolate lowest 0 bit.
+    inv = ~x & _MASK64
+    low = inv & -inv
+    return low.bit_length() - 1
+
+
+def count_matches_word(a: int, b: int, element_bits: int) -> int:
+    """Consecutive matching elements between two 64-bit operands.
+
+    Mirrors the hardware pipeline exactly (xnor -> trailing ones -> shift).
+    Returns a value in ``[0, 64 // element_bits]``.
+    """
+    try:
+        shift = _SHIFT_FOR_BITS[element_bits]
+    except KeyError:
+        raise QuetzalError(f"count ALU element size must be 2/8/64 bits, got {element_bits}")
+    xnor = ~(a ^ b) & _MASK64
+    return trailing_ones(xnor) >> shift
+
+
+def count_matches_word_reverse(
+    a: int, b: int, element_bits: int, top_index: int
+) -> int:
+    """Consecutive matching elements scanning *downward* from ``top_index``.
+
+    The mirror of :func:`count_matches_word` used by BiWFA's backward
+    wavefronts: hardware-wise a leading-ones counter on the XNOR result,
+    a trivial variant of the Fig. 11 pipeline (DESIGN.md records this as
+    a modelled extension the paper implies but does not detail).
+    """
+    if element_bits not in _SHIFT_FOR_BITS:
+        raise QuetzalError(
+            f"count ALU element size must be 2/8/64 bits, got {element_bits}"
+        )
+    per_word = 64 // element_bits
+    if not 0 <= top_index < per_word:
+        raise QuetzalError(f"top_index {top_index} out of window")
+    xnor = ~(a ^ b) & _MASK64
+    elem_mask = (1 << element_bits) - 1
+    count = 0
+    for j in range(top_index, -1, -1):
+        if (xnor >> (j * element_bits)) & elem_mask == elem_mask:
+            count += 1
+        else:
+            break
+    return count
+
+
+def count_matches_vector(
+    a: np.ndarray, b: np.ndarray, element_bits: int
+) -> np.ndarray:
+    """Vectorised :func:`count_matches_word` over arrays of 64-bit words."""
+    if element_bits not in _SHIFT_FOR_BITS:
+        raise QuetzalError(f"count ALU element size must be 2/8/64 bits, got {element_bits}")
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    if a.shape != b.shape:
+        raise QuetzalError("count ALU operands must have equal shapes")
+    xnor = ~(a ^ b)
+    inv = ~xnor
+    # trailing zeros of inv == trailing ones of xnor.
+    full = inv == 0
+    safe = np.where(full, np.uint64(1), inv)
+    low = safe & (~safe + np.uint64(1))
+    # bit_length - 1 via log2 on an exact power of two.
+    tz = np.zeros(a.shape, dtype=np.uint64)
+    nonzero = low != 0
+    tz[nonzero] = np.log2(low[nonzero].astype(np.float64)).astype(np.uint64)
+    tz[full] = 64
+    return (tz >> np.uint64(_SHIFT_FOR_BITS[element_bits])).astype(np.int64)

@@ -1,0 +1,53 @@
+"""The data encoder (Section IV-A, Fig. 9).
+
+Receives a vector of characters from the VRF, extracts bits 1 and 2 of
+each ASCII byte to form the 2-bit nucleotide code, and packs the codes into
+a 128-bit group (two 64-bit SRAM words) for a 512-bit input vector of 64
+characters.  8-bit mode (proteins, ambiguity codes) passes bytes through
+and packs 8 per word.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.genomics.encoding import pack_words
+
+
+class DataEncoder:
+    """Bit-accurate software model of the encoder datapath."""
+
+    def __init__(self, vlen_bits: int = 512) -> None:
+        if vlen_bits % 8:
+            raise EncodingError("vector length must be whole bytes")
+        self.vlen_bits = vlen_bits
+
+    @property
+    def chars_per_vector(self) -> int:
+        return self.vlen_bits // 8
+
+    def encode_2bit(self, ascii_bytes: np.ndarray) -> np.ndarray:
+        """Extract bits 1..2 of each byte and pack; returns uint64 words.
+
+        A full 512-bit vector (64 chars) yields two words (128 bits).
+        Shorter tails yield fewer (zero-padded) words.
+        """
+        ascii_bytes = np.asarray(ascii_bytes, dtype=np.uint64)
+        if ascii_bytes.size > self.chars_per_vector:
+            raise EncodingError(
+                f"at most {self.chars_per_vector} chars per encode, got {ascii_bytes.size}"
+            )
+        codes = (ascii_bytes >> np.uint64(1)) & np.uint64(0b11)
+        return pack_words(codes, 2)
+
+    def encode_8bit(self, code_bytes: np.ndarray) -> np.ndarray:
+        """Pass-through 8-bit mode: pack 8 codes per 64-bit word."""
+        code_bytes = np.asarray(code_bytes, dtype=np.uint64)
+        if code_bytes.size > self.chars_per_vector:
+            raise EncodingError(
+                f"at most {self.chars_per_vector} chars per encode, got {code_bytes.size}"
+            )
+        if code_bytes.size and int(code_bytes.max()) > 0xFF:
+            raise EncodingError("8-bit encode input exceeds one byte")
+        return pack_words(code_bytes, 8)

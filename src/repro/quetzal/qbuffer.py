@@ -1,0 +1,186 @@
+"""The QBUFFER (Section IV-B, Figs. 9c/10).
+
+A QBUFFER is a direct-mapped scratchpad built from eight single-ported
+64-bit SRAM banks (one per VPU lane), with read-port replication for
+bandwidth.  Software addresses it with *element indices*, not memory
+addresses; elements may be 2, 8 or 64 bits wide and reads may therefore be
+unaligned with respect to the SRAM word, which the read logic resolves by
+fetching two consecutive banks and slicing (Fig. 10).
+
+The functional model stores packed 64-bit words exactly as the SRAM would;
+all sub-word arithmetic mirrors the hardware datapath.  Timing follows the
+paper's formula: a vector of ``r`` concurrent read requests completes in
+``ceil(r / read_ports) + 1`` cycles (the +1 is the slicing stage); a
+direct-mode write takes as many cycles as the worst per-bank conflict.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import QuetzalConfig
+from repro.errors import QuetzalError
+
+_MASK = {bits: np.uint64((1 << bits) - 1) for bits in (2, 8)}
+
+
+class QBuffer:
+    """One scratchpad buffer (the accelerator has a pair)."""
+
+    def __init__(self, config: QuetzalConfig, name: str = "qbuf") -> None:
+        self.config = config
+        self.name = name
+        self.n_words = config.qbuffer_bytes // 8
+        self.words = np.zeros(self.n_words, dtype=np.uint64)
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def capacity_elements(self, element_bits: int) -> int:
+        return self.config.capacity_elements(element_bits)
+
+    def bank_of(self, word_index: int) -> int:
+        """Bank holding a word (banks are word-interleaved)."""
+        return word_index % self.config.num_banks
+
+    def _check_word(self, word_index: int) -> None:
+        if not 0 <= word_index < self.n_words:
+            raise QuetzalError(
+                f"{self.name}: word index {word_index} out of range "
+                f"(capacity {self.n_words} words)"
+            )
+
+    def _check_elements(self, indices: np.ndarray, element_bits: int) -> None:
+        if indices.size == 0:
+            return
+        lo, hi = int(indices.min()), int(indices.max())
+        cap = self.capacity_elements(element_bits)
+        if lo < 0 or hi >= cap:
+            raise QuetzalError(
+                f"{self.name}: element index [{lo}, {hi}] out of range "
+                f"(capacity {cap} x {element_bits}-bit)"
+            )
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def write_encoded(self, group_index: int, words: np.ndarray) -> int:
+        """Encoded-mode write: a 128-bit encoder output into two consecutive
+        SRAM words at position ``group_index``.  Single cycle.
+        """
+        words = np.asarray(words, dtype=np.uint64)
+        if words.size > 2:
+            raise QuetzalError("encoded-mode write takes at most two words")
+        base = group_index * 2
+        self._check_word(base + words.size - 1)
+        self.words[base : base + words.size] = words
+        self.writes += 1
+        return 1
+
+    def write_words(self, word_index: int, words: np.ndarray) -> int:
+        """Consecutive whole-word write (8-bit/64-bit sequence staging).
+
+        Consecutive words hit distinct banks, so up to ``num_banks`` words
+        land in one cycle.
+        """
+        words = np.asarray(words, dtype=np.uint64)
+        self._check_word(word_index + len(words) - 1)
+        self.words[word_index : word_index + len(words)] = words
+        self.writes += 1
+        return -(-len(words) // self.config.num_banks)
+
+    def write_elements(
+        self, indices: np.ndarray, values: np.ndarray, element_bits: int
+    ) -> int:
+        """Direct-mode write at element granularity (``qzstore``).
+
+        Returns the cycle count: the worst number of requests landing on a
+        single bank (conflicting writes serialise).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=np.uint64)
+        if indices.shape != values.shape:
+            raise QuetzalError("qzstore index/value shape mismatch")
+        self._check_elements(indices, element_bits)
+        per_word = 64 // element_bits
+        banks_touched = []
+        for idx, val in zip(indices.tolist(), values.tolist()):
+            word = idx // per_word
+            banks_touched.append(self.bank_of(word))
+            if element_bits == 64:
+                self.words[word] = np.uint64(val)
+            else:
+                off = np.uint64((idx % per_word) * element_bits)
+                mask = _MASK[element_bits]
+                if val > int(mask):
+                    raise QuetzalError(
+                        f"value {val} too wide for {element_bits}-bit element"
+                    )
+                keep = ~(mask << off)
+                self.words[word] = (self.words[word] & keep) | (
+                    np.uint64(val) << off
+                )
+        self.writes += 1
+        if not banks_touched:
+            return 1
+        worst = max(banks_touched.count(b) for b in set(banks_touched))
+        return worst
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def _window_bits(self, bit_pos: int) -> int:
+        """64-bit window starting at ``bit_pos``, spliced from two banks."""
+        word = bit_pos // 64
+        off = bit_pos % 64
+        self._check_word(word)
+        low = int(self.words[word])
+        if off == 0:
+            return low
+        high = int(self.words[word + 1]) if word + 1 < self.n_words else 0
+        return ((low >> off) | (high << (64 - off))) & ((1 << 64) - 1)
+
+    def read_element(self, index: int, element_bits: int) -> int:
+        """One element value (the slicing path of Fig. 10)."""
+        self._check_elements(np.asarray([index]), element_bits)
+        if element_bits == 64:
+            return int(self.words[index])
+        window = self._window_bits(index * element_bits)
+        return window & ((1 << element_bits) - 1)
+
+    def read_window(self, index: int, element_bits: int) -> int:
+        """The full 64-bit window starting at element ``index``.
+
+        This feeds the count ALU: up to ``64 / element_bits`` elements
+        starting at the requested one, in packed order.
+        """
+        self._check_elements(np.asarray([index]), element_bits)
+        if element_bits == 64:
+            return int(self.words[index])
+        return self._window_bits(index * element_bits)
+
+    def read_vector(
+        self, indices: np.ndarray, element_bits: int, windows: bool = False
+    ) -> tuple[np.ndarray, int]:
+        """Vector read; returns (values, latency_cycles).
+
+        ``windows=True`` returns full 64-bit windows (count-ALU feed),
+        otherwise single element values.  Latency follows Section IV-C:
+        ``ceil(requests / read_ports) + 1``.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        reader = self.read_window if windows else self.read_element
+        values = np.fromiter(
+            (reader(int(i), element_bits) for i in indices),
+            dtype=np.uint64,
+            count=len(indices),
+        )
+        self.reads += 1
+        requests = max(1, len(indices))
+        latency = -(-requests // self.config.read_ports) + 1
+        return values, latency
+
+    def clear(self) -> None:
+        self.words[:] = 0

@@ -1,0 +1,7 @@
+"""SVE-like vector machine: functional semantics + scoreboard cycle model."""
+
+from repro.vector.register import VReg, Pred, SimBuffer
+from repro.vector.stats import MachineStats
+from repro.vector.machine import VectorMachine
+
+__all__ = ["VReg", "Pred", "SimBuffer", "MachineStats", "VectorMachine"]

@@ -1,0 +1,680 @@
+"""The simulated vector CPU: SVE-like intrinsics over a scoreboard timing model.
+
+Functional semantics and timing are computed together: every intrinsic
+returns correct values (numpy) *and* advances a cycle-accurate-ish
+scoreboard (in-order issue, out-of-order completion):
+
+* an instruction issues at ``max(clock, operands_ready)``; the wait is a
+  *stall* attributed to the blocking operand's producer category;
+* issue occupies the pipe for ``occupancy`` cycles (gather/scatter occupy
+  one cycle per active element: the AGU serialisation of Section II-G);
+* the result becomes ready ``latency`` cycles after issue.
+
+Operations whose results feed scalar control flow (``ptest``, reductions,
+``extract``) are *serialising*: the clock advances to their completion,
+modelling the vector-to-scalar synchronisation that dominates classic DP
+algorithms (Section VII-A3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.errors import MachineError
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.vector.register import Pred, SimBuffer, VReg
+from repro.vector.stats import MachineStats
+
+_BINOPS = {
+    "add": np.add,
+    "sub": np.subtract,
+    "mul": np.multiply,
+    "and": np.bitwise_and,
+    "or": np.bitwise_or,
+    "xor": np.bitwise_xor,
+    "min": np.minimum,
+    "max": np.maximum,
+    "shl": np.left_shift,
+    "shr": np.right_shift,
+}
+
+_CMPOPS = {
+    "eq": np.equal,
+    "ne": np.not_equal,
+    "lt": np.less,
+    "le": np.less_equal,
+    "gt": np.greater,
+    "ge": np.greater_equal,
+}
+
+
+def _byte_reverse_lut() -> np.ndarray:
+    table = np.empty(256, dtype=np.uint8)
+    for value in range(256):
+        rev = 0
+        for bit in range(8):
+            rev |= ((value >> bit) & 1) << (7 - bit)
+        table[value] = rev
+    return table
+
+
+_BYTE_REVERSE_LUT = _byte_reverse_lut()
+
+
+class VectorMachine:
+    """One simulated core: VPU + caches (+ optionally a QUETZAL unit)."""
+
+    def __init__(
+        self,
+        system: SystemConfig | None = None,
+        hierarchy: MemoryHierarchy | None = None,
+    ) -> None:
+        self.system = system or SystemConfig()
+        self.mem = hierarchy or MemoryHierarchy(self.system)
+        self.clock = 0
+        self._max_complete = 0
+        self._instructions: Counter = Counter()
+        self._busy: Counter = Counter()
+        self._stall: Counter = Counter()
+        self._buffers: dict[str, SimBuffer] = {}
+        # line address -> cycle at which a tracked store becomes loadable
+        self._store_visible: dict[int, int] = {}
+        #: Attached QUETZAL unit (set by ``QuetzalUnit.attach``); None on a
+        #: baseline machine.
+        self.quetzal = None
+
+    # ------------------------------------------------------------------
+    # Core scoreboard
+    # ------------------------------------------------------------------
+    def lanes(self, ebits: int) -> int:
+        return self.system.lanes_for(ebits)
+
+    def _issue(self, category: str, occupancy: int, latency: int, deps=()) -> int:
+        """Issue one instruction; returns its completion cycle."""
+        ready = 0
+        blocker = None
+        for dep in deps:
+            if dep is not None and dep.ready > ready:
+                ready = dep.ready
+                blocker = dep
+        start = self.clock if ready <= self.clock else ready
+        stall = start - self.clock
+        if stall:
+            self._stall[blocker.category] += stall
+        self.clock = start + occupancy
+        complete = self.clock + latency
+        if complete > self._max_complete:
+            self._max_complete = complete
+        self._instructions[category] += 1
+        self._busy[category] += occupancy
+        return complete
+
+    def account_block(
+        self,
+        category: str,
+        instructions: int = 0,
+        busy: int = 0,
+        stall: int = 0,
+        stall_category: str | None = None,
+    ) -> None:
+        """Bulk-account a block of work (used by fast-forward timing paths).
+
+        Advances the clock by ``busy + stall`` cycles and records
+        ``instructions`` instructions in ``category``.  Fast paths compute
+        these totals in closed form; tests pin them against the
+        instruction-by-instruction path.
+        """
+        if busy < 0 or stall < 0 or instructions < 0:
+            raise MachineError("account_block takes non-negative amounts")
+        self._instructions[category] += instructions
+        self._busy[category] += busy
+        if stall:
+            self._stall[stall_category or category] += stall
+        self.clock += busy + stall
+        if self.clock > self._max_complete:
+            self._max_complete = self.clock
+
+    def account_stats(self, delta: MachineStats, times: int = 1) -> None:
+        """Replay a measured :class:`MachineStats` delta ``times`` times.
+
+        Applies instruction/busy/stall counters and advances the clock by
+        ``delta.cycles * times``.  Memory and QBUFFER statistics are *not*
+        applied — fast paths account those against the live hierarchy and
+        accelerator so that cache state stays truthful.
+        """
+        if times < 0:
+            raise MachineError("times must be non-negative")
+        if times == 0:
+            return
+        for cat, n in delta.instructions.items():
+            self._instructions[cat] += n * times
+        for cat, n in delta.busy.items():
+            self._busy[cat] += n * times
+        for cat, n in delta.stall.items():
+            self._stall[cat] += n * times
+        self.clock += delta.cycles * times
+        if self.clock > self._max_complete:
+            self._max_complete = self.clock
+
+    def account_mix(
+        self,
+        instructions: Counter,
+        busy: Counter,
+        extra_stall: int = 0,
+        stall_category: str = "vector",
+    ) -> None:
+        """Account a block from explicit counters.
+
+        The clock advances by the total busy cycles plus ``extra_stall``
+        (exposed dependency latency a fast path computed analytically).
+        """
+        if extra_stall < 0:
+            raise MachineError("extra_stall must be non-negative")
+        self._instructions.update(instructions)
+        self._busy.update(busy)
+        if extra_stall:
+            self._stall[stall_category] += extra_stall
+        self.clock += sum(busy.values()) + extra_stall
+        if self.clock > self._max_complete:
+            self._max_complete = self.clock
+
+    def barrier(self) -> None:
+        """Wait for all in-flight results (end-of-kernel settle)."""
+        if self._max_complete > self.clock:
+            self.clock = self._max_complete
+
+    # ------------------------------------------------------------------
+    # Buffers
+    # ------------------------------------------------------------------
+    def new_buffer(
+        self, name: str, data: np.ndarray, elem_bytes: int | None = None
+    ) -> SimBuffer:
+        """Allocate a simulated buffer initialised with ``data``."""
+        arr = np.asarray(data)
+        if elem_bytes is None:
+            elem_bytes = arr.dtype.itemsize if arr.dtype.itemsize in (1, 2, 4, 8) else 8
+        base = self.mem.alloc(len(arr) * elem_bytes)
+        buf = SimBuffer(name, arr, base, elem_bytes)
+        self._buffers[name] = buf
+        return buf
+
+    def buffer(self, name: str) -> SimBuffer:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise MachineError(f"no buffer named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Constants / lane generators
+    # ------------------------------------------------------------------
+    def dup(self, value: int, ebits: int = 32) -> VReg:
+        """Broadcast a scalar into all lanes."""
+        complete = self._issue("vector", 1, self.system.lat_vector_arith)
+        n = self.lanes(ebits)
+        return VReg(np.full(n, value, dtype=np.int64), ebits, complete)
+
+    def iota(self, ebits: int = 32, start: int = 0, step: int = 1) -> VReg:
+        """Lane-index vector: ``start, start+step, ...`` (SVE ``INDEX``)."""
+        complete = self._issue("vector", 1, self.system.lat_vector_arith)
+        n = self.lanes(ebits)
+        data = start + step * np.arange(n, dtype=np.int64)
+        return VReg(data, ebits, complete)
+
+    def from_values(self, values, ebits: int = 32) -> VReg:
+        """Materialise explicit lane values (test/setup helper).
+
+        Charged as a single vector move; lanes beyond ``len(values)`` are 0.
+        """
+        n = self.lanes(ebits)
+        vals = np.zeros(n, dtype=np.int64)
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.size > n:
+            raise MachineError(f"too many values for {ebits}-bit lanes: {arr.size}")
+        vals[: arr.size] = arr
+        complete = self._issue("vector", 1, self.system.lat_vector_arith)
+        return VReg(vals, ebits, complete)
+
+    # ------------------------------------------------------------------
+    # Arithmetic / logic
+    # ------------------------------------------------------------------
+    def _coerce(self, b, ebits: int) -> tuple[np.ndarray, "VReg | None"]:
+        if isinstance(b, VReg):
+            if b.ebits != ebits:
+                raise MachineError(
+                    f"element width mismatch: {b.ebits} vs {ebits}"
+                )
+            return b.data, b
+        return np.int64(b), None
+
+    def binop(self, op: str, a: VReg, b, pred: Pred | None = None) -> VReg:
+        """Predicated binary operation; inactive lanes keep ``a``'s value."""
+        try:
+            fn = _BINOPS[op]
+        except KeyError:
+            raise MachineError(f"unknown binop: {op!r}")
+        b_data, b_reg = self._coerce(b, a.ebits)
+        complete = self._issue(
+            "vector", 1, self.system.lat_vector_arith, deps=(a, b_reg, pred)
+        )
+        result = fn(a.data, b_data)
+        if pred is not None:
+            result = np.where(pred.data, result, a.data)
+        return VReg(result, a.ebits, complete)
+
+    def add(self, a: VReg, b, pred: Pred | None = None) -> VReg:
+        return self.binop("add", a, b, pred)
+
+    def sub(self, a: VReg, b, pred: Pred | None = None) -> VReg:
+        return self.binop("sub", a, b, pred)
+
+    def mul(self, a: VReg, b, pred: Pred | None = None) -> VReg:
+        return self.binop("mul", a, b, pred)
+
+    def and_(self, a: VReg, b, pred: Pred | None = None) -> VReg:
+        return self.binop("and", a, b, pred)
+
+    def or_(self, a: VReg, b, pred: Pred | None = None) -> VReg:
+        return self.binop("or", a, b, pred)
+
+    def xor(self, a: VReg, b, pred: Pred | None = None) -> VReg:
+        return self.binop("xor", a, b, pred)
+
+    def min(self, a: VReg, b, pred: Pred | None = None) -> VReg:
+        return self.binop("min", a, b, pred)
+
+    def max(self, a: VReg, b, pred: Pred | None = None) -> VReg:
+        return self.binop("max", a, b, pred)
+
+    def shl(self, a: VReg, b, pred: Pred | None = None) -> VReg:
+        return self.binop("shl", a, b, pred)
+
+    def shr(self, a: VReg, b, pred: Pred | None = None) -> VReg:
+        return self.binop("shr", a, b, pred)
+
+    def rbit(self, a: VReg, pred: Pred | None = None) -> VReg:
+        """Per-lane bit reversal (SVE ``RBIT``); 64-bit lanes only."""
+        if a.ebits != 64:
+            raise MachineError("rbit is modelled for 64-bit lanes only")
+        complete = self._issue("vector", 1, self.system.lat_vector_arith, deps=(a, pred))
+        vals = a.data.astype(np.uint64)
+        as_bytes = vals.view(np.uint8).reshape(-1, 8)
+        reversed_bytes = _BYTE_REVERSE_LUT[as_bytes[:, ::-1]]
+        result = np.ascontiguousarray(reversed_bytes).view(np.uint64).reshape(-1)
+        result = result.astype(np.int64)
+        if pred is not None:
+            result = np.where(pred.data, result, a.data)
+        return VReg(result, a.ebits, complete)
+
+    def clz(self, a: VReg, pred: Pred | None = None) -> VReg:
+        """Per-lane count of leading zeros (SVE ``CLZ``); clz(0) == width."""
+        complete = self._issue("vector", 1, self.system.lat_vector_arith, deps=(a, pred))
+        width = a.ebits
+        vals = a.data.astype(np.uint64)
+        result = np.full(len(vals), width, dtype=np.int64)
+        nonzero = vals != 0
+        if nonzero.any():
+            # floor(log2(v)) is exact for uint64 < 2^53 via float64; handle
+            # the high range with a pre-shift.
+            high = vals >> np.uint64(32)
+            top = np.where(high != 0, high, vals & np.uint64(0xFFFFFFFF))
+            bits = np.zeros(len(vals), dtype=np.int64)
+            bits[nonzero] = np.floor(np.log2(top[nonzero].astype(np.float64))).astype(np.int64)
+            bits[nonzero & (high != 0)] += 32
+            result[nonzero] = width - 1 - bits[nonzero]
+        if pred is not None:
+            result = np.where(pred.data, result, a.data)
+        return VReg(result, a.ebits, complete)
+
+    def abs(self, a: VReg, pred: Pred | None = None) -> VReg:
+        complete = self._issue("vector", 1, self.system.lat_vector_arith, deps=(a, pred))
+        result = np.abs(a.data)
+        if pred is not None:
+            result = np.where(pred.data, result, a.data)
+        return VReg(result, a.ebits, complete)
+
+    def sel(self, pred: Pred, a: VReg, b: VReg) -> VReg:
+        """Lane select: ``pred ? a : b`` (SVE ``SEL``)."""
+        if a.ebits != b.ebits:
+            raise MachineError("sel operands must share element width")
+        complete = self._issue(
+            "vector", 1, self.system.lat_vector_arith, deps=(a, b, pred)
+        )
+        return VReg(np.where(pred.data, a.data, b.data), a.ebits, complete)
+
+    # ------------------------------------------------------------------
+    # Compares / predicates
+    # ------------------------------------------------------------------
+    def cmp(self, op: str, a: VReg, b, pred: Pred | None = None) -> Pred:
+        """Predicated compare; inactive lanes are False."""
+        try:
+            fn = _CMPOPS[op]
+        except KeyError:
+            raise MachineError(f"unknown compare: {op!r}")
+        b_data, b_reg = self._coerce(b, a.ebits)
+        complete = self._issue(
+            "vector", 1, self.system.lat_predicate, deps=(a, b_reg, pred)
+        )
+        result = fn(a.data, b_data)
+        if pred is not None:
+            result = result & pred.data
+        return Pred(result, a.ebits, complete)
+
+    def ptrue(self, ebits: int = 32) -> Pred:
+        complete = self._issue("control", 1, self.system.lat_predicate)
+        return Pred(np.ones(self.lanes(ebits), dtype=bool), ebits, complete)
+
+    def pfalse(self, ebits: int = 32) -> Pred:
+        complete = self._issue("control", 1, self.system.lat_predicate)
+        return Pred(np.zeros(self.lanes(ebits), dtype=bool), ebits, complete)
+
+    def whilelt(self, start: int, end: int, ebits: int = 32) -> Pred:
+        """Lanes ``[0, min(lanes, end-start))`` active (SVE ``WHILELT``)."""
+        complete = self._issue("control", 1, self.system.lat_predicate)
+        n = self.lanes(ebits)
+        count = np.clip(end - start, 0, n)
+        data = np.arange(n) < count
+        return Pred(data, ebits, complete)
+
+    def pand(self, a: Pred, b: Pred) -> Pred:
+        complete = self._issue("control", 1, self.system.lat_predicate, deps=(a, b))
+        return Pred(a.data & b.data, a.ebits, complete)
+
+    def por(self, a: Pred, b: Pred) -> Pred:
+        complete = self._issue("control", 1, self.system.lat_predicate, deps=(a, b))
+        return Pred(a.data | b.data, a.ebits, complete)
+
+    def pnot(self, a: Pred) -> Pred:
+        complete = self._issue("control", 1, self.system.lat_predicate, deps=(a,))
+        return Pred(~a.data, a.ebits, complete)
+
+    # --- serialising (vector -> scalar) operations ---------------------
+    def _serialize(self, complete: int) -> None:
+        if complete > self.clock:
+            self._stall["control"] += complete - self.clock
+            self.clock = complete
+
+    def ptest(self, pred: Pred) -> bool:
+        """Branch on 'any lane active'; serialises the pipeline."""
+        complete = self._issue("control", 1, self.system.lat_predicate, deps=(pred,))
+        self._serialize(complete)
+        return bool(pred.data.any())
+
+    def ptest_spec(self, pred: Pred) -> bool:
+        """Predicted loop-back branch on 'any lane active'.
+
+        Models a well-predicted loop branch: issue proceeds without
+        waiting for the predicate (the predictor assumes 'taken'), and the
+        final not-taken test pays the pipeline-refill penalty instead.
+        """
+        self._issue("control", 1, self.system.lat_predicate)
+        taken = bool(pred.data.any())
+        if not taken:
+            self.account_block(
+                "control", stall=self.system.mispredict_penalty,
+                stall_category="control",
+            )
+        return taken
+
+    def count_active(self, pred: Pred) -> int:
+        """Population count of a predicate (SVE ``CNTP``); serialising."""
+        complete = self._issue("control", 1, self.system.lat_predicate, deps=(pred,))
+        self._serialize(complete)
+        return int(pred.data.sum())
+
+    def reduce_add(self, a: VReg, pred: Pred | None = None) -> int:
+        return self._reduce(np.sum, a, pred)
+
+    def reduce_max(self, a: VReg, pred: Pred | None = None) -> int:
+        return self._reduce(np.max, a, pred, empty=-(1 << 62))
+
+    def reduce_min(self, a: VReg, pred: Pred | None = None) -> int:
+        return self._reduce(np.min, a, pred, empty=(1 << 62))
+
+    def _reduce(self, fn, a: VReg, pred: Pred | None, empty: int = 0) -> int:
+        complete = self._issue("vector", 1, self.system.lat_reduce, deps=(a, pred))
+        self._serialize(complete)
+        data = a.data if pred is None else a.data[pred.data]
+        return int(fn(data)) if data.size else empty
+
+    def extract(self, a: VReg, lane: int) -> int:
+        """Move one lane to a scalar register; serialising."""
+        if not 0 <= lane < len(a.data):
+            raise MachineError(f"lane {lane} out of range")
+        complete = self._issue("vector", 1, self.system.lat_permute, deps=(a,))
+        self._serialize(complete)
+        return int(a.data[lane])
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        buf: SimBuffer,
+        start: int = 0,
+        ebits: int = 32,
+        pred: Pred | None = None,
+        stream_id: int | None = None,
+    ) -> VReg:
+        """Unit-stride vector load of ``lanes(ebits)`` consecutive elements."""
+        n = self.lanes(ebits)
+        idx = np.arange(start, start + n)
+        active = pred.data if pred is not None else np.ones(n, dtype=bool)
+        live = idx[active & (idx >= 0) & (idx < len(buf.data))]
+        vals = np.zeros(n, dtype=np.int64)
+        in_range = active & (idx >= 0) & (idx < len(buf.data))
+        vals[in_range] = buf.data[idx[in_range]]
+        sid = stream_id if stream_id is not None else hash(buf.name) & 0xFFFF
+        if live.size:
+            nbytes = (int(live.max()) - int(live.min()) + 1) * buf.elem_bytes
+            latency = self.mem.access(buf.addr_of(int(live.min())), nbytes, sid)
+            if buf.track_forwarding and self._store_visible:
+                latency += self._forwarding_stall(
+                    buf.addr_of(int(live.min())), nbytes
+                )
+        else:
+            latency = self.system.l1d.load_to_use
+        latency += self.system.lat_vector_load_extra
+        complete = self._issue("memory", 1, latency, deps=(pred,))
+        return VReg(vals, ebits, complete, category="memory")
+
+    def store(
+        self,
+        buf: SimBuffer,
+        start: int,
+        value: VReg,
+        pred: Pred | None = None,
+        stream_id: int | None = None,
+    ) -> None:
+        """Unit-stride vector store."""
+        n = len(value.data)
+        idx = np.arange(start, start + n)
+        active = pred.data if pred is not None else np.ones(n, dtype=bool)
+        in_range = active & (idx >= 0) & (idx < len(buf.data))
+        if np.any(active & ~in_range & (idx >= len(buf.data))):
+            raise MachineError(
+                f"store out of range on buffer {buf.name!r}"
+            )
+        buf.data[idx[in_range]] = value.data[in_range]
+        sid = stream_id if stream_id is not None else hash(buf.name) & 0xFFFF
+        if in_range.any():
+            lo = int(idx[in_range].min())
+            nbytes = (int(idx[in_range].max()) - lo + 1) * buf.elem_bytes
+            self.mem.access(buf.addr_of(lo), nbytes, sid)
+            if buf.track_forwarding:
+                self._record_store(buf.addr_of(lo), nbytes)
+        self._issue("memory", 1, 1, deps=(value, pred))
+
+    def gather(
+        self,
+        buf: SimBuffer,
+        idx: VReg,
+        pred: Pred | None = None,
+        stream_id: int | None = None,
+    ) -> VReg:
+        """Indexed vector load (scatter/gather path, Section II-G).
+
+        Occupies the issue stage one cycle per active element (AGU
+        serialisation) and completes no earlier than ``lat_gather_base``
+        after issue, even on all-L1 hits.
+        """
+        n = len(idx.data)
+        active = pred.data if pred is not None else np.ones(n, dtype=bool)
+        indices = idx.data[active]
+        buf.check_range(indices)
+        vals = np.zeros(n, dtype=np.int64)
+        vals[active] = buf.data[indices]
+        sid = stream_id if stream_id is not None else hash(buf.name) & 0xFFFF
+        worst = 0
+        for i in indices:
+            worst = max(
+                worst, self.mem.access(buf.addr_of(int(i)), buf.elem_bytes, sid)
+            )
+        extra = max(0, worst - self.system.l1d.load_to_use)
+        occupancy = self._indexed_occupancy(int(active.sum()))
+        latency = self._indexed_latency(occupancy, extra)
+        complete = self._issue("memory", occupancy, latency, deps=(idx, pred))
+        return VReg(vals, idx.ebits, complete, category="memory")
+
+    def _indexed_occupancy(self, active: int) -> int:
+        """Issue occupancy of an indexed memory op: per-element AGU
+        serialisation (a full gather occupies ~lat_gather_base cycles)."""
+        per = self.system.gather_element_occupancy
+        return max(1, int(round(per * active)))
+
+    def _indexed_latency(self, occupancy: int, extra: int) -> int:
+        """Completion latency beyond issue: the full gather takes at
+        least ``lat_gather_base`` cycles even on all-L1 hits, plus any
+        exposed miss latency."""
+        floor = self.system.l1d.load_to_use
+        return max(floor, self.system.lat_gather_base - occupancy + floor) + extra
+
+    def gather64(
+        self,
+        buf: SimBuffer,
+        idx: VReg,
+        pred: Pred | None = None,
+        stream_id: int | None = None,
+    ) -> VReg:
+        """Gather unaligned 64-bit windows from a byte buffer.
+
+        Lane ``i`` receives ``buf[idx_i .. idx_i+8)`` packed little-endian
+        (zero-padded past the buffer end) — the block-compare idiom of
+        word-at-a-time string loops, on the scatter/gather path.  Timing
+        matches :meth:`gather` with 64-bit elements.
+        """
+        if buf.elem_bytes != 1:
+            raise MachineError("gather64 reads byte buffers")
+        if idx.ebits != 64:
+            raise MachineError("gather64 expects 64-bit lane indices")
+        n = len(idx.data)
+        active = pred.data if pred is not None else np.ones(n, dtype=bool)
+        indices = idx.data[active]
+        if indices.size:
+            lo, hi = int(indices.min()), int(indices.max())
+            if lo < 0 or hi >= len(buf.data):
+                raise MachineError(
+                    f"gather64 index out of range on {buf.name!r}: [{lo}, {hi}]"
+                )
+        vals = np.zeros(n, dtype=np.int64)
+        shifts = np.arange(8, dtype=np.uint64) * np.uint64(8)
+        for lane in np.flatnonzero(active):
+            start = int(idx.data[lane])
+            window = buf.data[start : start + 8].astype(np.uint64)
+            packed = np.bitwise_or.reduce(
+                (window & np.uint64(0xFF)) << shifts[: len(window)]
+            ) if len(window) else np.uint64(0)
+            vals[lane] = np.int64(packed)
+        sid = stream_id if stream_id is not None else hash(buf.name) & 0xFFFF
+        worst = 0
+        for i in indices:
+            worst = max(worst, self.mem.access(buf.addr_of(int(i)), 8, sid))
+        extra = max(0, worst - self.system.l1d.load_to_use)
+        occupancy = self._indexed_occupancy(int(active.sum()))
+        latency = self._indexed_latency(occupancy, extra)
+        complete = self._issue("memory", occupancy, latency, deps=(idx, pred))
+        return VReg(vals, 64, complete, category="memory")
+
+    def scatter(
+        self,
+        buf: SimBuffer,
+        idx: VReg,
+        value: VReg,
+        pred: Pred | None = None,
+        stream_id: int | None = None,
+    ) -> None:
+        """Indexed vector store."""
+        n = len(idx.data)
+        active = pred.data if pred is not None else np.ones(n, dtype=bool)
+        indices = idx.data[active]
+        buf.check_range(indices)
+        buf.data[indices] = value.data[active]
+        sid = stream_id if stream_id is not None else hash(buf.name) & 0xFFFF
+        for i in indices:
+            self.mem.access(buf.addr_of(int(i)), buf.elem_bytes, sid)
+        occupancy = self._indexed_occupancy(int(active.sum()))
+        self._issue("memory", occupancy, 2, deps=(idx, value, pred))
+
+    def _record_store(self, addr: int, nbytes: int) -> None:
+        line = self.system.l1d.line_bytes
+        visible = self.clock + self.system.store_to_load_visible
+        first = addr - addr % line
+        for line_addr in range(first, addr + nbytes, line):
+            self._store_visible[line_addr] = visible
+
+    def _forwarding_stall(self, addr: int, nbytes: int) -> int:
+        """Extra latency while an in-flight store to these lines drains."""
+        line = self.system.l1d.line_bytes
+        first = addr - addr % line
+        worst = 0
+        for line_addr in range(first, addr + nbytes, line):
+            visible = self._store_visible.get(line_addr)
+            if visible is None:
+                continue
+            if visible <= self.clock:
+                del self._store_visible[line_addr]
+            else:
+                worst = max(worst, visible - self.clock)
+        return worst
+
+    # ------------------------------------------------------------------
+    # Scalar bookkeeping
+    # ------------------------------------------------------------------
+    def scalar(self, n: int = 1) -> None:
+        """Account ``n`` scalar bookkeeping instructions (loop control...)."""
+        if n < 0:
+            raise MachineError("scalar count must be non-negative")
+        self._instructions["scalar"] += n
+        self._busy["scalar"] += n
+        self.clock += n
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def cycles(self) -> int:
+        return max(self.clock, self._max_complete)
+
+    def snapshot(self) -> MachineStats:
+        """Copy of all counters at this instant (use ``delta`` for spans)."""
+        snap = MachineStats(
+            cycles=self.cycles,
+            instructions=Counter(self._instructions),
+            busy=Counter(self._busy),
+            stall=Counter(self._stall),
+            mem=self.mem.stats(),
+        )
+        if self.quetzal is not None:
+            snap.qz_reads = self.quetzal.reads
+            snap.qz_writes = self.quetzal.writes
+        return snap
+
+    def reset(self) -> None:
+        """Zero the clock and counters; buffers and caches keep contents."""
+        self.clock = 0
+        self._max_complete = 0
+        self._instructions.clear()
+        self._busy.clear()
+        self._stall.clear()

@@ -1,0 +1,125 @@
+"""Vector registers, predicate registers and simulated buffers.
+
+Functional values are numpy ``int64`` arrays regardless of the declared
+element width: the element width determines the *lane count* (a 512-bit
+vector holds 16 32-bit lanes) while values are modelled at 64-bit
+precision, which is sufficient for every algorithm in this reproduction.
+Each register carries the cycle at which its producer completes (``ready``)
+and the producer's timing category, used for stall attribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MachineError
+
+
+class VReg:
+    """A vector register: lane values + scoreboard metadata."""
+
+    __slots__ = ("data", "ebits", "ready", "category")
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        ebits: int,
+        ready: int = 0,
+        category: str = "vector",
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.int64)
+        self.ebits = ebits
+        self.ready = ready
+        self.category = category
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"VReg(ebits={self.ebits}, ready={self.ready}, data={self.data!r})"
+
+    def tolist(self) -> list[int]:
+        return self.data.tolist()
+
+
+class Pred:
+    """A predicate register: one boolean per lane."""
+
+    __slots__ = ("data", "ebits", "ready", "category")
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        ebits: int,
+        ready: int = 0,
+        category: str = "vector",
+    ) -> None:
+        self.data = np.asarray(data, dtype=bool)
+        self.ebits = ebits
+        self.ready = ready
+        self.category = category
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"Pred(ebits={self.ebits}, ready={self.ready}, data={self.data!r})"
+
+    @property
+    def active(self) -> int:
+        return int(self.data.sum())
+
+    def tolist(self) -> list[bool]:
+        return self.data.tolist()
+
+
+class SimBuffer:
+    """A named array living at a simulated address.
+
+    ``elem_bytes`` governs address arithmetic: element ``i`` lives at
+    ``base + i * elem_bytes``.  Functional contents are an ``int64`` array.
+    """
+
+    __slots__ = ("name", "data", "base", "elem_bytes", "track_forwarding")
+
+    def __init__(
+        self, name: str, data: np.ndarray, base: int, elem_bytes: int
+    ) -> None:
+        if elem_bytes not in (1, 2, 4, 8):
+            raise MachineError(f"unsupported element size: {elem_bytes} bytes")
+        self.name = name
+        self.data = np.asarray(data, dtype=np.int64).copy()
+        self.base = base
+        self.elem_bytes = elem_bytes
+        #: Opt-in store-to-load hazard tracking: loads of lines this buffer
+        #: stored recently stall until the store drains (see
+        #: ``SystemConfig.store_to_load_visible``).  Enabled for rolling
+        #: DP state, where the hazard is the dominant effect (Fig. 7).
+        self.track_forwarding = False
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimBuffer({self.name!r}, n={len(self.data)}, "
+            f"base={self.base:#x}, elem_bytes={self.elem_bytes})"
+        )
+
+    def addr_of(self, index: int) -> int:
+        return self.base + index * self.elem_bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.data) * self.elem_bytes
+
+    def check_range(self, indices: np.ndarray) -> None:
+        """Raise on out-of-bounds simulated access."""
+        if indices.size == 0:
+            return
+        lo, hi = int(indices.min()), int(indices.max())
+        if lo < 0 or hi >= len(self.data):
+            raise MachineError(
+                f"index out of range for buffer {self.name!r}: "
+                f"[{lo}, {hi}] vs size {len(self.data)}"
+            )

@@ -1,0 +1,93 @@
+"""Execution statistics collected by the vector machine.
+
+Cycles are split into *busy* (issue occupancy, attributed to the issuing
+instruction's category) and *stall* (cycles the in-order issue stage waits
+for an operand, attributed to the category of the instruction that
+produced the blocking operand).  The paper's Fig. 4 breakdown — "cache
+accesses represent 32% to 65% of the overall execution time" — maps to
+``busy[memory] + stall[memory]`` over total cycles.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.memory.hierarchy import MemoryStats
+
+#: Timing categories used throughout the machine.
+CATEGORIES = ("scalar", "vector", "memory", "qbuffer", "control")
+
+
+@dataclass
+class MachineStats:
+    """A snapshot (or delta) of machine counters."""
+
+    cycles: int = 0
+    instructions: Counter = field(default_factory=Counter)
+    busy: Counter = field(default_factory=Counter)
+    stall: Counter = field(default_factory=Counter)
+    mem: MemoryStats = field(default_factory=MemoryStats)
+    qz_reads: int = 0
+    qz_writes: int = 0
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.instructions.values())
+
+    def time_in(self, category: str) -> int:
+        """Busy + attributed stall cycles for a category."""
+        return self.busy.get(category, 0) + self.stall.get(category, 0)
+
+    def fraction_in(self, category: str) -> float:
+        """Share of total cycles spent busy/stalled on a category."""
+        return self.time_in(category) / self.cycles if self.cycles else 0.0
+
+    def breakdown(self) -> dict[str, float]:
+        """Per-category share of execution time (sums to ~1)."""
+        if not self.cycles:
+            return {c: 0.0 for c in CATEGORIES}
+        shares = {c: self.time_in(c) / self.cycles for c in CATEGORIES}
+        accounted = sum(shares.values())
+        shares["other"] = max(0.0, 1.0 - accounted)
+        return shares
+
+    def delta(self, earlier: "MachineStats") -> "MachineStats":
+        return MachineStats(
+            cycles=self.cycles - earlier.cycles,
+            instructions=self.instructions - earlier.instructions,
+            busy=self.busy - earlier.busy,
+            stall=self.stall - earlier.stall,
+            mem=self.mem.delta(earlier.mem),
+            qz_reads=self.qz_reads - earlier.qz_reads,
+            qz_writes=self.qz_writes - earlier.qz_writes,
+        )
+
+    def copy(self) -> "MachineStats":
+        return MachineStats(
+            cycles=self.cycles,
+            instructions=Counter(self.instructions),
+            busy=Counter(self.busy),
+            stall=Counter(self.stall),
+            mem=self.mem.copy(),
+            qz_reads=self.qz_reads,
+            qz_writes=self.qz_writes,
+        )
+
+    def merge(self, other: "MachineStats") -> "MachineStats":
+        """Sum of two runs (cycles add: sequential composition)."""
+        return MachineStats(
+            cycles=self.cycles + other.cycles,
+            instructions=self.instructions + other.instructions,
+            busy=self.busy + other.busy,
+            stall=self.stall + other.stall,
+            mem=MemoryStats(
+                requests=self.mem.requests + other.mem.requests,
+                l1=self.mem.l1.merge(other.mem.l1),
+                l2=self.mem.l2.merge(other.mem.l2),
+                dram_accesses=self.mem.dram_accesses + other.mem.dram_accesses,
+                dram_bytes=self.mem.dram_bytes + other.mem.dram_bytes,
+            ),
+            qz_reads=self.qz_reads + other.qz_reads,
+            qz_writes=self.qz_writes + other.qz_writes,
+        )

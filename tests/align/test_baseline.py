@@ -1,0 +1,81 @@
+"""Direct tests for the autovec baseline cost model."""
+
+import pytest
+
+from repro.align.baseline import (
+    BaselineCosts,
+    BiwfaBase,
+    DEFAULT_COSTS,
+    SsBase,
+    WfaBase,
+)
+from repro.align.needleman_wunsch import nw_edit_distance
+from repro.eval.runner import make_machine
+from repro.genomics.generator import ErrorProfile, ReadPairGenerator
+
+
+def make_pair(length=150, error=0.03, seed=0):
+    gen = ReadPairGenerator(
+        length, ErrorProfile(error * 0.6, error * 0.2, error * 0.2), seed=seed
+    )
+    return gen.pair()
+
+
+class TestCostModel:
+    def test_defaults_documented_as_fitted(self):
+        assert "fitted" in BaselineCosts.__doc__
+
+    def test_custom_costs_scale_cycles(self):
+        pair = make_pair(seed=1)
+        cheap = WfaBase(costs=BaselineCosts()).run_pair(make_machine(), pair)
+        double = BaselineCosts(char=DEFAULT_COSTS.char * 2)
+        pricey = WfaBase(costs=double).run_pair(make_machine(), pair)
+        assert pricey.cycles > cheap.cycles
+        assert pricey.output == cheap.output
+
+    def test_cycles_grow_with_length(self):
+        short = WfaBase().run_pair(make_machine(), make_pair(100, seed=2))
+        long = WfaBase().run_pair(make_machine(), make_pair(800, seed=2))
+        assert long.cycles > short.cycles
+
+    def test_cycles_grow_with_errors(self):
+        clean = WfaBase().run_pair(make_machine(), make_pair(300, 0.01, seed=3))
+        noisy = WfaBase().run_pair(make_machine(), make_pair(300, 0.06, seed=3))
+        assert noisy.cycles > clean.cycles
+
+
+class TestFunctionalOutputs:
+    def test_wfa_base_distance(self):
+        pair = make_pair(seed=4)
+        result = WfaBase().run_pair(make_machine(), pair)
+        assert result.output == nw_edit_distance(pair.pattern, pair.text)
+
+    def test_biwfa_base_distance(self):
+        pair = make_pair(seed=5)
+        result = BiwfaBase().run_pair(make_machine(), pair)
+        assert result.output == nw_edit_distance(pair.pattern, pair.text)
+
+    def test_ss_base_verdict(self):
+        from repro.align.trace import build_ss_trace
+
+        pair = make_pair(seed=6)
+        result = SsBase(threshold=10).run_pair(make_machine(), pair)
+        expected = build_ss_trace(pair.pattern, pair.text, 10).result
+        assert result.output.accepted == expected.accepted
+
+    def test_traceback_toggle(self):
+        pair = make_pair(seed=7)
+        with_tb = WfaBase(traceback=True).run_pair(make_machine(), pair)
+        without = WfaBase(traceback=False).run_pair(make_machine(), pair)
+        assert with_tb.cycles > without.cycles
+
+
+class TestMemoryRealism:
+    def test_baseline_touches_the_cache(self):
+        pair = make_pair(length=600, seed=8)
+        result = WfaBase().run_pair(make_machine(), pair)
+        assert result.stats.mem.requests > 0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(Exception):
+            SsBase(threshold=-2)

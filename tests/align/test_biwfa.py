@@ -1,0 +1,67 @@
+"""Tests for bidirectional WFA."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.biwfa import biwfa_edit_align, biwfa_edit_distance
+from repro.align.needleman_wunsch import nw_edit_distance
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=80)
+
+
+class TestBiwfaDistance:
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ("ACAG", "AAGT"),
+            ("ACGT", "ACGT"),
+            ("A", ""),
+            ("", "T"),
+            ("", ""),
+            ("AAAA", "TTTT"),
+            ("ACGTACGTACGT", "ACGTTACGAC"),
+        ],
+    )
+    def test_matches_nw(self, a, b):
+        assert biwfa_edit_distance(a, b) == nw_edit_distance(a, b)
+
+    def test_breakpoint_in_range(self):
+        d, (s_f, k, off) = biwfa_edit_distance(
+            "ACGTACGTACGT", "ACGTTACGACGT", with_breakpoint=True
+        )
+        assert 0 <= s_f <= d
+        assert off >= 0
+
+    @given(dna, dna)
+    @settings(max_examples=200, deadline=None)
+    def test_equals_nw_property(self, a, b):
+        assert biwfa_edit_distance(a, b) == nw_edit_distance(a, b)
+
+
+class TestBiwfaAlign:
+    def test_transcript_valid(self):
+        a = "ACGTACGTACGT" * 12
+        b = a[:50] + "T" + a[51:100] + a[104:]
+        aln = biwfa_edit_align(a, b)
+        aln.validate(a, b)
+        assert aln.score == nw_edit_distance(a, b)
+
+    def test_empty_cases(self):
+        assert biwfa_edit_align("", "ACG").score == 3
+        assert biwfa_edit_align("ACG", "").score == 3
+        assert biwfa_edit_align("", "").score == 0
+
+    def test_recursion_splits_long_inputs(self):
+        # Longer than the base case so the divide-and-conquer path runs.
+        a = "ACGT" * 60
+        b = "ACGT" * 30 + "TT" + "ACGT" * 30
+        aln = biwfa_edit_align(a, b)
+        aln.validate(a, b)
+        assert aln.score == nw_edit_distance(a, b)
+
+    @given(dna, dna)
+    @settings(max_examples=100, deadline=None)
+    def test_transcript_property(self, a, b):
+        aln = biwfa_edit_align(a, b)
+        aln.validate(a, b)
+        assert aln.score == nw_edit_distance(a, b)

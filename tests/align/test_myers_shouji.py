@@ -1,0 +1,141 @@
+"""Tests for the Myers bit-parallel distance and the Shouji filter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.myers import myers_edit_distance, myers_within
+from repro.align.needleman_wunsch import nw_edit_distance
+from repro.align.shouji import shouji_filter
+from repro.align.sneakysnake import sneakysnake_filter
+from repro.errors import AlignmentError
+from repro.genomics.generator import ErrorProfile, ReadPairGenerator
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=90)
+dna_fixed = st.integers(8, 60).flatmap(
+    lambda n: st.tuples(
+        st.text(alphabet="ACGT", min_size=n, max_size=n),
+        st.text(alphabet="ACGT", min_size=n, max_size=n),
+    )
+)
+
+
+class TestMyers:
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ("", ""),
+            ("A", ""),
+            ("", "ACGT"),
+            ("ACAG", "AAGT"),
+            ("ACGT" * 40, "ACGT" * 40),  # multi-block, zero distance
+            ("A" * 100, "T" * 100),  # multi-block, max distance
+        ],
+    )
+    def test_known_cases(self, a, b):
+        assert myers_edit_distance(a, b) == nw_edit_distance(a, b)
+
+    def test_block_boundary_lengths(self):
+        """Pattern lengths at and around the 64-bit word boundary."""
+        for m in (63, 64, 65, 127, 128, 129):
+            a = ("ACGT" * 40)[:m]
+            b = a[: m // 2] + "T" + a[m // 2 + 1 :]
+            assert myers_edit_distance(a, b) == nw_edit_distance(a, b)
+
+    @given(dna, dna)
+    @settings(max_examples=100, deadline=None)
+    def test_equals_nw_property(self, a, b):
+        assert myers_edit_distance(a, b) == nw_edit_distance(a, b)
+
+    def test_within(self):
+        assert myers_within("ACGT", "ACGA", 1)
+        assert not myers_within("ACGT", "TTTT", 2)
+
+    def test_within_rejects_negative(self):
+        with pytest.raises(AlignmentError):
+            myers_within("A", "A", -1)
+
+    def test_protein_alphabet(self):
+        from repro.genomics.sequence import Sequence
+        from repro.genomics.alphabet import PROTEIN
+
+        a = Sequence("ACDEFGHIKL", PROTEIN)
+        b = Sequence("ACDEFGHIKV", PROTEIN)
+        assert myers_edit_distance(a, b) == 1
+
+
+class TestShouji:
+    def test_identical_accepts(self):
+        r = shouji_filter("ACGT" * 10, "ACGT" * 10, threshold=2)
+        assert r.accepted and r.estimated_edits == 0
+
+    def test_dissimilar_rejects(self):
+        r = shouji_filter("A" * 40, "T" * 40, threshold=3)
+        assert not r.accepted
+
+    def test_empty_accepts(self):
+        assert shouji_filter("", "", 0).accepted
+
+    def test_negative_threshold(self):
+        with pytest.raises(AlignmentError):
+            shouji_filter("A", "A", -1)
+
+    @given(dna_fixed)
+    @settings(max_examples=100, deadline=None)
+    def test_no_false_negatives_property(self, pair):
+        """Shouji's core guarantee: pairs within E are never rejected."""
+        a, b = pair
+        threshold = max(3, len(a) // 4)
+        true_distance = nw_edit_distance(a, b)
+        result = shouji_filter(a, b, threshold)
+        if true_distance <= threshold:
+            assert result.accepted
+
+    @given(dna_fixed)
+    @settings(max_examples=60, deadline=None)
+    def test_estimate_is_lower_bound(self, pair):
+        a, b = pair
+        result = shouji_filter(a, b, threshold=max(3, len(a) // 3))
+        assert result.estimated_edits <= nw_edit_distance(a, b)
+
+
+class TestFilterFamilyAccuracy:
+    """SneakySnake vs Shouji on the same candidate stream."""
+
+    def _candidates(self, n=30, length=120, seed=5):
+        gen = ReadPairGenerator(
+            length, ErrorProfile(0.03, 0.005, 0.005), seed=seed
+        )
+        true_pairs = gen.pairs(n // 2)
+        decoys = [
+            type(true_pairs[0])(gen.random_sequence(), gen.random_sequence())
+            for _ in range(n // 2)
+        ]
+        return true_pairs + decoys
+
+    def test_both_filters_keep_all_true_pairs(self):
+        threshold = 12
+        for pair in self._candidates():
+            a, b = str(pair.pattern), str(pair.text)
+            n = min(len(a), len(b))
+            a, b = a[:n], b[:n]
+            true_distance = nw_edit_distance(a, b)
+            ss = sneakysnake_filter(a, b, threshold)
+            sh = shouji_filter(a, b, threshold)
+            if true_distance <= threshold:
+                assert ss.accepted and sh.accepted
+
+    def test_filters_reject_most_decoys(self):
+        threshold = 10
+        rejected_ss = rejected_sh = total = 0
+        for pair in self._candidates(seed=9):
+            a, b = str(pair.pattern), str(pair.text)
+            n = min(len(a), len(b))
+            a, b = a[:n], b[:n]
+            if nw_edit_distance(a, b) <= threshold:
+                continue
+            total += 1
+            rejected_ss += not sneakysnake_filter(a, b, threshold).accepted
+            rejected_sh += not shouji_filter(a, b, threshold).accepted
+        assert total > 0
+        assert rejected_ss / total > 0.8
+        assert rejected_sh / total > 0.5

@@ -1,0 +1,107 @@
+"""Tests for the classic NW DP (ground truth for everything else)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.needleman_wunsch import (
+    nw_edit_align,
+    nw_edit_distance,
+    nw_edit_matrix,
+    nw_edit_matrix_fast,
+    nw_score,
+)
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=60)
+
+
+def reference_levenshtein(a: str, b: str) -> int:
+    """Textbook O(nm) implementation, the independent oracle."""
+    prev = list(range(len(b) + 1))
+    for i, ca in enumerate(a, 1):
+        cur = [i]
+        for j, cb in enumerate(b, 1):
+            cur.append(min(prev[j] + 1, cur[-1] + 1, prev[j - 1] + (ca != cb)))
+        prev = cur
+    return prev[-1]
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        "a,b,d",
+        [
+            ("", "", 0),
+            ("A", "", 1),
+            ("", "ACG", 3),
+            ("ACGT", "ACGT", 0),
+            ("ACAG", "AAGT", 3),  # the paper's Fig. 1 example pair
+            ("KITTEN".replace("K", "A").replace("I", "C")
+             .replace("T", "G").replace("E", "T").replace("N", "A"), "ACGT", 3),
+        ],
+    )
+    def test_known_distances(self, a, b, d):
+        assert nw_edit_distance(a, b) == reference_levenshtein(a, b)
+
+    def test_fig1_example(self):
+        # Fig. 1a: <ACAG, AAGT> -- check against the oracle.
+        assert nw_edit_distance("ACAG", "AAGT") == reference_levenshtein(
+            "ACAG", "AAGT"
+        )
+
+    def test_fast_matches_slow_matrix(self):
+        a, b = "ACGTACGGTA", "ACTTACGTAA"
+        np.testing.assert_array_equal(
+            nw_edit_matrix(a, b), nw_edit_matrix_fast(a, b)
+        )
+
+    @given(dna, dna)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_oracle(self, a, b):
+        assert nw_edit_distance(a, b) == reference_levenshtein(a, b)
+
+
+class TestEditAlign:
+    def test_cigar_valid_and_scored(self):
+        a, b = "ACAG", "AAGT"
+        aln = nw_edit_align(a, b)
+        aln.validate(a, b)
+        assert aln.score == reference_levenshtein(a, b)
+        assert aln.cigar.edits == aln.score
+
+    def test_identical(self):
+        aln = nw_edit_align("ACGT", "ACGT")
+        assert aln.score == 0
+        assert str(aln.cigar) == "4M"
+
+    def test_pure_insertion(self):
+        aln = nw_edit_align("", "ACG")
+        assert str(aln.cigar) == "3I"
+
+    def test_pure_deletion(self):
+        aln = nw_edit_align("ACG", "")
+        assert str(aln.cigar) == "3D"
+
+    @given(dna, dna)
+    @settings(max_examples=80, deadline=None)
+    def test_transcript_property(self, a, b):
+        aln = nw_edit_align(a, b)
+        aln.validate(a, b)
+        assert aln.cigar.edits == aln.score == reference_levenshtein(a, b)
+
+
+class TestScoredNW:
+    def test_gap_only(self):
+        assert nw_score("", "ACG", gap=2) == 6
+
+    def test_identical_zero_cost(self):
+        assert nw_score("ACGT", "ACGT") == 0
+
+    def test_mismatch_vs_gaps(self):
+        # One substitution (cost 4) beats two gaps (cost 2+2=4)? Tie -> 4.
+        assert nw_score("A", "C", mismatch=4, gap=2) == 4
+        # With cheap gaps the aligner prefers indels.
+        assert nw_score("A", "C", mismatch=5, gap=2) == 4
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(Exception):
+            nw_score("A", "C", match=2, mismatch=1)

@@ -1,0 +1,142 @@
+"""Tests for classical affine DP: Gotoh, banded, adaptive banded."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.smith_waterman import (
+    adaptive_banded_affine,
+    banded_global_affine,
+    nw_gotoh_global,
+    sw_gotoh_local,
+)
+from repro.align.types import Penalties
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=40)
+dna_ne = st.text(alphabet="ACGT", min_size=1, max_size=40)
+
+
+def gotoh_reference(a: str, b: str, pen: Penalties) -> int:
+    """Textbook O(nm) affine-cost DP, the independent oracle."""
+    inf = 1 << 30
+    m, n = len(a), len(b)
+    H = [[inf] * (n + 1) for _ in range(m + 1)]
+    E = [[inf] * (n + 1) for _ in range(m + 1)]  # vertical gap (in text)
+    F = [[inf] * (n + 1) for _ in range(m + 1)]  # horizontal gap
+    H[0][0] = 0
+    for j in range(1, n + 1):
+        F[0][j] = pen.gap_open + pen.gap_extend * j
+        H[0][j] = F[0][j]
+    for i in range(1, m + 1):
+        E[i][0] = pen.gap_open + pen.gap_extend * i
+        H[i][0] = E[i][0]
+        for j in range(1, n + 1):
+            E[i][j] = min(E[i - 1][j] + pen.gap_extend,
+                          H[i - 1][j] + pen.gap_open + pen.gap_extend)
+            F[i][j] = min(F[i][j - 1] + pen.gap_extend,
+                          H[i][j - 1] + pen.gap_open + pen.gap_extend)
+            sub = pen.match if a[i - 1] == b[j - 1] else pen.mismatch
+            H[i][j] = min(H[i - 1][j - 1] + sub, E[i][j], F[i][j])
+    return H[m][n]
+
+
+class TestGotohGlobal:
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ("ACGT", "ACGT"),
+            ("ACGT", "ACGA"),
+            ("ACGT", "AT"),
+            ("", "ACG"),
+            ("ACG", ""),
+            ("AAAA", "TTTT"),
+        ],
+    )
+    def test_known_cases(self, a, b):
+        pen = Penalties()
+        assert nw_gotoh_global(a, b, pen) == gotoh_reference(a, b, pen)
+
+    @given(dna, dna)
+    @settings(max_examples=120, deadline=None)
+    def test_matches_oracle(self, a, b):
+        pen = Penalties(match=0, mismatch=3, gap_open=4, gap_extend=1)
+        assert nw_gotoh_global(a, b, pen) == gotoh_reference(a, b, pen)
+
+
+class TestLocalSW:
+    def test_identical(self):
+        assert sw_gotoh_local("ACGT", "ACGT", match_score=2) == 8
+
+    def test_disjoint_is_zero(self):
+        assert sw_gotoh_local("AAAA", "TTTT") == 0
+
+    def test_embedded_match(self):
+        # The best local hit is the 7-char common core ACGTACG.
+        score = sw_gotoh_local("TTACGTACGTT", "CCACGTACGCC", match_score=2)
+        assert score == 2 * 7
+
+    def test_empty(self):
+        assert sw_gotoh_local("", "ACGT") == 0
+
+    def test_rejects_bad_scores(self):
+        with pytest.raises(Exception):
+            sw_gotoh_local("A", "A", match_score=-1)
+
+    def test_gap_bridged_when_cheap(self):
+        # Two cores bridged by one text insertion beat either core alone.
+        a = "ACGTAC" + "GTACGT"
+        b = "ACGTAC" + "T" + "GTACGT"
+        bridged = sw_gotoh_local(a, b, match_score=2, gap_open=1, gap_extend=1)
+        assert bridged >= 2 * 12 - 4
+
+
+class TestBanded:
+    def test_wide_band_matches_exact(self):
+        pen = Penalties()
+        a, b = "ACGTACGTAC", "ACGTTCGTAC"
+        assert banded_global_affine(a, b, band=10, penalties=pen) == nw_gotoh_global(
+            a, b, pen
+        )
+
+    def test_narrow_band_can_fail(self):
+        # Length difference exceeding the band is an immediate reject.
+        assert banded_global_affine("A" * 10, "A" * 20, band=3) is None
+
+    def test_band_zero_diagonal_only(self):
+        pen = Penalties()
+        assert banded_global_affine("ACGT", "ACGT", band=0, penalties=pen) == 0
+
+    @given(dna_ne, dna_ne)
+    @settings(max_examples=60, deadline=None)
+    def test_wide_band_equals_exact_property(self, a, b):
+        pen = Penalties(match=0, mismatch=3, gap_open=4, gap_extend=1)
+        band = max(len(a), len(b))
+        assert banded_global_affine(a, b, band, pen) == nw_gotoh_global(a, b, pen)
+
+    def test_band_is_upper_bound(self):
+        # A banded score can never beat the exact optimum.
+        pen = Penalties()
+        a, b = "ACGTACGTACGTAAAA", "ACGTACTTACGTAAAA"
+        exact = nw_gotoh_global(a, b, pen)
+        banded = banded_global_affine(a, b, band=2, penalties=pen)
+        assert banded is None or banded >= exact
+
+
+class TestAdaptiveBanded:
+    def test_matches_exact_on_similar_pairs(self):
+        pen = Penalties()
+        a = "ACGTACGTACGTACGT"
+        b = "ACGTACTTACGTACGT"
+        assert adaptive_banded_affine(a, b, band=4, penalties=pen) == nw_gotoh_global(
+            a, b, pen
+        )
+
+    def test_is_upper_bound(self):
+        pen = Penalties()
+        a, b = "ACGT" * 8, "TGCA" * 8
+        exact = nw_gotoh_global(a, b, pen)
+        approx = adaptive_banded_affine(a, b, band=3, penalties=pen)
+        assert approx is None or approx >= exact
+
+    def test_rejects_zero_band(self):
+        with pytest.raises(Exception):
+            adaptive_banded_affine("A", "A", band=0)

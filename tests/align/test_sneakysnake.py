@@ -1,0 +1,86 @@
+"""Tests for the SneakySnake filter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.needleman_wunsch import nw_edit_distance
+from repro.align.sneakysnake import sneakysnake_filter
+from repro.genomics.generator import ErrorProfile, ReadPairGenerator
+
+dna_fixed = st.integers(10, 60).flatmap(
+    lambda n: st.tuples(
+        st.text(alphabet="ACGT", min_size=n, max_size=n),
+        st.text(alphabet="ACGT", min_size=n, max_size=n),
+    )
+)
+
+
+class TestSneakySnake:
+    def test_identical_accepts_with_zero_edits(self):
+        r = sneakysnake_filter("ACGTACGT", "ACGTACGT", threshold=2)
+        assert r.accepted
+        assert r.edits == 0
+
+    def test_single_substitution(self):
+        r = sneakysnake_filter("ACGTACGT", "ACGAACGT", threshold=2)
+        assert r.accepted
+        assert r.edits == 1
+
+    def test_rejects_dissimilar(self):
+        r = sneakysnake_filter("A" * 40, "T" * 40, threshold=3)
+        assert not r.accepted
+
+    def test_empty_accepts(self):
+        assert sneakysnake_filter("", "", threshold=0).accepted
+
+    def test_negative_threshold_raises(self):
+        with pytest.raises(Exception):
+            sneakysnake_filter("A", "A", threshold=-1)
+
+    def test_bool_protocol(self):
+        assert bool(sneakysnake_filter("ACGT", "ACGT", threshold=1))
+
+    def test_indel_handled_by_diagonal_shift(self):
+        pattern = "ACGTACGTACGTACGT"
+        text = "ACGTACGACGTACGTA"  # one deletion mid-way, same length
+        r = sneakysnake_filter(pattern, text, threshold=3)
+        assert r.accepted
+
+    @given(dna_fixed)
+    @settings(max_examples=120, deadline=None)
+    def test_lower_bound_property(self, pair):
+        """SS never rejects a pair whose true edit distance is within E."""
+        a, b = pair
+        true_distance = nw_edit_distance(a, b)
+        threshold = max(3, len(a) // 4)
+        r = sneakysnake_filter(a, b, threshold)
+        if true_distance <= threshold:
+            assert r.accepted, (
+                f"false negative: d={true_distance} E={threshold} ss={r.edits}"
+            )
+        if r.accepted:
+            assert r.edits <= threshold
+
+    @given(st.integers(0, 1_000_000))
+    @settings(max_examples=30, deadline=None)
+    def test_filter_accepts_low_error_pairs(self, seed):
+        gen = ReadPairGenerator(
+            100, ErrorProfile(substitution=0.02), seed=seed
+        )
+        pair = gen.pair()
+        threshold = 10
+        r = sneakysnake_filter(pair.pattern, pair.text, threshold)
+        assert r.accepted
+
+    def test_edits_lower_bound_vs_true_distance(self):
+        gen = ReadPairGenerator(
+            150,
+            ErrorProfile(substitution=0.03, insertion=0.01, deletion=0.01),
+            seed=11,
+        )
+        for _ in range(10):
+            pair = gen.pair()
+            n = min(len(pair.pattern), len(pair.text))
+            a, b = str(pair.pattern)[:n], str(pair.text)[:n]
+            r = sneakysnake_filter(a, b, threshold=20)
+            assert r.edits <= nw_edit_distance(a, b)

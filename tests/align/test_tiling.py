@@ -1,0 +1,108 @@
+"""Tests for tiled alignment of ultra-long reads (Section VI support)."""
+
+import pytest
+
+from repro.align.needleman_wunsch import nw_edit_distance
+from repro.align.quetzal_impl import WfaQzc
+from repro.align.tiling import TiledAligner
+from repro.align.vectorized import WfaVec
+from repro.errors import AlignmentError, QuetzalError
+from repro.eval.runner import make_machine
+from repro.genomics.generator import ErrorProfile, ReadPairGenerator
+
+
+def long_pair(length, error=0.004, seed=0):
+    gen = ReadPairGenerator(
+        length, ErrorProfile(error * 0.5, error * 0.25, error * 0.25), seed=seed
+    )
+    return gen.pair()
+
+
+class TestTiling:
+    def test_tile_count(self):
+        pair = long_pair(5000, seed=1)
+        tiled = TiledAligner(WfaVec(), tile=1024)
+        result = tiled.run_pair(make_machine(), pair)
+        assert result.output.num_tiles == 5
+
+    def test_single_tile_equals_inner(self):
+        pair = long_pair(800, seed=2)
+        tiled = TiledAligner(WfaVec(), tile=4096)
+        result = tiled.run_pair(make_machine(), pair)
+        assert result.output.num_tiles == 1
+        assert result.output.distance_bound == nw_edit_distance(
+            pair.pattern, pair.text
+        )
+
+    def test_bound_is_upper_and_tight(self):
+        pair = long_pair(6000, error=0.005, seed=3)
+        true_distance = nw_edit_distance(pair.pattern, pair.text)
+        tiled = TiledAligner(WfaVec(), tile=1500)
+        bound = tiled.run_pair(make_machine(), pair).output.distance_bound
+        assert bound >= true_distance
+        # At sequencing error rates the windowed bound is tight.
+        assert bound <= true_distance + 4 * 6  # few extra edits per seam
+
+    def test_enables_beyond_qbuffer_capacity(self):
+        """An 80Kbp pair cannot be staged whole, but tiles can."""
+        pair = long_pair(80_000, error=0.002, seed=4)
+        with pytest.raises(QuetzalError):
+            WfaQzc(fast=True).run_pair(make_machine(quetzal=True), pair)
+        tiled = TiledAligner(WfaQzc(fast=True), tile=16_384)
+        result = tiled.run_pair(make_machine(quetzal=True), pair)
+        assert result.output.num_tiles == 5
+        assert result.output.distance_bound > 0
+
+    def test_rejects_tiny_tiles(self):
+        with pytest.raises(AlignmentError):
+            TiledAligner(WfaVec(), tile=8)
+
+    def test_quetzal_requirement_propagates(self):
+        tiled = TiledAligner(WfaQzc(), tile=4096)
+        assert tiled.requires_quetzal
+
+    def test_tiled_quetzal_faster_than_tiled_vec(self):
+        pair = long_pair(8000, error=0.004, seed=5)
+        vec = TiledAligner(WfaVec(fast=True), tile=2048).run_pair(
+            make_machine(), pair
+        )
+        qzc = TiledAligner(WfaQzc(fast=True), tile=2048).run_pair(
+            make_machine(quetzal=True), pair
+        )
+        assert qzc.cycles < vec.cycles
+        assert qzc.output.distance_bound == vec.output.distance_bound
+
+
+class TestContextSwitch:
+    """Section IV-E: QBUFFER state across a context switch."""
+
+    def test_round_trip_preserves_state_and_results(self):
+        from repro.genomics.sequence import Sequence
+        from repro.config import QZ_ESIZE_2BIT
+
+        machine = make_machine(quetzal=True)
+        qz = machine.quetzal
+        seq = Sequence("ACGTACGTAACC" * 8)
+        qz.load_sequence(0, seq)
+        qz.load_sequence(1, seq)
+        qz.qzconf(len(seq), len(seq), QZ_ESIZE_2BIT)
+        state = qz.save_context()
+        qz.clear()
+        assert not qz.ctrl.configured
+        qz.restore_context(state)
+        assert qz.ctrl.configured
+        idx = machine.from_values([0] * 8, ebits=64)
+        counts = qz.qzmhm("count", idx, idx)
+        assert counts.data[0] == 32
+
+    def test_switch_cost_is_charged(self):
+        machine = make_machine(quetzal=True)
+        before = machine.cycles
+        state = machine.quetzal.save_context()
+        machine.quetzal.restore_context(state)
+        machine.barrier()
+        # Spilling + reloading 2 x 8KB must cost hundreds of cycles...
+        assert machine.cycles - before > 200
+        # ... but stay negligible against descheduling quanta (the paper's
+        # argument for why this is acceptable).
+        assert machine.cycles - before < 50_000

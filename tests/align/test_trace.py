@@ -1,0 +1,114 @@
+"""Tests for the instrumented algorithm traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.needleman_wunsch import nw_edit_distance
+from repro.align.sneakysnake import sneakysnake_filter
+from repro.align.trace import (
+    build_biwfa_trace,
+    build_ss_trace,
+    build_wfa_trace,
+)
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=40)
+
+
+class TestWfaTrace:
+    def test_distance_matches_reference(self):
+        a, b = "ACGTACGTAA", "ACGTTCGTAA"
+        trace = build_wfa_trace(a, b)
+        assert trace.distance == nw_edit_distance(a, b)
+
+    def test_wave_count(self):
+        trace = build_wfa_trace("ACGT", "ACGA")
+        assert len(trace.waves) == trace.distance + 1
+
+    def test_post_offsets_monotone_per_wave(self):
+        trace = build_wfa_trace("ACGTACGTACGT", "ACGTTACGTACG")
+        for wave in trace.waves:
+            valid = wave.valid_mask()
+            assert np.all(wave.post[valid] >= wave.pre[valid])
+
+    def test_total_extend_chars_bounded(self):
+        a = "ACGT" * 25
+        trace = build_wfa_trace(a, a)
+        # Identical pair: one wave extending the full length.
+        assert trace.total_extend_chars == len(a)
+        assert trace.distance == 0
+
+    def test_max_score_guard(self):
+        with pytest.raises(Exception):
+            build_wfa_trace("AAAA", "TTTT", max_score=1)
+
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_distance_property(self, a, b):
+        assert build_wfa_trace(a, b).distance == nw_edit_distance(a, b)
+
+
+class TestBiwfaTrace:
+    def test_distance_matches_reference(self):
+        a, b = "ACGTACGTACGTAC", "ACGTTCGTACGTAC"
+        trace = build_biwfa_trace(a, b)
+        assert trace.distance == nw_edit_distance(a, b)
+
+    def test_both_directions_have_waves(self):
+        trace = build_biwfa_trace("ACGTACGT", "ACTTACGA")
+        assert trace.fwd_waves and trace.bwd_waves
+
+    def test_fewer_diagonals_than_wfa(self):
+        """BiWFA's raison d'etre: sublinear wavefront footprint."""
+        gen_a = "ACGT" * 40
+        gen_b = "ACGT" * 18 + "TT" + "ACGT" * 22
+        wfa = build_wfa_trace(gen_a, gen_b)
+        biwfa = build_biwfa_trace(gen_a, gen_b)
+        if wfa.distance >= 4:
+            assert biwfa.total_diagonals < wfa.total_diagonals
+
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_distance_property(self, a, b):
+        assert build_biwfa_trace(a, b).distance == nw_edit_distance(a, b)
+
+
+class TestSsTrace:
+    def test_verdict_matches_scalar(self):
+        a, b = "ACGTACGTACGT", "ACGATCGTACGT"
+        for threshold in (0, 1, 3, 6):
+            scalar = sneakysnake_filter(a, b, threshold)
+            trace = build_ss_trace(a, b, threshold)
+            assert trace.result.accepted == scalar.accepted
+            assert trace.result.edits == scalar.edits
+
+    def test_steps_cover_pattern(self):
+        a = "ACGT" * 10
+        trace = build_ss_trace(a, a, threshold=2)
+        assert len(trace.steps) == 1
+        assert trace.steps[0].best == len(a)
+
+    def test_runs_array_width(self):
+        trace = build_ss_trace("ACGTAC", "ACGTAC", threshold=2)
+        assert all(len(s.runs) == 5 for s in trace.steps)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(Exception):
+            build_ss_trace("A", "A", -1)
+
+    @given(
+        st.integers(8, 30).flatmap(
+            lambda n: st.tuples(
+                st.text(alphabet="ACGT", min_size=n, max_size=n),
+                st.text(alphabet="ACGT", min_size=n, max_size=n),
+            )
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_verdict_property(self, texts):
+        a, b = texts
+        threshold = len(a) // 5
+        scalar = sneakysnake_filter(a, b, threshold)
+        trace = build_ss_trace(a, b, threshold)
+        assert trace.result.accepted == scalar.accepted
+        assert trace.result.edits == scalar.edits

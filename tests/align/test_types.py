@@ -1,0 +1,101 @@
+"""Tests for CIGAR / Alignment / Penalties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.types import Alignment, Cigar, Penalties, EDIT_PENALTIES
+from repro.errors import AlignmentError
+
+
+class TestCigar:
+    def test_parse_string(self):
+        c = Cigar("3M1X2I")
+        assert c.ops == [(3, "M"), (1, "X"), (2, "I")]
+
+    def test_round_trip(self):
+        assert str(Cigar("3M1X2I4D")) == "3M1X2I4D"
+
+    def test_coalesce(self):
+        c = Cigar([(2, "M"), (3, "M"), (1, "X")])
+        assert str(c) == "5M1X"
+
+    def test_zero_runs_dropped(self):
+        assert str(Cigar([(0, "M"), (2, "X")])) == "2X"
+
+    def test_malformed_raises(self):
+        with pytest.raises(AlignmentError):
+            Cigar("3Z")
+        with pytest.raises(AlignmentError):
+            Cigar([(1, "Q")])
+        with pytest.raises(AlignmentError):
+            Cigar([(-1, "M")])
+
+    def test_from_ops_string(self):
+        assert str(Cigar.from_ops_string("MMXII")) == "2M1X2I"
+
+    def test_expanded(self):
+        assert Cigar("2M1D").expanded() == "MMD"
+
+    def test_edits(self):
+        assert Cigar("3M2X1I1D").edits == 4
+
+    def test_lengths(self):
+        c = Cigar("3M2X1I2D")
+        assert c.pattern_length == 3 + 2 + 2
+        assert c.text_length == 3 + 2 + 1
+
+    def test_validate_accepts_correct(self):
+        Cigar("2M1X1M").validate("ACGT", "ACTT")
+
+    def test_validate_rejects_wrong_match(self):
+        with pytest.raises(AlignmentError):
+            Cigar("4M").validate("ACGT", "ACTT")
+
+    def test_validate_rejects_x_on_match(self):
+        with pytest.raises(AlignmentError):
+            Cigar("1X3M").validate("ACGT", "ACTT")
+
+    def test_validate_rejects_length_mismatch(self):
+        with pytest.raises(AlignmentError):
+            Cigar("3M").validate("ACGT", "ACG")
+
+    def test_score_affine(self):
+        pen = Penalties(match=0, mismatch=4, gap_open=6, gap_extend=2)
+        assert Cigar("2M1X").score(pen) == 4
+        assert Cigar("2M3I").score(pen) == 6 + 3 * 2
+
+    def test_equality_with_string(self):
+        assert Cigar("3M") == "3M"
+
+    @given(st.lists(st.tuples(st.integers(1, 9), st.sampled_from("MXID")), max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_parse_print_round_trip(self, ops):
+        c = Cigar(ops)
+        assert Cigar(str(c)) == c
+
+
+class TestPenalties:
+    def test_defaults(self):
+        p = Penalties()
+        assert (p.match, p.mismatch, p.gap_open, p.gap_extend) == (0, 4, 6, 2)
+
+    def test_edit_penalties(self):
+        assert EDIT_PENALTIES.gap_open == 0
+        assert EDIT_PENALTIES.mismatch == 1
+
+    def test_rejects_nonpositive_extend(self):
+        with pytest.raises(AlignmentError):
+            Penalties(gap_extend=0)
+
+    def test_rejects_match_ge_mismatch(self):
+        with pytest.raises(AlignmentError):
+            Penalties(match=4, mismatch=4)
+
+
+class TestAlignment:
+    def test_edits_requires_cigar(self):
+        with pytest.raises(AlignmentError):
+            Alignment(score=3).edits
+
+    def test_validate_passthrough(self):
+        Alignment(0, Cigar("2M")).validate("AC", "AC")

@@ -1,0 +1,181 @@
+"""Tests for WFA: edit distance, traceback, gap-affine scores."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import numpy as np
+
+from repro.align.needleman_wunsch import nw_edit_distance
+from repro.align.smith_waterman import nw_gotoh_global
+from repro.align.types import Penalties
+from repro.align.wavefront import (
+    lcp,
+    wfa_affine_score,
+    wfa_edit_align,
+    wfa_edit_distance,
+)
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=60)
+dna_nonempty = st.text(alphabet="ACGT", min_size=1, max_size=50)
+
+
+class TestLcp:
+    def test_full_match(self):
+        p = np.array([1, 2, 3], dtype=np.int64)
+        assert lcp(p, p, 0, 0) == 3
+
+    def test_no_match(self):
+        p = np.array([1, 2], dtype=np.int64)
+        t = np.array([2, 2], dtype=np.int64)
+        assert lcp(p, t, 0, 0) == 0
+
+    def test_partial(self):
+        p = np.array([1, 2, 3, 4], dtype=np.int64)
+        t = np.array([1, 2, 9, 4], dtype=np.int64)
+        assert lcp(p, t, 0, 0) == 2
+
+    def test_offsets(self):
+        p = np.array([9, 1, 2], dtype=np.int64)
+        t = np.array([1, 2, 7], dtype=np.int64)
+        assert lcp(p, t, 1, 0) == 2
+
+    def test_out_of_range(self):
+        p = np.array([1], dtype=np.int64)
+        assert lcp(p, p, 1, 0) == 0
+
+    def test_long_run_crosses_chunks(self):
+        p = np.zeros(5000, dtype=np.int64)
+        t = np.zeros(5000, dtype=np.int64)
+        t[4321] = 1
+        assert lcp(p, t, 0, 0) == 4321
+
+
+class TestWfaEditDistance:
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ("ACAG", "AAGT"),
+            ("ACGT", "ACGT"),
+            ("A", ""),
+            ("", "T"),
+            ("AAAA", "TTTT"),
+            ("ACGTACGT", "ACGTTACG"),
+        ],
+    )
+    def test_matches_nw(self, a, b):
+        assert wfa_edit_distance(a, b) == nw_edit_distance(a, b)
+
+    def test_max_score_abort(self):
+        assert wfa_edit_distance("AAAA", "TTTT", max_score=2) is None
+
+    def test_keep_waves_returns_history(self):
+        d, waves = wfa_edit_distance("ACAG", "AAGT", keep_waves=True)
+        assert len(waves) == d + 1
+
+    @given(dna, dna)
+    @settings(max_examples=150, deadline=None)
+    def test_equals_nw_property(self, a, b):
+        assert wfa_edit_distance(a, b) == nw_edit_distance(a, b)
+
+
+class TestWfaEditAlign:
+    def test_transcript_valid(self):
+        a, b = "ACAG", "AAGT"
+        aln = wfa_edit_align(a, b)
+        aln.validate(a, b)
+        assert aln.cigar.edits == aln.score
+
+    def test_identical_sequences(self):
+        aln = wfa_edit_align("ACGTACGT", "ACGTACGT")
+        assert aln.score == 0
+        assert str(aln.cigar) == "8M"
+
+    @given(dna, dna)
+    @settings(max_examples=100, deadline=None)
+    def test_transcript_property(self, a, b):
+        aln = wfa_edit_align(a, b)
+        aln.validate(a, b)
+        assert aln.score == nw_edit_distance(a, b)
+        assert aln.cigar.edits == aln.score
+
+
+class TestWfaAffine:
+    def test_requires_zero_match(self):
+        with pytest.raises(Exception):
+            wfa_affine_score("A", "A", Penalties(match=1, mismatch=4))
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ("ACGT", "ACGT"),
+            ("ACGT", "ACGA"),
+            ("ACGT", "AGT"),
+            ("AAAA", "TTTT"),
+            ("ACGTACGTAA", "ACGACGTTAA"),
+            ("", "ACG"),
+            ("ACG", ""),
+        ],
+    )
+    def test_matches_gotoh(self, a, b):
+        pen = Penalties(match=0, mismatch=4, gap_open=6, gap_extend=2)
+        assert wfa_affine_score(a, b, pen) == nw_gotoh_global(a, b, pen)
+
+    @given(dna, dna)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_gotoh_property(self, a, b):
+        pen = Penalties(match=0, mismatch=3, gap_open=4, gap_extend=1)
+        assert wfa_affine_score(a, b, pen) == nw_gotoh_global(a, b, pen)
+
+    @given(dna_nonempty, dna_nonempty)
+    @settings(max_examples=60, deadline=None)
+    def test_other_penalties(self, a, b):
+        pen = Penalties(match=0, mismatch=2, gap_open=3, gap_extend=2)
+        assert wfa_affine_score(a, b, pen) == nw_gotoh_global(a, b, pen)
+
+
+class TestWfaAffineAlign:
+    def test_transcript_valid_and_scored(self):
+        pen = Penalties()
+        a, b = "ACGTACGTAC", "ACGTTACGAC"
+        from repro.align.wavefront import wfa_affine_align
+
+        aln = wfa_affine_align(a, b, pen)
+        aln.validate(a, b)
+        assert aln.cigar.score(pen) == aln.score == nw_gotoh_global(a, b, pen)
+
+    def test_pure_gap_cases(self):
+        from repro.align.wavefront import wfa_affine_align
+
+        pen = Penalties()
+        aln = wfa_affine_align("", "ACG", pen)
+        assert str(aln.cigar) == "3I" and aln.score == pen.gap_open + 3 * pen.gap_extend
+        aln = wfa_affine_align("ACG", "", pen)
+        assert str(aln.cigar) == "3D"
+
+    def test_identical(self):
+        from repro.align.wavefront import wfa_affine_align
+
+        aln = wfa_affine_align("ACGTACGT", "ACGTACGT")
+        assert aln.score == 0 and str(aln.cigar) == "8M"
+
+    def test_prefers_one_long_gap(self):
+        """Affine costs must merge gap runs the edit scheme would split."""
+        from repro.align.wavefront import wfa_affine_align
+
+        pen = Penalties(match=0, mismatch=10, gap_open=6, gap_extend=1)
+        a, b = "AAAATTTT", "AAAACGCGTTTT"
+        aln = wfa_affine_align(a, b, pen)
+        aln.validate(a, b)
+        assert aln.cigar.count("I") == 4
+        assert sum(1 for _n, op in aln.cigar if op == "I") == 1  # one run
+
+    @given(dna, dna)
+    @settings(max_examples=80, deadline=None)
+    def test_transcript_property(self, a, b):
+        from repro.align.wavefront import wfa_affine_align
+
+        pen = Penalties(match=0, mismatch=3, gap_open=4, gap_extend=1)
+        aln = wfa_affine_align(a, b, pen)
+        aln.validate(a, b)
+        assert aln.score == nw_gotoh_global(a, b, pen)
+        assert aln.cigar.score(pen) == aln.score

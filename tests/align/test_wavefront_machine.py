@@ -1,0 +1,116 @@
+"""Tests for the machine-resident wavefront machinery."""
+
+import numpy as np
+import pytest
+
+from repro.align.trace import build_wfa_trace
+from repro.align.vectorized.extend_loop import VecExtendKernel
+from repro.align.vectorized.wavefront_machine import (
+    INV,
+    MachineWavefront,
+    check_termination,
+    extend_wave_with_kernel,
+    init_root_wave,
+    next_machine_wave,
+    run_wavefront_loop,
+)
+from repro.config import SystemConfig
+from repro.vector.machine import VectorMachine
+
+
+@pytest.fixture
+def machine():
+    return VectorMachine(SystemConfig())
+
+
+class TestMachineWavefront:
+    def test_guards_are_invalid(self, machine):
+        wave = MachineWavefront(machine, -2, 2)
+        assert wave.buf.data[0] == INV
+        assert wave.buf.data[-1] == INV
+        assert wave.width == 5
+
+    def test_pos_mapping(self, machine):
+        wave = MachineWavefront(machine, -3, 3)
+        assert wave.pos(-3) == 2  # two guard slots
+        assert wave.pos(0) == 5
+
+    def test_host_get_out_of_range(self, machine):
+        wave = MachineWavefront(machine, 0, 0)
+        assert wave.host_get(5) == INV
+
+    def test_empty_range_rejected(self, machine):
+        with pytest.raises(Exception):
+            MachineWavefront(machine, 1, 0)
+
+
+class TestRootAndRecurrence:
+    def test_root_wave(self, machine):
+        wave = init_root_wave(machine)
+        assert wave.host_get(0) == 0
+
+    def test_next_wave_matches_scalar_trace(self, machine):
+        """The vectorised recurrence must equal the scalar reference."""
+        a, b = "ACGTACGTAC", "ACTTACGGAC"
+        trace = build_wfa_trace(a, b)
+        p = np.frombuffer(a.encode(), dtype=np.uint8)
+        t = np.frombuffer(b.encode(), dtype=np.uint8)
+        pbuf = machine.new_buffer("p", p, 1)
+        tbuf = machine.new_buffer("t", t, 1)
+        kernel = VecExtendKernel(pbuf, tbuf)
+        consts = kernel.consts(machine, len(a), len(b))
+        wave = init_root_wave(machine)
+        extend_wave_with_kernel(machine, wave, kernel, consts, False, None)
+        for step in trace.waves[1:]:
+            wave = next_machine_wave(machine, wave, len(a), len(b))
+            assert (wave.lo, wave.hi) == (step.lo, step.hi)
+            np.testing.assert_array_equal(
+                wave.host_offsets(),
+                np.where(step.pre > -(1 << 35), step.pre, INV),
+            )
+            extend_wave_with_kernel(machine, wave, kernel, consts, False, None)
+            np.testing.assert_array_equal(
+                wave.host_offsets(),
+                np.where(step.post > -(1 << 35), step.post, INV),
+            )
+
+    def test_clamping_at_sequence_bounds(self, machine):
+        # m = 1: diagonals below -1 never appear.
+        wave = init_root_wave(machine)
+        nxt = next_machine_wave(machine, wave, 1, 5)
+        assert nxt.lo == -1
+
+
+class TestTerminationAndLoop:
+    def test_check_termination_false_outside_range(self, machine):
+        wave = init_root_wave(machine)
+        assert not check_termination(machine, wave, k_end=3, n_len=5)
+
+    def test_run_wavefront_loop_distance(self, machine):
+        a, b = "ACGTACGTACGTACG", "ACGAACGTACGTACG"
+        p = np.frombuffer(a.encode(), dtype=np.uint8)
+        t = np.frombuffer(b.encode(), dtype=np.uint8)
+        pbuf = machine.new_buffer("p", p, 1)
+        tbuf = machine.new_buffer("t", t, 1)
+        kernel = VecExtendKernel(pbuf, tbuf)
+        consts = kernel.consts(machine, len(a), len(b))
+
+        def extend(mach, wave):
+            extend_wave_with_kernel(mach, wave, kernel, consts, False, None)
+
+        distance, waves = run_wavefront_loop(machine, len(a), len(b), extend)
+        assert distance == build_wfa_trace(a, b).distance
+        assert len(waves) == distance + 1
+
+    def test_max_score_guard(self, machine):
+        a, b = "AAAA", "TTTT"
+        pbuf = machine.new_buffer("p", np.frombuffer(a.encode(), np.uint8), 1)
+        tbuf = machine.new_buffer("t", np.frombuffer(b.encode(), np.uint8), 1)
+        kernel = VecExtendKernel(pbuf, tbuf)
+        consts = kernel.consts(machine, 4, 4)
+
+        def extend(mach, wave):
+            extend_wave_with_kernel(mach, wave, kernel, consts, False, None)
+
+        with pytest.raises(Exception):
+            run_wavefront_loop(machine, 4, 4, extend, max_score=1)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import QZ_8P, SystemConfig
+from repro.genomics.generator import ErrorProfile, ReadPairGenerator
+from repro.quetzal.accelerator import QuetzalUnit
+from repro.vector.machine import VectorMachine
+
+
+@pytest.fixture
+def machine() -> VectorMachine:
+    return VectorMachine(SystemConfig())
+
+
+@pytest.fixture
+def qz_machine() -> VectorMachine:
+    m = VectorMachine(SystemConfig())
+    QuetzalUnit(m, QZ_8P)
+    return m
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.Generator(np.random.PCG64(42))
+
+
+def random_pair(length: int = 120, error: float = 0.05, seed: int = 0):
+    """A deterministic synthetic DNA pair for algorithm tests."""
+    gen = ReadPairGenerator(
+        length,
+        ErrorProfile(
+            substitution=error * 0.6, insertion=error * 0.2, deletion=error * 0.2
+        ),
+        seed=seed,
+    )
+    return gen.pair()

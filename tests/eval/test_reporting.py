@@ -1,0 +1,94 @@
+"""Tests for the table renderer."""
+
+import pytest
+
+from repro.eval.reporting import format_value, geometric_mean, render_table
+
+
+class TestFormatValue:
+    def test_small_float(self):
+        assert format_value(1.234) == "1.23"
+
+    def test_large_float_compact(self):
+        assert format_value(123456.0) == "1.23e+05"
+
+    def test_tiny_float_compact(self):
+        assert format_value(0.00123) == "0.00123"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+    def test_bool(self):
+        assert format_value(True) == "True"
+
+
+class TestRenderTable:
+    def test_empty(self):
+        assert "(no rows)" in render_table([])
+
+    def test_title_and_header(self):
+        out = render_table([{"a": 1, "b": 2.5}], title="T")
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "2.50" in out
+
+    def test_columns_align(self):
+        rows = [{"name": "x", "v": 1}, {"name": "longer", "v": 22}]
+        out = render_table(rows)
+        data_lines = [l for l in out.split("\n") if "|" in l]
+        assert len({line.index("|") for line in data_lines}) == 1
+
+    def test_missing_key_blank(self):
+        out = render_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert out.count("|") >= 3
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_single(self):
+        assert geometric_mean([5.0]) == pytest.approx(5.0)
+
+
+class TestRenderBars:
+    def _rows(self):
+        return [
+            {"name": "vec", "speedup": 1.0},
+            {"name": "qz", "speedup": 2.0},
+            {"name": "qzc", "speedup": 4.0},
+        ]
+
+    def test_scales_to_peak(self):
+        from repro.eval.reporting import render_bars
+
+        out = render_bars(self._rows(), "name", "speedup", width=8)
+        lines = out.split("\n")
+        assert lines[2].count("#") == 8  # the peak fills the width
+        assert lines[0].count("#") == 2
+
+    def test_title_and_labels(self):
+        from repro.eval.reporting import render_bars
+
+        out = render_bars(self._rows(), "name", "speedup", title="T")
+        assert out.startswith("T\n")
+        assert "qzc" in out
+
+    def test_composite_labels(self):
+        from repro.eval.reporting import render_bars
+
+        rows = [{"a": "x", "b": 1, "v": 3.0}]
+        out = render_bars(rows, ("a", "b"), "v")
+        assert "x / 1" in out
+
+    def test_empty(self):
+        from repro.eval.reporting import render_bars
+
+        assert "(no rows)" in render_bars([], "name", "v")

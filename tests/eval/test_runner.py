@@ -1,0 +1,119 @@
+"""Tests for the evaluation runner, metrics, and multicore model."""
+
+import pytest
+
+from repro.align.baseline import WfaBase
+from repro.align.quetzal_impl import WfaQzc
+from repro.align.vectorized import WfaVec
+from repro.config import QZ_1P, SystemConfig
+from repro.errors import ReproError
+from repro.eval.metrics import cells_for_pair, gcups, pairs_per_second, speedup
+from repro.eval.multicore import multicore_speedups, multicore_time_seconds
+from repro.eval.runner import make_machine, run_implementation
+from repro.genomics.generator import ErrorProfile, ReadPairGenerator
+
+
+def pairs(n=3, length=120, seed=0):
+    gen = ReadPairGenerator(length, ErrorProfile(0.02, 0.005, 0.005), seed=seed)
+    return gen.pairs(n)
+
+
+class TestMakeMachine:
+    def test_plain(self):
+        assert make_machine().quetzal is None
+
+    def test_default_quetzal(self):
+        m = make_machine(quetzal=True)
+        assert m.quetzal is not None
+        assert m.quetzal.config.name == "QZ_8P"
+
+    def test_explicit_config(self):
+        m = make_machine(quetzal=QZ_1P)
+        assert m.quetzal.config.read_ports == 1
+
+    def test_invalid_argument(self):
+        with pytest.raises(ReproError):
+            make_machine(quetzal="yes")
+
+
+class TestRunImplementation:
+    def test_runs_all_pairs(self):
+        result = run_implementation(WfaVec(), pairs(4))
+        assert result.num_pairs == 4
+        assert result.cycles > 0
+        assert len(result.outputs) == 4
+
+    def test_auto_attaches_quetzal(self):
+        result = run_implementation(WfaQzc(), pairs(2))
+        assert result.cycles > 0
+
+    def test_explicit_machine(self):
+        machine = make_machine()
+        result = run_implementation(WfaVec(), pairs(2), machine=machine)
+        assert result.cycles == sum(r.cycles for r in result.pair_results)
+
+    def test_quetzal_impl_on_plain_machine_rejected(self):
+        with pytest.raises(ReproError):
+            run_implementation(WfaQzc(), pairs(1), machine=make_machine())
+
+    def test_seconds_uses_clock(self):
+        result = run_implementation(WfaVec(), pairs(2))
+        expected = result.cycles / (result.system.clock_ghz * 1e9)
+        assert result.seconds == pytest.approx(expected)
+
+    def test_stats_merge(self):
+        result = run_implementation(WfaVec(), pairs(3))
+        merged = result.stats()
+        assert merged.cycles == result.cycles
+        assert merged.total_instructions == result.instructions
+
+
+class TestMetrics:
+    def test_speedup(self):
+        ps = pairs(3)
+        base = run_implementation(WfaBase(), ps)
+        qzc = run_implementation(WfaQzc(), ps)
+        assert speedup(base, qzc) > 1.0
+
+    def test_pairs_per_second(self):
+        result = run_implementation(WfaVec(), pairs(2))
+        assert pairs_per_second(result) > 0
+        assert pairs_per_second(result, cores=4) == pytest.approx(
+            4 * pairs_per_second(result)
+        )
+
+    def test_cells_for_pair(self):
+        p = pairs(1)[0]
+        assert cells_for_pair(p) == len(p.pattern) * len(p.text)
+
+    def test_gcups_positive(self):
+        ps = pairs(2)
+        result = run_implementation(WfaQzc(), ps)
+        assert gcups(result, ps) > 0
+
+
+class TestMulticore:
+    def test_speedup_monotone(self):
+        result = run_implementation(WfaVec(), pairs(3))
+        scaling = multicore_speedups(result, (1, 2, 4, 8, 16))
+        values = [scaling[n] for n in (1, 2, 4, 8, 16)]
+        assert values[0] == pytest.approx(1.0)
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_speedup_sublinear(self):
+        result = run_implementation(WfaVec(), pairs(3))
+        scaling = multicore_speedups(result, (16,))
+        assert scaling[16] <= 16.0
+
+    def test_bandwidth_bound(self):
+        """With a starved memory system, scaling must flatten."""
+        starved = SystemConfig(dram_bandwidth_gbs=0.0001)
+        result = run_implementation(WfaVec(), pairs(3))
+        t1 = multicore_time_seconds(result, 1, starved)
+        t16 = multicore_time_seconds(result, 16, starved)
+        assert t16 == pytest.approx(t1, rel=0.25)
+
+    def test_invalid_core_count(self):
+        result = run_implementation(WfaVec(), pairs(1))
+        with pytest.raises(ReproError):
+            multicore_time_seconds(result, 0)

@@ -1,0 +1,94 @@
+"""Tests for alphabets and complements."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlphabetError
+from repro.genomics.alphabet import (
+    DNA,
+    DNA_N,
+    PROTEIN,
+    RNA,
+    Alphabet,
+    complement,
+    reverse_complement,
+)
+
+
+class TestAlphabetBasics:
+    def test_dna_has_four_letters(self):
+        assert len(DNA) == 4
+        assert DNA.encoded_bits == 2
+
+    def test_rna_replaces_t_with_u(self):
+        assert "U" in RNA
+        assert "T" not in RNA
+
+    def test_protein_has_twenty_letters(self):
+        assert len(PROTEIN) == 20
+        assert PROTEIN.encoded_bits == 8
+
+    def test_dna_n_requires_8bit(self):
+        assert DNA_N.encoded_bits == 8
+        assert "N" in DNA_N
+
+    def test_index_of_round_trip(self):
+        for i, c in enumerate(DNA.letters):
+            assert DNA.index_of(c) == i
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(AlphabetError):
+            DNA.index_of("Z")
+
+    def test_contains(self):
+        assert "A" in DNA
+        assert "N" not in DNA
+
+    def test_duplicate_letters_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("bad", "AAC", encoded_bits=2)
+
+    def test_2bit_limit_enforced(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("bad", "ACGTN", encoded_bits=2)
+
+    def test_encoded_bits_restricted(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("bad", "ACGT", encoded_bits=4)
+
+
+class TestCodes:
+    def test_codes_round_trip(self):
+        text = "ACGTGCA"
+        codes = DNA.codes(text)
+        assert DNA.text(codes) == text
+
+    def test_codes_values(self):
+        np.testing.assert_array_equal(DNA.codes("ACGT"), [0, 1, 2, 3])
+
+    def test_validate_rejects_foreign(self):
+        with pytest.raises(AlphabetError):
+            DNA.validate("ACGU")
+
+    def test_text_rejects_out_of_range(self):
+        with pytest.raises(AlphabetError):
+            DNA.text(np.array([0, 5]))
+
+    def test_protein_codes(self):
+        codes = PROTEIN.codes("ACDE")
+        assert codes.tolist() == [0, 1, 2, 3]
+
+
+class TestComplement:
+    def test_dna_complement(self):
+        assert complement("ACGT") == "TGCA"
+
+    def test_rna_complement(self):
+        assert complement("ACGU", RNA) == "UGCA"
+
+    def test_reverse_complement(self):
+        assert reverse_complement("AACG") == "CGTT"
+
+    def test_protein_complement_undefined(self):
+        with pytest.raises(AlphabetError):
+            complement("ACDE", PROTEIN)

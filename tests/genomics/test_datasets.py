@@ -1,0 +1,75 @@
+"""Tests for Table II dataset construction."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.genomics.datasets import (
+    LONG_READ_DATASETS,
+    SHORT_READ_DATASETS,
+    TABLE_II_SPECS,
+    build_all_datasets,
+    build_dataset,
+    build_protein_dataset,
+)
+
+
+class TestSpecs:
+    def test_four_dna_datasets(self):
+        assert set(TABLE_II_SPECS) == {"100bp_1", "250bp_1", "10Kbp", "30Kbp"}
+
+    def test_read_lengths_match_table2(self):
+        assert TABLE_II_SPECS["100bp_1"].read_length == 100
+        assert TABLE_II_SPECS["250bp_1"].read_length == 250
+        assert TABLE_II_SPECS["10Kbp"].read_length == 10_000
+        assert TABLE_II_SPECS["30Kbp"].read_length == 30_000
+
+    def test_long_read_classification(self):
+        assert all(TABLE_II_SPECS[n].is_long_read for n in LONG_READ_DATASETS)
+        assert not any(TABLE_II_SPECS[n].is_long_read for n in SHORT_READ_DATASETS)
+
+    def test_edit_threshold_positive(self):
+        for spec in TABLE_II_SPECS.values():
+            assert spec.edit_threshold >= 1
+
+
+class TestBuild:
+    def test_build_deterministic(self):
+        a = build_dataset("100bp_1", num_pairs=3, seed=9)
+        b = build_dataset("100bp_1", num_pairs=3, seed=9)
+        assert [str(p.pattern) for p in a] == [str(p.pattern) for p in b]
+
+    def test_build_respects_count(self):
+        assert len(build_dataset("250bp_1", num_pairs=5)) == 5
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            build_dataset("nope")
+
+    def test_build_all_scales(self):
+        sets = build_all_datasets(scale=0.5)
+        assert len(sets) == 4
+        assert len(sets["100bp_1"]) == max(1, TABLE_II_SPECS["100bp_1"].default_pairs // 2)
+
+    def test_total_bases(self):
+        ds = build_dataset("100bp_1", num_pairs=2)
+        assert 2 * 190 < ds.total_bases < 2 * 210
+
+    def test_datasets_draw_independent_reads(self):
+        a = build_dataset("100bp_1", num_pairs=1, seed=5)
+        b = build_dataset("250bp_1", num_pairs=1, seed=5)
+        assert str(a.pairs[0].pattern)[:100] != str(b.pairs[0].pattern)[:100]
+
+
+class TestProteinDataset:
+    def test_pair_count(self):
+        ds = build_protein_dataset(n_families=2, members=3, length=60)
+        assert len(ds) == 2 * 3
+
+    def test_alphabet_is_protein(self):
+        ds = build_protein_dataset(n_families=1, members=2, length=40)
+        assert ds.pairs[0].pattern.alphabet.name == "protein"
+
+    def test_deterministic(self):
+        a = build_protein_dataset(n_families=1, members=2, seed=3)
+        b = build_protein_dataset(n_families=1, members=2, seed=3)
+        assert str(a.pairs[0].pattern) == str(b.pairs[0].pattern)

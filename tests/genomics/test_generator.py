@@ -1,0 +1,107 @@
+"""Tests for synthetic read-pair generation."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.genomics.alphabet import PROTEIN
+from repro.genomics.generator import (
+    ErrorProfile,
+    ProteinFamilyGenerator,
+    ReadPairGenerator,
+    SequencePair,
+)
+
+
+class TestErrorProfile:
+    def test_total(self):
+        p = ErrorProfile(substitution=0.01, insertion=0.02, deletion=0.03)
+        assert p.total == pytest.approx(0.06)
+
+    def test_rejects_excessive_rates(self):
+        with pytest.raises(DatasetError):
+            ErrorProfile(substitution=0.6)
+
+
+class TestReadPairGenerator:
+    def test_deterministic_for_seed(self):
+        a = ReadPairGenerator(100, seed=7).pair()
+        b = ReadPairGenerator(100, seed=7).pair()
+        assert str(a.pattern) == str(b.pattern)
+        assert str(a.text) == str(b.text)
+
+    def test_different_seeds_differ(self):
+        a = ReadPairGenerator(100, seed=1).pair()
+        b = ReadPairGenerator(100, seed=2).pair()
+        assert str(a.pattern) != str(b.pattern)
+
+    def test_pattern_has_requested_length(self):
+        pair = ReadPairGenerator(250, seed=0).pair()
+        assert len(pair.pattern) == 250
+
+    def test_zero_error_rate_copies(self):
+        gen = ReadPairGenerator(80, ErrorProfile(0.0, 0.0, 0.0), seed=3)
+        pair = gen.pair()
+        assert str(pair.pattern) == str(pair.text)
+        assert pair.edits_applied == 0
+
+    def test_substitution_only_keeps_length(self):
+        gen = ReadPairGenerator(200, ErrorProfile(substitution=0.1), seed=3)
+        pair = gen.pair()
+        assert len(pair.text) == len(pair.pattern)
+        mismatches = sum(
+            1 for a, b in zip(str(pair.pattern), str(pair.text)) if a != b
+        )
+        assert mismatches == pair.edits_applied
+        assert pair.edits_applied > 0
+
+    def test_edits_applied_counts_events(self):
+        gen = ReadPairGenerator(
+            500, ErrorProfile(substitution=0.02, insertion=0.02, deletion=0.02), seed=5
+        )
+        pair = gen.pair()
+        assert 0 < pair.edits_applied < 100
+
+    def test_pairs_count(self):
+        assert len(ReadPairGenerator(50, seed=1).pairs(7)) == 7
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(DatasetError):
+            ReadPairGenerator(50, seed=1).pairs(-1)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(DatasetError):
+            ReadPairGenerator(0)
+
+    def test_stream_yields_pairs(self):
+        stream = ReadPairGenerator(30, seed=2).stream()
+        pair = next(stream)
+        assert isinstance(pair, SequencePair)
+
+    def test_pair_unpacking(self):
+        pattern, text = ReadPairGenerator(30, seed=2).pair()
+        assert len(pattern) == 30
+        assert text is not None
+
+
+class TestProteinFamilies:
+    def test_family_members_share_alphabet(self):
+        gen = ProteinFamilyGenerator(length=50, members=3, seed=1)
+        family = gen.family()
+        assert len(family) == 3
+        assert all(s.alphabet is PROTEIN for s in family)
+
+    def test_family_pairs_count(self):
+        gen = ProteinFamilyGenerator(length=40, members=4, seed=1)
+        pairs = gen.family_pairs(2)
+        assert len(pairs) == 2 * (4 * 3 // 2)
+
+    def test_members_minimum(self):
+        with pytest.raises(DatasetError):
+            ProteinFamilyGenerator(members=1)
+
+    def test_members_are_similar_not_identical(self):
+        gen = ProteinFamilyGenerator(length=200, members=2, divergence=0.1, seed=4)
+        a, b = gen.family()
+        same = sum(1 for x, y in zip(str(a), str(b)) if x == y)
+        assert same > 100  # related
+        assert str(a) != str(b)  # but mutated

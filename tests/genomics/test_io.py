@@ -1,0 +1,89 @@
+"""Tests for FASTA/FASTQ/pair-file I/O."""
+
+import io
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.genomics.io import (
+    pairs_from_string,
+    parse_fasta,
+    parse_fastq,
+    read_pair_file,
+    write_fasta,
+    write_pair_file,
+)
+from repro.genomics.generator import SequencePair
+from repro.genomics.sequence import Sequence
+
+
+class TestFasta:
+    def test_parse_two_records(self):
+        data = ">r1\nACGT\nACGT\n>r2 extra words\nTTTT\n"
+        seqs = list(parse_fasta(io.StringIO(data)))
+        assert [s.name for s in seqs] == ["r1", "r2"]
+        assert str(seqs[0]) == "ACGTACGT"
+        assert str(seqs[1]) == "TTTT"
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "x.fa"
+        seqs = [Sequence("ACGT" * 30, name="a"), Sequence("TTTT", name="b")]
+        write_fasta(seqs, path)
+        back = list(parse_fasta(path))
+        assert [str(s) for s in back] == [str(s) for s in seqs]
+
+    def test_wrapping(self):
+        out = io.StringIO()
+        write_fasta([Sequence("A" * 100, name="a")], out, width=40)
+        lines = out.getvalue().strip().split("\n")
+        assert lines[0] == ">a"
+        assert max(len(l) for l in lines[1:]) == 40
+
+    def test_data_before_header_raises(self):
+        with pytest.raises(DatasetError):
+            list(parse_fasta(io.StringIO("ACGT\n")))
+
+    def test_lowercase_normalised(self):
+        seqs = list(parse_fasta(io.StringIO(">x\nacgt\n")))
+        assert str(seqs[0]) == "ACGT"
+
+
+class TestFastq:
+    def test_parse(self):
+        data = "@r1\nACGT\n+\nIIII\n@r2\nTT\n+\n##\n"
+        seqs = list(parse_fastq(io.StringIO(data)))
+        assert [str(s) for s in seqs] == ["ACGT", "TT"]
+
+    def test_bad_header(self):
+        with pytest.raises(DatasetError):
+            list(parse_fastq(io.StringIO("r1\nACGT\n+\nIIII\n")))
+
+    def test_quality_length_mismatch(self):
+        with pytest.raises(DatasetError):
+            list(parse_fastq(io.StringIO("@r1\nACGT\n+\nII\n")))
+
+    def test_missing_plus(self):
+        with pytest.raises(DatasetError):
+            list(parse_fastq(io.StringIO("@r1\nACGT\nIIII\nIIII\n")))
+
+
+class TestPairFiles:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "pairs.txt"
+        pairs = [
+            SequencePair(Sequence("ACGT"), Sequence("ACGA")),
+            SequencePair(Sequence("TTTT"), Sequence("TTAT")),
+        ]
+        write_pair_file(pairs, path)
+        back = read_pair_file(path)
+        assert len(back) == 2
+        assert str(back[0].pattern) == "ACGT"
+        assert str(back[1].text) == "TTAT"
+
+    def test_odd_line_count_raises(self):
+        with pytest.raises(DatasetError):
+            pairs_from_string("ACGT\nTTTT\nAA\n")
+
+    def test_pairs_from_string(self):
+        pairs = pairs_from_string("ACGT\nACGA\n")
+        assert len(pairs) == 1

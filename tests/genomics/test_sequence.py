@@ -1,0 +1,71 @@
+"""Tests for the Sequence wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlphabetError
+from repro.genomics.alphabet import DNA, PROTEIN
+from repro.genomics.sequence import Sequence
+
+
+class TestSequence:
+    def test_basic_properties(self):
+        s = Sequence("ACGT")
+        assert len(s) == 4
+        assert str(s) == "ACGT"
+        assert s.alphabet is DNA
+
+    def test_validation_on_construction(self):
+        with pytest.raises(AlphabetError):
+            Sequence("ACGN")
+
+    def test_codes_cached_and_immutable(self):
+        s = Sequence("ACGT")
+        codes = s.codes
+        assert codes is s.codes
+        with pytest.raises(ValueError):
+            codes[0] = 3
+
+    def test_hw_codes_use_bit_extraction(self):
+        s = Sequence("ACTG")
+        np.testing.assert_array_equal(s.hw_codes, [0, 1, 2, 3])
+
+    def test_protein_hw_codes_are_indices(self):
+        s = Sequence("ACDE", PROTEIN)
+        np.testing.assert_array_equal(s.hw_codes, [0, 1, 2, 3])
+
+    def test_slicing_returns_sequence(self):
+        s = Sequence("ACGTAC")
+        assert isinstance(s[1:4], Sequence)
+        assert str(s[1:4]) == "CGT"
+        assert s[0] == "A"
+
+    def test_equality(self):
+        assert Sequence("ACG") == Sequence("ACG")
+        assert Sequence("ACG") == "ACG"
+        assert Sequence("ACG") != Sequence("ACT")
+
+    def test_hashable(self):
+        assert len({Sequence("ACG"), Sequence("ACG")}) == 1
+
+    def test_reverse(self):
+        assert str(Sequence("ACGT").reverse()) == "TGCA"
+
+    def test_reverse_complement(self):
+        assert str(Sequence("AACG").reverse_complement()) == "CGTT"
+
+    def test_reverse_complement_protein_raises(self):
+        with pytest.raises(AlphabetError):
+            Sequence("ACDE", PROTEIN).reverse_complement()
+
+    def test_packed_words_match_encoding(self):
+        s = Sequence("ACGT" * 20)
+        words = s.packed_words()
+        assert len(words) == -(-80 // 32)
+
+    def test_iteration(self):
+        assert list(Sequence("ACG")) == ["A", "C", "G"]
+
+    def test_repr_truncates(self):
+        s = Sequence("A" * 100)
+        assert "..." in repr(s)

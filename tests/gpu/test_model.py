@@ -1,0 +1,105 @@
+"""Tests for the analytic GPU occupancy model (Fig. 15a substitution)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.gpu.model import (
+    GASAL2,
+    GpuAlignerModel,
+    GpuConfig,
+    NVIDIA_A40,
+    WFA_GPU,
+)
+
+
+class TestOccupancy:
+    def test_full_occupancy_for_short_reads(self):
+        model = GpuAlignerModel(WFA_GPU)
+        assert model.occupancy(100, 0.02) == pytest.approx(1.0)
+
+    def test_occupancy_collapses_for_long_reads(self):
+        """The Section II-E mechanism: working set kills residency."""
+        model = GpuAlignerModel(WFA_GPU)
+        assert model.occupancy(30_000, 0.005) < 0.25
+
+    def test_occupancy_monotone_in_length(self):
+        model = GpuAlignerModel(GASAL2)
+        occs = [model.occupancy(n, 0.005) for n in (100, 1000, 10_000, 30_000)]
+        assert occs == sorted(occs, reverse=True)
+
+    def test_workers_never_below_one(self):
+        model = GpuAlignerModel(WFA_GPU)
+        assert model.workers_per_sm(2_000_000, 0.05) >= 1.0
+
+
+class TestThroughput:
+    def test_positive(self):
+        model = GpuAlignerModel(WFA_GPU)
+        assert model.alignments_per_second(100, 0.02) > 0
+
+    def test_throughput_falls_with_length(self):
+        model = GpuAlignerModel(WFA_GPU)
+        short = model.alignments_per_second(100, 0.02)
+        long = model.alignments_per_second(30_000, 0.005)
+        assert short > long * 20
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ReproError):
+            GpuAlignerModel(WFA_GPU).alignments_per_second(0, 0.02)
+
+    def test_custom_gpu_scales_with_sms(self):
+        half = GpuConfig(num_sms=NVIDIA_A40.num_sms // 2)
+        full = GpuAlignerModel(WFA_GPU, NVIDIA_A40)
+        small = GpuAlignerModel(WFA_GPU, half)
+        ratio = full.alignments_per_second(100, 0.02) / small.alignments_per_second(
+            100, 0.02
+        )
+        assert ratio == pytest.approx(2.0, rel=0.01)
+
+
+class TestKinds:
+    def test_wfa_working_set_superlinear(self):
+        ws_10k = WFA_GPU.working_set(10_000, 0.005)
+        ws_30k = WFA_GPU.working_set(30_000, 0.005)
+        assert ws_30k / ws_10k > 3  # the (err*L)^2 term bites
+
+    def test_gasal_working_set_linear(self):
+        # Linear in L with a fixed offset: the 3x length shows up as a
+        # slightly sub-3x working-set growth.
+        ws_10k = GASAL2.working_set(10_000, 0.005)
+        ws_30k = GASAL2.working_set(30_000, 0.005)
+        assert 2.0 < ws_30k / ws_10k < 3.2
+
+    def test_unknown_work_model_rejected(self):
+        from repro.gpu.model import AlignerKind
+
+        bad = AlignerKind(
+            name="x", ws_fixed=0, ws_per_base=0, ws_per_score2=0,
+            short_read_advantage=1.0, cycles_per_unit=1, work_model="nope",
+        )
+        with pytest.raises(ReproError):
+            bad.work_units(10, 0.1)
+
+
+class TestVecAnchoring:
+    """Fig. 15a: GPU rates anchored to the simulated VEC CPU."""
+
+    def test_advantage_full_occupancy_short(self):
+        model = GpuAlignerModel(WFA_GPU)
+        assert model.advantage_over_vec(100, 0.02) == pytest.approx(
+            WFA_GPU.short_read_advantage
+        )
+
+    def test_advantage_fades_for_long_reads(self):
+        model = GpuAlignerModel(WFA_GPU)
+        assert model.advantage_over_vec(30_000, 0.005) < 1.0
+
+    def test_throughput_vs_vec_scales_linearly(self):
+        model = GpuAlignerModel(GASAL2)
+        one = model.throughput_vs_vec(1000.0, 250, 0.02)
+        two = model.throughput_vs_vec(2000.0, 250, 0.02)
+        assert two == pytest.approx(2 * one)
+
+    def test_throughput_vs_vec_rejects_bad_rate(self):
+        with pytest.raises(ReproError):
+            GpuAlignerModel(WFA_GPU).throughput_vs_vec(0.0, 100, 0.02)

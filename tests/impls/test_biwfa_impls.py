@@ -1,0 +1,97 @@
+"""Cross-style equivalence tests for the BiWFA implementations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.baseline import BiwfaBase
+from repro.align.needleman_wunsch import nw_edit_distance
+from repro.align.quetzal_impl import BiwfaQz, BiwfaQzc
+from repro.align.vectorized import BiwfaVec
+from repro.eval.runner import make_machine
+from repro.genomics.generator import ErrorProfile, ReadPairGenerator, SequencePair
+from repro.genomics.sequence import Sequence
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=40)
+
+ALL_STYLES = [
+    (BiwfaBase, False),
+    (BiwfaVec, False),
+    (BiwfaQz, True),
+    (BiwfaQzc, True),
+]
+
+
+def make_pair(length=180, error=0.04, seed=0):
+    gen = ReadPairGenerator(
+        length, ErrorProfile(error * 0.6, error * 0.2, error * 0.2), seed=seed
+    )
+    return gen.pair()
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("impl_cls,needs_qz", ALL_STYLES)
+    def test_distance_matches_reference(self, impl_cls, needs_qz):
+        pair = make_pair(seed=8)
+        machine = make_machine(quetzal=needs_qz)
+        result = impl_cls().run_pair(machine, pair)
+        assert result.output == nw_edit_distance(pair.pattern, pair.text)
+
+    @pytest.mark.parametrize("impl_cls,needs_qz", ALL_STYLES)
+    def test_identical(self, impl_cls, needs_qz):
+        pair = SequencePair(Sequence("ACGT" * 25), Sequence("ACGT" * 25))
+        machine = make_machine(quetzal=needs_qz)
+        assert impl_cls().run_pair(machine, pair).output == 0
+
+    @given(dna, dna)
+    @settings(max_examples=20, deadline=None)
+    def test_vec_distance_property(self, a, b):
+        pair = SequencePair(Sequence(a), Sequence(b))
+        machine = make_machine()
+        assert BiwfaVec().run_pair(machine, pair).output == nw_edit_distance(a, b)
+
+    @given(dna, dna)
+    @settings(max_examples=15, deadline=None)
+    def test_qzc_distance_property(self, a, b):
+        """The backward rcount path must agree with the reference."""
+        pair = SequencePair(Sequence(a), Sequence(b))
+        machine = make_machine(quetzal=True)
+        assert BiwfaQzc().run_pair(machine, pair).output == nw_edit_distance(a, b)
+
+    @given(dna, dna)
+    @settings(max_examples=15, deadline=None)
+    def test_qz_distance_property(self, a, b):
+        """The backward window (shift + clz) path must agree too."""
+        pair = SequencePair(Sequence(a), Sequence(b))
+        machine = make_machine(quetzal=True)
+        assert BiwfaQz().run_pair(machine, pair).output == nw_edit_distance(a, b)
+
+
+class TestFastPathConsistency:
+    @pytest.mark.parametrize(
+        "impl_cls,needs_qz",
+        [(BiwfaVec, False), (BiwfaQz, True), (BiwfaQzc, True)],
+    )
+    def test_fast_matches_slow(self, impl_cls, needs_qz):
+        pair = make_pair(length=280, error=0.03, seed=17)
+        slow = impl_cls(fast=False).run_pair(make_machine(quetzal=needs_qz), pair)
+        fast = impl_cls(fast=True).run_pair(make_machine(quetzal=needs_qz), pair)
+        assert slow.output == fast.output
+        assert fast.cycles == pytest.approx(slow.cycles, rel=0.30)
+
+
+class TestPaperShape:
+    def test_style_ordering(self):
+        pair = make_pair(length=250, error=0.02, seed=5)
+        vec = BiwfaVec().run_pair(make_machine(), pair).cycles
+        qz = BiwfaQz().run_pair(make_machine(quetzal=True), pair).cycles
+        qzc = BiwfaQzc().run_pair(make_machine(quetzal=True), pair).cycles
+        assert qzc < qz < vec
+
+    def test_biwfa_uses_less_memory_traffic_than_wfa(self):
+        """BiWFA's O(s) live state touches fewer wavefront lines."""
+        from repro.align.vectorized import WfaVec
+
+        pair = make_pair(length=800, error=0.05, seed=19)
+        wfa = WfaVec(traceback=False).run_pair(make_machine(), pair)
+        biwfa = BiwfaVec().run_pair(make_machine(), pair)
+        assert biwfa.output == wfa.output

@@ -1,0 +1,132 @@
+"""Tests for the classic-DP engine (ksw2 / parasail stand-ins)."""
+
+import pytest
+
+from repro.align.dp_machine import DpEngine, KswVec, ParasailNwVec, default_band
+from repro.align.quetzal_impl import KswQz, ParasailNwQz
+from repro.align.smith_waterman import banded_global_affine, nw_gotoh_global
+from repro.align.types import Penalties
+from repro.eval.runner import make_machine
+from repro.genomics.generator import ErrorProfile, ReadPairGenerator, SequencePair
+from repro.genomics.sequence import Sequence
+
+
+def make_pair(length=130, error=0.04, seed=0):
+    gen = ReadPairGenerator(
+        length, ErrorProfile(error * 0.6, error * 0.2, error * 0.2), seed=seed
+    )
+    return gen.pair()
+
+
+class TestFunctionalCorrectness:
+    def test_full_nw_matches_gotoh(self):
+        pair = make_pair(seed=1)
+        result = ParasailNwVec(fast=False).run_pair(make_machine(), pair)
+        assert result.output == nw_gotoh_global(
+            pair.pattern, pair.text, Penalties()
+        )
+
+    def test_banded_matches_reference(self):
+        pair = make_pair(seed=2)
+        impl = KswVec(fast=False)
+        result = impl.run_pair(make_machine(), pair)
+        band = impl._band_for(pair)
+        assert result.output == banded_global_affine(
+            pair.pattern, pair.text, band, Penalties()
+        )
+
+    def test_qz_styles_match_vec(self):
+        pair = make_pair(seed=3)
+        for vec_cls, qz_cls in ((ParasailNwVec, ParasailNwQz), (KswVec, KswQz)):
+            vec = vec_cls(fast=False).run_pair(make_machine(), pair)
+            qz = qz_cls(fast=False).run_pair(make_machine(quetzal=True), pair)
+            assert vec.output == qz.output
+
+    def test_band_escape_returns_none(self):
+        pair = SequencePair(Sequence("A" * 40), Sequence("A" * 80))
+        result = KswVec(band=4, fast=False).run_pair(make_machine(), pair)
+        assert result.output is None
+
+    def test_empty_input(self):
+        pair = SequencePair(Sequence(""), Sequence("ACGT"))
+        assert ParasailNwVec().run_pair(make_machine(), pair).output is None
+
+    def test_custom_penalties(self):
+        pen = Penalties(match=0, mismatch=3, gap_open=4, gap_extend=1)
+        pair = make_pair(seed=4)
+        result = ParasailNwVec(penalties=pen, fast=False).run_pair(
+            make_machine(), pair
+        )
+        assert result.output == nw_gotoh_global(pair.pattern, pair.text, pen)
+
+
+class TestFastPath:
+    def test_fast_matches_exact_functionally(self):
+        pair = make_pair(length=400, seed=5)
+        exact = KswVec(fast=False).run_pair(make_machine(), pair)
+        fast = KswVec(fast=True).run_pair(make_machine(), pair)
+        assert exact.output == fast.output
+
+    def test_fast_cycles_close_to_exact(self):
+        pair = make_pair(length=400, seed=6)
+        exact = KswVec(fast=False).run_pair(make_machine(), pair)
+        fast = KswVec(fast=True).run_pair(make_machine(), pair)
+        assert fast.cycles == pytest.approx(exact.cycles, rel=0.25)
+
+    def test_auto_fast_threshold(self):
+        small = make_pair(length=100, seed=7)
+        engine = DpEngine(
+            make_machine(), small, band=None, penalties=Penalties(),
+            use_quetzal=False, fast=None,
+        )
+        assert not engine.fast
+        big = make_pair(length=2000, seed=8)
+        engine = DpEngine(
+            make_machine(), big, band=None, penalties=Penalties(),
+            use_quetzal=False, fast=None,
+        )
+        assert engine.fast
+
+
+class TestBandSelection:
+    def test_default_band_floor(self):
+        pair = make_pair(length=60, seed=9)
+        assert default_band(pair) >= 16
+
+    def test_default_band_covers_length_drift(self):
+        pair = SequencePair(Sequence("A" * 100), Sequence("A" * 160))
+        assert default_band(pair) >= 60 + 8
+
+    def test_default_band_capped_for_qbuffer_state(self):
+        pair = make_pair(length=30000, error=0.005, seed=10)
+        assert default_band(pair) <= 250
+
+
+class TestQzStateAblation:
+    """The scratchpad-resident rolling-state backend (kept for ablation)."""
+
+    def test_state_backend_is_functionally_correct(self):
+        pair = make_pair(length=140, seed=11)
+        machine = make_machine(quetzal=True)
+        engine = DpEngine(
+            machine, pair, band=24, penalties=Penalties(),
+            use_quetzal=True, fast=False,
+        )
+        engine.qz_mode = "state"
+        score = engine.run()
+        assert score == banded_global_affine(
+            pair.pattern, pair.text, 24, Penalties()
+        )
+
+    def test_state_backend_removes_memory_requests(self):
+        pair = make_pair(length=140, seed=12)
+        m_vec = make_machine()
+        KswVec(band=24, fast=False).run_pair(m_vec, pair)
+        m_qz = make_machine(quetzal=True)
+        engine = DpEngine(
+            m_qz, pair, band=24, penalties=Penalties(),
+            use_quetzal=True, fast=False,
+        )
+        engine.qz_mode = "state"
+        engine.run()
+        assert m_qz.mem.stats().requests < m_vec.mem.stats().requests / 2

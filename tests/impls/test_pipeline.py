@@ -1,0 +1,64 @@
+"""Tests for the SS + WFA pipeline (use case 5)."""
+
+import pytest
+
+from repro.align.quetzal_impl import SsWfaPipelineQzc, SsWfaPipelineVec
+from repro.align.needleman_wunsch import nw_edit_distance
+from repro.eval.runner import make_machine
+from repro.genomics.generator import ErrorProfile, ReadPairGenerator, SequencePair
+from repro.genomics.sequence import Sequence
+
+
+def make_pair(length=150, error=0.02, seed=0):
+    gen = ReadPairGenerator(
+        length, ErrorProfile(error * 0.7, error * 0.15, error * 0.15), seed=seed
+    )
+    return gen.pair()
+
+
+class TestPipelineBehaviour:
+    @pytest.mark.parametrize(
+        "impl_cls,needs_qz",
+        [(SsWfaPipelineVec, False), (SsWfaPipelineQzc, True)],
+    )
+    def test_accepted_pair_gets_aligned(self, impl_cls, needs_qz):
+        pair = make_pair(seed=1)
+        machine = make_machine(quetzal=needs_qz)
+        verdict, distance = impl_cls(threshold=12).run_pair(machine, pair).output
+        assert verdict.accepted
+        assert distance == nw_edit_distance(pair.pattern, pair.text)
+
+    @pytest.mark.parametrize(
+        "impl_cls,needs_qz",
+        [(SsWfaPipelineVec, False), (SsWfaPipelineQzc, True)],
+    )
+    def test_rejected_pair_skips_alignment(self, impl_cls, needs_qz):
+        pair = SequencePair(Sequence("A" * 80), Sequence("T" * 80))
+        machine = make_machine(quetzal=needs_qz)
+        verdict, distance = impl_cls(threshold=3).run_pair(machine, pair).output
+        assert not verdict.accepted
+        assert distance is None
+
+    def test_filter_saves_time_on_rejects(self):
+        """A rejected pair must cost far less than aligning it would."""
+        bad = SequencePair(Sequence("A" * 200), Sequence("T" * 200))
+        pipe = SsWfaPipelineVec(threshold=3).run_pair(make_machine(), bad)
+        from repro.align.vectorized import WfaVec
+
+        align_only = WfaVec().run_pair(make_machine(), bad)
+        assert pipe.cycles < align_only.cycles / 3
+
+    def test_qzc_pipeline_faster_than_vec(self):
+        """Fig. 14b: the QUETZAL pipeline wins end to end."""
+        ps = [make_pair(seed=s) for s in range(3)]
+        vec_cycles = sum(
+            SsWfaPipelineVec(threshold=10).run_pair(make_machine(), p).cycles
+            for p in ps
+        )
+        qzc_cycles = sum(
+            SsWfaPipelineQzc(threshold=10)
+            .run_pair(make_machine(quetzal=True), p)
+            .cycles
+            for p in ps
+        )
+        assert vec_cycles / qzc_cycles > 1.3

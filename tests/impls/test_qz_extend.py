@@ -1,0 +1,165 @@
+"""Direct tests of the four QUETZAL extend loops (forward/backward)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.quetzal_impl.qz_extend import (
+    QzCountCostModel,
+    QzRcountCostModel,
+    QzWindowCostModel,
+    QzWindowRevCostModel,
+    qz_count_extend,
+    qz_rcount_extend,
+    qz_window_extend,
+    qz_window_extend_rev,
+    stage_pair_in_qbuffers,
+)
+from repro.align.wavefront import lcp
+from repro.eval.runner import make_machine
+from repro.genomics.sequence import Sequence
+
+dna = st.text(alphabet="ACGT", min_size=2, max_size=80)
+
+FORWARD_LOOPS = (qz_window_extend, qz_count_extend)
+BACKWARD_LOOPS = (qz_window_extend_rev, qz_rcount_extend)
+
+
+def staged(a: str, b: str):
+    machine = make_machine(quetzal=True)
+    stage_pair_in_qbuffers(machine, Sequence(a), Sequence(b))
+    return machine, machine.quetzal
+
+
+class TestForwardLoops:
+    @pytest.mark.parametrize("loop", FORWARD_LOOPS)
+    def test_full_match_reaches_end(self, loop):
+        a = "ACGT" * 20
+        machine, qz = staged(a, a)
+        v = machine.from_values([0], ebits=64)
+        act = machine.whilelt(0, 1, ebits=64)
+        v2, h2 = loop(machine, qz, v, v, act, len(a), len(a))
+        assert h2.data[0] == len(a)
+
+    @pytest.mark.parametrize("loop", FORWARD_LOOPS)
+    def test_stops_at_mismatch(self, loop):
+        a = "ACGTACGTAC" + "A" * 50
+        b = "ACGTACGTAC" + "T" * 50
+        machine, qz = staged(a, b)
+        v = machine.from_values([0], ebits=64)
+        act = machine.whilelt(0, 1, ebits=64)
+        _, h2 = loop(machine, qz, v, v, act, len(a), len(b))
+        assert h2.data[0] == 10
+
+    @pytest.mark.parametrize("loop", FORWARD_LOOPS)
+    def test_multi_lane(self, loop):
+        a = "AAAACCCCGGGGTTTT" * 4
+        b = "AAAACCCCGGGGTTTT" * 2 + "TTTT" + "AAAACCCCGGGG" * 2  # diverges at 32
+        machine, qz = staged(a, b)
+        v = machine.from_values([0, 16, 40], ebits=64)
+        act = machine.whilelt(0, 3, ebits=64)
+        _, h2 = loop(machine, qz, v, v, act, len(a), len(b))
+        pa = np.asarray(Sequence(a).hw_codes, dtype=np.int64)
+        pb = np.asarray(Sequence(b).hw_codes, dtype=np.int64)
+        for lane, start in enumerate((0, 16, 40)):
+            assert h2.data[lane] == start + lcp(pa, pb, start, start)
+
+    @given(dna, dna)
+    @settings(max_examples=25, deadline=None)
+    def test_count_loop_matches_lcp_property(self, a, b):
+        machine, qz = staged(a, b)
+        v = machine.from_values([0], ebits=64)
+        act = machine.whilelt(0, 1, ebits=64)
+        _, h2 = qz_count_extend(machine, qz, v, v, act, len(a), len(b))
+        pa = np.asarray(Sequence(a).hw_codes, dtype=np.int64)
+        pb = np.asarray(Sequence(b).hw_codes, dtype=np.int64)
+        assert h2.data[0] == lcp(pa, pb, 0, 0)
+
+    def test_window_and_count_agree(self):
+        a = "ACGTTGCA" * 10
+        b = "ACGTTGCA" * 6 + "TTGCAACG" * 4
+        for start in (0, 8, 30):
+            machine, qz = staged(a, b)
+            v = machine.from_values([start], ebits=64)
+            act = machine.whilelt(0, 1, ebits=64)
+            _, h_a = qz_window_extend(machine, qz, v, v, act, len(a), len(b))
+            machine2, qz2 = staged(a, b)
+            v2 = machine2.from_values([start], ebits=64)
+            act2 = machine2.whilelt(0, 1, ebits=64)
+            _, h_b = qz_count_extend(machine2, qz2, v2, v2, act2, len(a), len(b))
+            assert h_a.data[0] == h_b.data[0]
+
+
+class TestBackwardLoops:
+    @pytest.mark.parametrize("loop", BACKWARD_LOOPS)
+    def test_reverse_extension_matches_reversed_lcp(self, loop):
+        a = "ACGTACGTACGTAAAA"
+        b = "TTGTACGTACGTAAAA"  # common suffix of 14
+        machine, qz = staged(a, b)
+        v = machine.from_values([0], ebits=64)
+        act = machine.whilelt(0, 1, ebits=64)
+        _, h2 = loop(machine, qz, v, v, act, len(a), len(b))
+        pa = np.asarray(Sequence(a).hw_codes, dtype=np.int64)[::-1]
+        pb = np.asarray(Sequence(b).hw_codes, dtype=np.int64)[::-1]
+        assert h2.data[0] == lcp(pa, pb, 0, 0) == 14
+
+    @pytest.mark.parametrize("loop", BACKWARD_LOOPS)
+    def test_full_reverse_match(self, loop):
+        a = "ACGT" * 12
+        machine, qz = staged(a, a)
+        v = machine.from_values([0], ebits=64)
+        act = machine.whilelt(0, 1, ebits=64)
+        _, h2 = loop(machine, qz, v, v, act, len(a), len(a))
+        assert h2.data[0] == len(a)
+
+    @given(dna, dna)
+    @settings(max_examples=25, deadline=None)
+    def test_rcount_matches_reversed_lcp_property(self, a, b):
+        machine, qz = staged(a, b)
+        v = machine.from_values([0], ebits=64)
+        act = machine.whilelt(0, 1, ebits=64)
+        _, h2 = qz_rcount_extend(machine, qz, v, v, act, len(a), len(b))
+        pa = np.asarray(Sequence(a).hw_codes, dtype=np.int64)[::-1]
+        pb = np.asarray(Sequence(b).hw_codes, dtype=np.int64)[::-1]
+        assert h2.data[0] == lcp(pa, pb, 0, 0)
+
+    @given(dna, dna)
+    @settings(max_examples=25, deadline=None)
+    def test_window_rev_matches_rcount_property(self, a, b):
+        results = []
+        for loop in BACKWARD_LOOPS:
+            machine, qz = staged(a, b)
+            v = machine.from_values([0], ebits=64)
+            act = machine.whilelt(0, 1, ebits=64)
+            _, h2 = loop(machine, qz, v, v, act, len(a), len(b))
+            results.append(int(h2.data[0]))
+        assert results[0] == results[1]
+
+
+class TestTiming:
+    def test_count_loop_cheaper_than_window_loop(self):
+        """The count ALU fuses read+count: fewer instructions/iteration."""
+        a = "ACGT" * 200
+        cycles = {}
+        for loop in FORWARD_LOOPS:
+            machine, qz = staged(a, a)
+            v = machine.from_values([0] * 8, ebits=64)
+            act = machine.ptrue(ebits=64)
+            machine.barrier()
+            before = machine.cycles
+            loop(machine, qz, v, v, act, len(a), len(a))
+            machine.barrier()
+            cycles[loop.__name__] = machine.cycles - before
+        assert cycles["qz_count_extend"] < cycles["qz_window_extend"]
+
+    def test_cost_models_measure_all_loops(self):
+        machine = make_machine(quetzal=True)
+        for model_cls in (
+            QzWindowCostModel,
+            QzCountCostModel,
+            QzWindowRevCostModel,
+            QzRcountCostModel,
+        ):
+            model = model_cls(machine)
+            assert model.per_iteration(8).cycles > 0
+            assert model.entry().cycles > 0

@@ -1,0 +1,111 @@
+"""Cross-style equivalence tests for the SneakySnake implementations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.baseline import SsBase
+from repro.align.quetzal_impl import SsQz, SsQzc
+from repro.align.sneakysnake import sneakysnake_filter
+from repro.align.trace import build_ss_trace
+from repro.align.vectorized import SsVec
+from repro.eval.runner import make_machine
+from repro.genomics.generator import ErrorProfile, ReadPairGenerator, SequencePair
+from repro.genomics.sequence import Sequence
+
+ALL_STYLES = [
+    (SsBase, False),
+    (SsVec, False),
+    (SsQz, True),
+    (SsQzc, True),
+]
+
+dna_pairs = st.integers(10, 40).flatmap(
+    lambda n: st.tuples(
+        st.text(alphabet="ACGT", min_size=n, max_size=n),
+        st.text(alphabet="ACGT", min_size=n, max_size=n),
+    )
+)
+
+
+def make_pair(length=200, error=0.03, seed=0):
+    gen = ReadPairGenerator(
+        length, ErrorProfile(error * 0.7, error * 0.15, error * 0.15), seed=seed
+    )
+    return gen.pair()
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("impl_cls,needs_qz", ALL_STYLES)
+    def test_matches_trace_verdict(self, impl_cls, needs_qz):
+        pair = make_pair(seed=2)
+        threshold = 12
+        expected = build_ss_trace(pair.pattern, pair.text, threshold).result
+        machine = make_machine(quetzal=needs_qz)
+        result = impl_cls(threshold=threshold).run_pair(machine, pair).output
+        assert result.accepted == expected.accepted
+        assert result.edits == expected.edits
+
+    @pytest.mark.parametrize("impl_cls,needs_qz", ALL_STYLES)
+    def test_rejects_dissimilar(self, impl_cls, needs_qz):
+        pair = SequencePair(Sequence("A" * 64), Sequence("T" * 64))
+        machine = make_machine(quetzal=needs_qz)
+        result = impl_cls(threshold=3).run_pair(machine, pair).output
+        assert not result.accepted
+
+    @pytest.mark.parametrize("impl_cls,needs_qz", ALL_STYLES)
+    def test_accepts_identical(self, impl_cls, needs_qz):
+        pair = SequencePair(Sequence("ACGT" * 20), Sequence("ACGT" * 20))
+        machine = make_machine(quetzal=needs_qz)
+        result = impl_cls(threshold=2).run_pair(machine, pair).output
+        assert result.accepted and result.edits == 0
+
+    @given(dna_pairs)
+    @settings(max_examples=20, deadline=None)
+    def test_qzc_verdict_property(self, texts):
+        a, b = texts
+        pair = SequencePair(Sequence(a), Sequence(b))
+        threshold = max(2, len(a) // 6)
+        expected = build_ss_trace(pair.pattern, pair.text, threshold).result
+        machine = make_machine(quetzal=True)
+        got = SsQzc(threshold=threshold).run_pair(machine, pair).output
+        assert (got.accepted, got.edits) == (expected.accepted, expected.edits)
+
+    def test_trace_matches_scalar_filter(self):
+        for seed in range(8):
+            pair = make_pair(length=120, error=0.05, seed=seed)
+            threshold = 8
+            scalar = sneakysnake_filter(pair.pattern, pair.text, threshold)
+            trace = build_ss_trace(pair.pattern, pair.text, threshold)
+            assert scalar.accepted == trace.result.accepted
+            assert scalar.edits == trace.result.edits
+
+
+class TestFastPathConsistency:
+    @pytest.mark.parametrize(
+        "impl_cls,needs_qz", [(SsVec, False), (SsQz, True), (SsQzc, True)]
+    )
+    def test_fast_matches_slow(self, impl_cls, needs_qz):
+        pair = make_pair(length=300, error=0.03, seed=21)
+        slow = impl_cls(threshold=10, fast=False).run_pair(
+            make_machine(quetzal=needs_qz), pair
+        )
+        fast = impl_cls(threshold=10, fast=True).run_pair(
+            make_machine(quetzal=needs_qz), pair
+        )
+        assert slow.output == fast.output
+        assert fast.cycles == pytest.approx(slow.cycles, rel=0.30)
+
+
+class TestPaperShape:
+    def test_style_ordering(self):
+        pair = make_pair(length=250, error=0.02, seed=4)
+        vec = SsVec(threshold=12).run_pair(make_machine(), pair).cycles
+        qz = SsQz(threshold=12).run_pair(make_machine(quetzal=True), pair).cycles
+        qzc = SsQzc(threshold=12).run_pair(make_machine(quetzal=True), pair).cycles
+        assert qzc < qz < vec
+
+    def test_memory_requests_drop_on_quetzal(self):
+        pair = make_pair(length=400, error=0.02, seed=6)
+        vec = SsVec(threshold=12).run_pair(make_machine(), pair)
+        qzc = SsQzc(threshold=12).run_pair(make_machine(quetzal=True), pair)
+        assert qzc.stats.mem.requests < vec.stats.mem.requests / 2

@@ -1,0 +1,141 @@
+"""Cross-style equivalence tests for the WFA implementations.
+
+The paper validates every QUETZAL implementation by bit-comparing its
+output with the baseline version (Section V-B); these tests do the same
+against the scalar reference, and additionally pin the fast timing paths
+against the instruction-level paths.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.baseline import WfaBase
+from repro.align.needleman_wunsch import nw_edit_distance
+from repro.align.quetzal_impl import WfaQz, WfaQzc
+from repro.align.vectorized import WfaVec
+from repro.eval.runner import make_machine
+from repro.genomics.generator import ErrorProfile, ReadPairGenerator
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=50)
+
+ALL_STYLES = [
+    (WfaBase, False),
+    (WfaVec, False),
+    (WfaQz, True),
+    (WfaQzc, True),
+]
+
+
+def make_pair(length=150, error=0.04, seed=0):
+    gen = ReadPairGenerator(
+        length,
+        ErrorProfile(error * 0.6, error * 0.2, error * 0.2),
+        seed=seed,
+    )
+    return gen.pair()
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("impl_cls,needs_qz", ALL_STYLES)
+    def test_distance_matches_reference(self, impl_cls, needs_qz):
+        pair = make_pair(seed=3)
+        machine = make_machine(quetzal=needs_qz)
+        result = impl_cls().run_pair(machine, pair)
+        assert result.output == nw_edit_distance(pair.pattern, pair.text)
+
+    @pytest.mark.parametrize("impl_cls,needs_qz", ALL_STYLES)
+    def test_identical_pair_distance_zero(self, impl_cls, needs_qz):
+        gen = ReadPairGenerator(90, ErrorProfile(0, 0, 0), seed=1)
+        pair = gen.pair()
+        machine = make_machine(quetzal=needs_qz)
+        assert impl_cls().run_pair(machine, pair).output == 0
+
+    @pytest.mark.parametrize("impl_cls,needs_qz", ALL_STYLES)
+    def test_empty_pattern(self, impl_cls, needs_qz):
+        from repro.genomics.generator import SequencePair
+        from repro.genomics.sequence import Sequence
+
+        pair = SequencePair(Sequence(""), Sequence("ACGT"))
+        machine = make_machine(quetzal=needs_qz)
+        assert impl_cls().run_pair(machine, pair).output == 4
+
+    @given(dna, dna)
+    @settings(max_examples=25, deadline=None)
+    def test_vec_equals_reference_property(self, a, b):
+        from repro.genomics.generator import SequencePair
+        from repro.genomics.sequence import Sequence
+
+        pair = SequencePair(Sequence(a), Sequence(b))
+        machine = make_machine()
+        result = WfaVec().run_pair(machine, pair)
+        assert result.output == nw_edit_distance(a, b)
+
+    @given(dna, dna)
+    @settings(max_examples=20, deadline=None)
+    def test_qzc_equals_reference_property(self, a, b):
+        from repro.genomics.generator import SequencePair
+        from repro.genomics.sequence import Sequence
+
+        pair = SequencePair(Sequence(a), Sequence(b))
+        machine = make_machine(quetzal=True)
+        result = WfaQzc().run_pair(machine, pair)
+        assert result.output == nw_edit_distance(a, b)
+
+
+class TestFastPathConsistency:
+    @pytest.mark.parametrize(
+        "impl_cls,needs_qz",
+        [(WfaVec, False), (WfaQz, True), (WfaQzc, True)],
+    )
+    def test_fast_matches_slow(self, impl_cls, needs_qz):
+        pair = make_pair(length=300, error=0.03, seed=11)
+        slow = impl_cls(fast=False).run_pair(make_machine(quetzal=needs_qz), pair)
+        fast = impl_cls(fast=True).run_pair(make_machine(quetzal=needs_qz), pair)
+        assert slow.output == fast.output
+        # The fast path replays measured costs; allow modest drift from
+        # the interleaved schedule's exact overlap.
+        assert fast.cycles == pytest.approx(slow.cycles, rel=0.30)
+
+    def test_fast_memory_requests_close(self):
+        pair = make_pair(length=300, error=0.03, seed=13)
+        slow = WfaVec(fast=False).run_pair(make_machine(), pair)
+        fast = WfaVec(fast=True).run_pair(make_machine(), pair)
+        assert fast.stats.mem.requests == pytest.approx(
+            slow.stats.mem.requests, rel=0.2
+        )
+
+
+class TestPaperShape:
+    """The Fig. 13a single-core ordering must hold."""
+
+    def test_style_ordering_short(self):
+        pair = make_pair(length=250, error=0.02, seed=5)
+        vec = WfaVec().run_pair(make_machine(), pair).cycles
+        qz = WfaQz().run_pair(make_machine(quetzal=True), pair).cycles
+        qzc = WfaQzc().run_pair(make_machine(quetzal=True), pair).cycles
+        assert qzc < qz < vec
+
+    def test_qz_speedup_grows_with_length(self):
+        ratios = []
+        for length, error in ((150, 0.02), (3000, 0.005)):
+            pair = make_pair(length=length, error=error, seed=7)
+            vec = WfaVec().run_pair(make_machine(), pair).cycles
+            qzc = WfaQzc().run_pair(make_machine(quetzal=True), pair).cycles
+            ratios.append(vec / qzc)
+        assert ratios[1] > ratios[0] > 1.0
+
+    def test_staging_cost_is_counted(self):
+        pair = make_pair(length=200, error=0.02, seed=9)
+        machine = make_machine(quetzal=True)
+        result = WfaQzc().run_pair(machine, pair)
+        # Staging issues ~len/64 qbuffer writes per sequence.
+        assert result.stats.qz_writes >= (200 // 64) * 2
+
+
+class TestTracebackAccounting:
+    def test_traceback_adds_cycles(self):
+        pair = make_pair(length=200, error=0.05, seed=15)
+        with_tb = WfaVec(traceback=True).run_pair(make_machine(), pair)
+        without = WfaVec(traceback=False).run_pair(make_machine(), pair)
+        assert with_tb.cycles > without.cycles
+        assert with_tb.output == without.output

@@ -1,0 +1,85 @@
+"""Tests for the histogram kernel (Fig. 8 / Fig. 15b)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MachineError, QuetzalError
+from repro.eval.runner import make_machine
+from repro.kernels import HistogramQz, HistogramVec, histogram_reference
+
+
+def random_values(n=1000, bins=256, seed=0):
+    rng = np.random.Generator(np.random.PCG64(seed))
+    return rng.integers(0, bins, size=n)
+
+
+class TestReference:
+    def test_counts(self):
+        ref = histogram_reference(np.array([0, 1, 1, 3]), 4)
+        assert ref.tolist() == [1, 2, 0, 1]
+
+    def test_out_of_range(self):
+        with pytest.raises(MachineError):
+            histogram_reference(np.array([5]), 4)
+
+
+class TestFunctional:
+    def test_vec_matches_reference(self):
+        values = random_values(seed=1)
+        result, _ = HistogramVec(256).run(make_machine(), values)
+        np.testing.assert_array_equal(result, histogram_reference(values, 256))
+
+    def test_qz_matches_reference(self):
+        values = random_values(seed=2)
+        result, _ = HistogramQz(256).run(make_machine(quetzal=True), values)
+        np.testing.assert_array_equal(result, histogram_reference(values, 256))
+
+    def test_heavy_duplicates(self):
+        """Duplicate bins within a vector must merge exactly."""
+        values = np.array([7] * 100 + [3] * 50)
+        for kernel, machine in (
+            (HistogramVec(16), make_machine()),
+            (HistogramQz(16), make_machine(quetzal=True)),
+        ):
+            result, _ = kernel.run(machine, values)
+            assert result[7] == 100 and result[3] == 50
+
+    @given(st.lists(st.integers(0, 31), min_size=0, max_size=300))
+    @settings(max_examples=20, deadline=None)
+    def test_qz_property(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        result, _ = HistogramQz(32).run(make_machine(quetzal=True), arr)
+        np.testing.assert_array_equal(result, histogram_reference(arr, 32))
+
+    def test_rejects_out_of_range_input(self):
+        with pytest.raises(MachineError):
+            HistogramVec(8).run(make_machine(), np.array([9]))
+
+    def test_qz_capacity_limit(self):
+        with pytest.raises(QuetzalError):
+            HistogramQz(5000).run(make_machine(quetzal=True), np.array([0]))
+
+    def test_qz_requires_unit(self):
+        with pytest.raises(QuetzalError):
+            HistogramQz(64).run(make_machine(), np.array([0]))
+
+
+class TestTiming:
+    def test_qz_beats_vec(self):
+        """Fig. 15b: ~3x for histogram."""
+        values = random_values(n=2000, seed=3)
+        _, vec = HistogramVec(256).run(make_machine(), values)
+        _, qz = HistogramQz(256).run(make_machine(quetzal=True), values)
+        assert 1.5 < vec.cycles / qz.cycles < 8.0
+
+    def test_vec_issues_gathers_and_scatters(self):
+        values = random_values(n=320, seed=4)
+        _, stats = HistogramVec(256).run(make_machine(), values)
+        assert stats.instructions["memory"] >= 3 * (320 // 8)
+
+    def test_qz_reduces_memory_requests(self):
+        values = random_values(n=2000, seed=5)
+        _, vec = HistogramVec(256).run(make_machine(), values)
+        _, qz = HistogramQz(256).run(make_machine(quetzal=True), values)
+        assert qz.mem.requests < vec.mem.requests / 2

@@ -1,0 +1,97 @@
+"""Tests for the SpMV kernel (Fig. 15b)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MachineError, QuetzalError
+from repro.eval.runner import make_machine
+from repro.kernels import CsrMatrix, SpmvQz, SpmvVec, spmv_reference
+
+
+def small_matrix(rows=24, cols=120, density=0.1, seed=0):
+    return CsrMatrix.random(rows, cols, density=density, seed=seed)
+
+
+def x_vector(cols=120, seed=0):
+    rng = np.random.Generator(np.random.PCG64(seed + 100))
+    return rng.integers(-9, 10, size=cols)
+
+
+class TestCsrMatrix:
+    def test_random_shape(self):
+        mat = small_matrix()
+        assert mat.rows == 24 and mat.cols == 120
+        assert mat.nnz == len(mat.indices)
+
+    def test_indptr_validation(self):
+        with pytest.raises(MachineError):
+            CsrMatrix(
+                rows=2, cols=2,
+                indptr=np.array([0, 1]),
+                indices=np.array([0]),
+                data=np.array([1]),
+            )
+
+    def test_column_range_validation(self):
+        with pytest.raises(MachineError):
+            CsrMatrix(
+                rows=1, cols=2,
+                indptr=np.array([0, 1]),
+                indices=np.array([5]),
+                data=np.array([1]),
+            )
+
+    def test_reference_known_case(self):
+        mat = CsrMatrix(
+            rows=2, cols=3,
+            indptr=np.array([0, 2, 3]),
+            indices=np.array([0, 2, 1]),
+            data=np.array([2, 3, 4]),
+        )
+        y = spmv_reference(mat, np.array([1, 10, 100]))
+        assert y.tolist() == [2 * 1 + 3 * 100, 4 * 10]
+
+    def test_reference_length_check(self):
+        with pytest.raises(MachineError):
+            spmv_reference(small_matrix(), np.zeros(7))
+
+
+class TestFunctional:
+    def test_vec_matches_reference(self):
+        mat, x = small_matrix(seed=1), x_vector(seed=1)
+        y, _ = SpmvVec().run(make_machine(), mat, x)
+        np.testing.assert_array_equal(y, spmv_reference(mat, x))
+
+    def test_qz_matches_reference(self):
+        mat, x = small_matrix(seed=2), x_vector(seed=2)
+        y, _ = SpmvQz().run(make_machine(quetzal=True), mat, x)
+        np.testing.assert_array_equal(y, spmv_reference(mat, x))
+
+    def test_negative_values_round_trip_qbuffer(self):
+        mat = small_matrix(seed=3)
+        x = -np.ones(120, dtype=np.int64) * 7
+        y, _ = SpmvQz().run(make_machine(quetzal=True), mat, x)
+        np.testing.assert_array_equal(y, spmv_reference(mat, x))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_qz_property(self, seed):
+        mat, x = small_matrix(rows=8, cols=64, seed=seed), x_vector(64, seed)
+        y, _ = SpmvQz().run(make_machine(quetzal=True), mat, x)
+        np.testing.assert_array_equal(y, spmv_reference(mat, x))
+
+    def test_qz_capacity_limit(self):
+        mat = CsrMatrix.random(4, 2000, density=0.01, seed=0)
+        with pytest.raises(QuetzalError):
+            SpmvQz().run(make_machine(quetzal=True), mat, np.zeros(2000))
+
+
+class TestTiming:
+    def test_qz_beats_vec(self):
+        """Fig. 15b: ~2x for SpMV."""
+        mat = CsrMatrix.random(40, 800, density=0.08, seed=4)
+        x = x_vector(800, seed=4)
+        _, vec = SpmvVec().run(make_machine(), mat, x)
+        _, qz = SpmvQz().run(make_machine(quetzal=True), mat, x)
+        assert 1.2 < vec.cycles / qz.cycles < 5.0

@@ -1,0 +1,111 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.errors import MemoryModelError
+from repro.memory.cache import Cache
+
+
+def small_cache(ways=2, sets=4, line=64):
+    return Cache(CacheConfig(size_bytes=ways * sets * line, ways=ways, line_bytes=line))
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        cfg = CacheConfig(size_bytes=64 * 1024, ways=8)
+        assert cfg.num_sets == 64 * 1024 // (8 * 64)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(MemoryModelError):
+            CacheConfig(size_bytes=1000, ways=3)
+
+    def test_line_of(self):
+        c = small_cache()
+        assert c.line_of(130) == 128
+        assert c.line_of(64) == 64
+
+    def test_line_of_negative(self):
+        with pytest.raises(MemoryModelError):
+            small_cache().line_of(-1)
+
+
+class TestAccessAndFill:
+    def test_miss_then_hit(self):
+        c = small_cache()
+        assert not c.access(0)
+        c.fill(0)
+        assert c.access(0)
+        assert c.stats.hits == 1
+        assert c.stats.misses == 1
+
+    def test_lru_eviction(self):
+        c = small_cache(ways=2, sets=1)
+        c.fill(0)
+        c.fill(64)
+        c.access(0)  # 0 becomes MRU
+        evicted = c.fill(128)
+        assert evicted == 64
+
+    def test_eviction_counted(self):
+        c = small_cache(ways=1, sets=1)
+        c.fill(0)
+        c.fill(64)
+        assert c.stats.evictions == 1
+
+    def test_fill_existing_is_noop(self):
+        c = small_cache()
+        c.fill(0)
+        assert c.fill(0) is None
+
+    def test_sets_isolate_lines(self):
+        c = small_cache(ways=1, sets=4)
+        c.fill(0)
+        c.fill(64)  # different set
+        assert c.probe(0) and c.probe(64)
+
+    def test_probe_does_not_touch_stats(self):
+        c = small_cache()
+        c.probe(0)
+        assert c.stats.accesses == 0
+
+    def test_invalidate_all(self):
+        c = small_cache()
+        c.fill(0)
+        c.invalidate_all()
+        assert not c.probe(0)
+        assert c.resident_lines == 0
+
+
+class TestPrefetchTracking:
+    def test_prefetch_fill_counted(self):
+        c = small_cache()
+        c.fill(0, prefetch=True)
+        assert c.stats.prefetch_fills == 1
+
+    def test_prefetch_hit_counted_once(self):
+        c = small_cache()
+        c.fill(0, prefetch=True)
+        c.access(0)
+        c.access(0)
+        assert c.stats.prefetch_hits == 1
+
+
+class TestStats:
+    def test_hit_rate(self):
+        c = small_cache()
+        c.access(0)
+        c.fill(0)
+        c.access(0)
+        assert c.stats.hit_rate == pytest.approx(0.5)
+
+    def test_delta_and_merge(self):
+        c = small_cache()
+        c.access(0)
+        before = c.stats.copy()
+        c.fill(0)
+        c.access(0)
+        d = c.stats.delta(before)
+        assert d.hits == 1 and d.misses == 0
+        merged = before.merge(d)
+        assert merged.hits == c.stats.hits

@@ -1,0 +1,79 @@
+"""Tests for the stride prefetcher."""
+
+from repro.memory.prefetcher import StridePrefetcher
+
+
+class TestStrideDetection:
+    def test_no_prefetch_on_first_touch(self):
+        pf = StridePrefetcher()
+        assert pf.observe(1, 0) == []
+
+    def test_needs_two_confirming_strides(self):
+        pf = StridePrefetcher(degree=1)
+        pf.observe(1, 0)
+        assert pf.observe(1, 64) == []  # stride learned, not confirmed
+        assert pf.observe(1, 128) == [192]  # confirmed
+
+    def test_degree_controls_depth(self):
+        pf = StridePrefetcher(degree=3)
+        pf.observe(1, 0)
+        pf.observe(1, 64)
+        assert pf.observe(1, 128) == [192, 256, 320]
+
+    def test_stride_change_resets_confidence(self):
+        pf = StridePrefetcher(degree=1)
+        pf.observe(1, 0)
+        pf.observe(1, 64)
+        pf.observe(1, 128)
+        assert pf.observe(1, 4096) == []  # broken stride
+
+    def test_streams_are_independent(self):
+        pf = StridePrefetcher(degree=1)
+        pf.observe(1, 0)
+        pf.observe(2, 1000)
+        pf.observe(1, 64)
+        pf.observe(2, 2000)
+        assert pf.observe(1, 128) == [192]
+
+    def test_zero_stride_never_prefetches(self):
+        pf = StridePrefetcher()
+        for _ in range(5):
+            out = pf.observe(1, 256)
+        assert out == []
+
+    def test_negative_stride(self):
+        pf = StridePrefetcher(degree=1)
+        pf.observe(1, 640)
+        pf.observe(1, 576)
+        assert pf.observe(1, 512) == [448]
+
+    def test_negative_targets_dropped(self):
+        pf = StridePrefetcher(degree=2)
+        pf.observe(1, 128)
+        pf.observe(1, 64)
+        out = pf.observe(1, 0)
+        assert all(a >= 0 for a in out)
+
+    def test_table_eviction(self):
+        pf = StridePrefetcher(table_size=2, degree=1)
+        pf.observe(1, 0)
+        pf.observe(2, 0)
+        pf.observe(3, 0)  # evicts stream 1
+        pf.observe(1, 64)
+        assert pf.observe(1, 128) == []  # had to re-learn from scratch
+
+    def test_sub_line_addresses_align(self):
+        pf = StridePrefetcher(degree=1, line_bytes=64)
+        pf.observe(1, 10)
+        pf.observe(1, 138)
+        out = pf.observe(1, 266)
+        assert out and all(a % 64 == 0 for a in out)
+
+    def test_reset(self):
+        pf = StridePrefetcher(degree=1)
+        pf.observe(1, 0)
+        pf.observe(1, 64)
+        pf.observe(1, 128)
+        pf.reset()
+        assert pf.issued == 0
+        assert pf.observe(1, 192) == []

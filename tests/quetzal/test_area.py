@@ -1,0 +1,57 @@
+"""Tests for the Table III area/power model."""
+
+import pytest
+
+from repro.config import DESIGN_POINTS, QZ_1P, QZ_8P, QuetzalConfig
+from repro.quetzal.area import (
+    A64FX_CORE_MM2,
+    AreaModel,
+    validate_published_consistency,
+)
+
+
+class TestPublishedPoints:
+    def test_table3_areas(self):
+        model = AreaModel()
+        areas = {r.name: r.area_mm2 for r in model.table3()}
+        assert areas == {
+            "QZ_1P": 0.013,
+            "QZ_2P": 0.026,
+            "QZ_4P": 0.048,
+            "QZ_8P": 0.097,
+        }
+
+    def test_qz8_power_is_published(self):
+        assert AreaModel().power_mw(QZ_8P) == pytest.approx(0.746)
+
+    def test_power_scales_with_area(self):
+        model = AreaModel()
+        assert model.power_mw(QZ_1P) < model.power_mw(QZ_8P) / 4
+
+    def test_soc_overhead_is_paper_value(self):
+        pct = AreaModel().soc_overhead_pct(QZ_8P)
+        assert 1.3 <= pct <= 1.5  # "a small overhead of 1.4%"
+
+    def test_core_overhead_small(self):
+        pct = AreaModel().core_overhead_pct(QZ_8P)
+        assert pct < 5.0
+
+    def test_validate_helper(self):
+        validate_published_consistency()
+
+    def test_core_plus_quetzal_matches_table4(self):
+        total = AreaModel().core_plus_quetzal_mm2(QZ_8P)
+        assert total == pytest.approx(A64FX_CORE_MM2 + 0.097)
+
+
+class TestInterpolation:
+    def test_unpublished_config_uses_linear_model(self):
+        cfg = QuetzalConfig(name="QZ_3P", read_ports=3)
+        model = AreaModel()
+        area = model.area_mm2(cfg)
+        assert model.area_mm2(QZ_1P) < area < model.area_mm2(QZ_8P)
+
+    def test_monotone_in_ports(self):
+        model = AreaModel()
+        areas = [model.area_mm2(c) for c in DESIGN_POINTS]
+        assert areas == sorted(areas)

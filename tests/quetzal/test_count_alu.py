@@ -1,0 +1,121 @@
+"""Tests for the count ALU (xnor -> trailing ones -> shift)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QuetzalError
+from repro.genomics.encoding import pack_words
+from repro.quetzal.count_alu import (
+    count_matches_vector,
+    count_matches_word,
+    trailing_ones,
+)
+
+u64 = st.integers(0, (1 << 64) - 1)
+
+
+class TestTrailingOnes:
+    def test_zero(self):
+        assert trailing_ones(0) == 0
+
+    def test_all_ones(self):
+        assert trailing_ones((1 << 64) - 1) == 64
+
+    def test_partial(self):
+        assert trailing_ones(0b0111) == 3
+        assert trailing_ones(0b1000) == 0
+        assert trailing_ones(0b1011) == 2
+
+    @given(u64)
+    def test_definition(self, x):
+        n = trailing_ones(x)
+        if n < 64:
+            assert (x >> n) & 1 == 0
+        assert x & ((1 << n) - 1) == (1 << n) - 1
+
+
+class TestCountWord:
+    def test_identical_2bit(self):
+        assert count_matches_word(0xDEADBEEF, 0xDEADBEEF, 2) == 32
+
+    def test_identical_8bit(self):
+        assert count_matches_word(123456, 123456, 8) == 8
+
+    def test_identical_64bit(self):
+        assert count_matches_word(7, 7, 64) == 1
+
+    def test_first_element_differs(self):
+        assert count_matches_word(0b01, 0b10, 2) == 0
+
+    def test_partial_bit_match_floors(self):
+        # Elements 0..2 match; element 3 differs in its high bit only:
+        # 7 trailing matching bits -> floor(7/2) = 3 elements.
+        a = 0b01_00_11_10
+        b = 0b11_00_11_10
+        assert count_matches_word(a, b, 2) == 3
+
+    def test_dna_semantics(self):
+        from repro.genomics.encoding import encode_2bit
+
+        a = int(pack_words(encode_2bit("ACGTACGT"), 2)[0])
+        b = int(pack_words(encode_2bit("ACGTTCGT"), 2)[0])
+        assert count_matches_word(a, b, 2) == 4
+        # Zero-padding beyond sequence end matches itself: software clamps.
+        c = int(pack_words(encode_2bit("ACGTACGT"), 2)[0])
+        assert count_matches_word(a, c, 2) == 32
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(QuetzalError):
+            count_matches_word(0, 0, 4)
+
+    @given(u64, u64)
+    @settings(max_examples=100)
+    def test_matches_reference(self, a, b):
+        for bits in (2, 8):
+            per = 64 // bits
+            mask = (1 << bits) - 1
+            expect = 0
+            for i in range(per):
+                if (a >> (i * bits)) & mask == (b >> (i * bits)) & mask:
+                    expect += 1
+                else:
+                    break
+            assert count_matches_word(a, b, bits) == expect
+
+
+class TestCountVector:
+    def test_matches_scalar(self):
+        rng = np.random.Generator(np.random.PCG64(3))
+        a = rng.integers(0, 1 << 63, size=50, dtype=np.uint64)
+        b = a.copy()
+        flip = rng.random(50) < 0.5
+        b[flip] ^= np.uint64(0b1100)
+        out = count_matches_vector(a, b, 2)
+        for i in range(50):
+            assert out[i] == count_matches_word(int(a[i]), int(b[i]), 2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(QuetzalError):
+            count_matches_vector(np.zeros(2, dtype=np.uint64),
+                                 np.zeros(3, dtype=np.uint64), 2)
+
+    def test_bad_width(self):
+        with pytest.raises(QuetzalError):
+            count_matches_vector(np.zeros(1, dtype=np.uint64),
+                                 np.zeros(1, dtype=np.uint64), 16)
+
+    def test_all_match_vector(self):
+        a = np.full(8, (1 << 64) - 1, dtype=np.uint64)
+        out = count_matches_vector(a, a, 2)
+        assert out.tolist() == [32] * 8
+
+    @given(st.lists(st.tuples(u64, u64), min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_vector_equals_word_property(self, pairs):
+        a = np.array([p[0] for p in pairs], dtype=np.uint64)
+        b = np.array([p[1] for p in pairs], dtype=np.uint64)
+        for bits in (2, 8, 64):
+            out = count_matches_vector(a, b, bits)
+            expect = [count_matches_word(int(x), int(y), bits) for x, y in pairs]
+            assert out.tolist() == expect

@@ -1,0 +1,108 @@
+"""Tests for the data encoder and access-control modules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EncodingError, QuetzalError
+from repro.genomics.encoding import encode_2bit, unpack_words
+from repro.quetzal.access_control import AccessControl
+from repro.quetzal.encoder import DataEncoder
+
+
+class TestDataEncoder:
+    def test_chars_per_vector(self):
+        assert DataEncoder(512).chars_per_vector == 64
+
+    def test_full_vector_two_words(self):
+        enc = DataEncoder(512)
+        chars = np.frombuffer(("ACGT" * 16).encode(), dtype=np.uint8)
+        words = enc.encode_2bit(chars)
+        assert len(words) == 2
+        np.testing.assert_array_equal(
+            unpack_words(words, 2, 64), encode_2bit("ACGT" * 16)
+        )
+
+    def test_tail_zero_padded(self):
+        enc = DataEncoder(512)
+        chars = np.frombuffer(b"ACG", dtype=np.uint8)
+        words = enc.encode_2bit(chars)
+        assert len(words) == 1
+        assert (int(words[0]) >> 6) == 0  # bits past the 3 codes are zero
+
+    def test_rejects_oversized_input(self):
+        enc = DataEncoder(512)
+        with pytest.raises(EncodingError):
+            enc.encode_2bit(np.zeros(65, dtype=np.uint8))
+
+    def test_8bit_mode_packs_bytes(self):
+        enc = DataEncoder(512)
+        words = enc.encode_8bit(np.array([1, 2, 3], dtype=np.uint8))
+        assert int(words[0]) == 1 | (2 << 8) | (3 << 16)
+
+    def test_8bit_rejects_wide_values(self):
+        enc = DataEncoder(512)
+        with pytest.raises(EncodingError):
+            enc.encode_8bit(np.array([300]))
+
+    def test_rejects_fractional_vector(self):
+        with pytest.raises(EncodingError):
+            DataEncoder(100)
+
+    @given(st.text(alphabet="ACGT", min_size=0, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_reference_encoding_property(self, text):
+        enc = DataEncoder(512)
+        chars = np.frombuffer(text.encode(), dtype=np.uint8)
+        words = enc.encode_2bit(chars)
+        np.testing.assert_array_equal(
+            unpack_words(words, 2, len(text)), encode_2bit(text)
+        )
+
+
+class TestAccessControl:
+    def test_unconfigured_rejects(self):
+        ctrl = AccessControl()
+        with pytest.raises(QuetzalError):
+            _ = ctrl.element_bits
+        with pytest.raises(QuetzalError):
+            ctrl.check_indices(np.array([0]), 0)
+
+    def test_configure_and_query(self):
+        ctrl = AccessControl()
+        ctrl.configure(100, 200, 0)
+        assert ctrl.element_bits == 2
+        assert ctrl.eb == [100, 200]
+
+    def test_configure_rejects_bad_esize(self):
+        with pytest.raises(Exception):
+            AccessControl().configure(1, 1, 9)
+
+    def test_configure_rejects_negative_counts(self):
+        with pytest.raises(QuetzalError):
+            AccessControl().configure(-1, 0, 0)
+
+    def test_check_indices_bounds(self):
+        ctrl = AccessControl()
+        ctrl.configure(10, 5, 2)
+        ctrl.check_indices(np.array([0, 9]), 0)
+        with pytest.raises(QuetzalError):
+            ctrl.check_indices(np.array([10]), 0)
+        with pytest.raises(QuetzalError):
+            ctrl.check_indices(np.array([-1]), 1)
+
+    def test_check_select(self):
+        ctrl = AccessControl()
+        with pytest.raises(QuetzalError):
+            ctrl.check_select(2)
+
+    def test_reset(self):
+        ctrl = AccessControl()
+        ctrl.configure(4, 4, 1)
+        ctrl.reset()
+        assert not ctrl.configured
+
+    def test_empty_indices_ok(self):
+        ctrl = AccessControl()
+        ctrl.configure(4, 4, 1)
+        ctrl.check_indices(np.array([], dtype=np.int64), 0)

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main, run_experiment
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig3"])
+        assert args.experiment == "fig3"
+        assert args.scale == 1.0
+
+    def test_scale(self):
+        args = build_parser().parse_args(["fig3", "--scale", "0.25"])
+        assert args.scale == 0.25
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_tab1(self, capsys):
+        assert main(["tab1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "A64FX" in out
+
+    def test_run_scaled_fig15b(self, capsys):
+        assert main(["fig15b", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "histogram" in out and "spmv" in out
+
+
+class TestRunExperiment:
+    def test_reports_timing(self):
+        out = run_experiment("tab2", scale=1.0)
+        assert "[tab2:" in out
+        assert "100bp_1" in out
+
+    def test_every_registered_id_is_callable(self):
+        for name, (fn, title, scale_kw) in EXPERIMENTS.items():
+            assert callable(fn)
+            assert title
+            assert scale_kw in (None, "pairs_scale", "scale")

@@ -1,0 +1,273 @@
+"""Tests for the vector machine: functional semantics + timing model."""
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import MachineError
+from repro.vector.machine import VectorMachine
+
+
+class TestLanes:
+    def test_lane_counts(self, machine):
+        assert machine.lanes(64) == 8
+        assert machine.lanes(32) == 16
+        assert machine.lanes(8) == 64
+
+    def test_bad_width(self, machine):
+        with pytest.raises(MachineError):
+            machine.lanes(12)
+
+
+class TestConstants:
+    def test_dup(self, machine):
+        v = machine.dup(7, ebits=32)
+        assert v.data.tolist() == [7] * 16
+
+    def test_iota(self, machine):
+        v = machine.iota(ebits=64, start=3, step=2)
+        assert v.data.tolist() == [3, 5, 7, 9, 11, 13, 15, 17]
+
+    def test_from_values_pads(self, machine):
+        v = machine.from_values([1, 2], ebits=32)
+        assert v.data[:2].tolist() == [1, 2]
+        assert v.data[2:].sum() == 0
+
+    def test_from_values_overflow(self, machine):
+        with pytest.raises(MachineError):
+            machine.from_values(list(range(20)), ebits=32)
+
+
+class TestArithmetic:
+    def test_add_vectors(self, machine):
+        a = machine.dup(3)
+        b = machine.dup(4)
+        assert machine.add(a, b).data.tolist() == [7] * 16
+
+    def test_add_scalar(self, machine):
+        a = machine.dup(3)
+        assert machine.add(a, 10).data[0] == 13
+
+    def test_predicated_merge_keeps_inactive(self, machine):
+        a = machine.iota()
+        p = machine.whilelt(0, 4)
+        r = machine.add(a, 100, pred=p)
+        assert r.data[:4].tolist() == [100, 101, 102, 103]
+        assert r.data[4:].tolist() == a.data[4:].tolist()
+
+    def test_width_mismatch_rejected(self, machine):
+        a = machine.dup(1, ebits=32)
+        b = machine.dup(1, ebits=64)
+        with pytest.raises(MachineError):
+            machine.add(a, b)
+
+    def test_min_max(self, machine):
+        a = machine.from_values([5, 1, 9], ebits=32)
+        b = machine.from_values([3, 8, 9], ebits=32)
+        assert machine.min(a, b).data[:3].tolist() == [3, 1, 9]
+        assert machine.max(a, b).data[:3].tolist() == [5, 8, 9]
+
+    def test_shift(self, machine):
+        a = machine.dup(8)
+        assert machine.shr(a, 2).data[0] == 2
+        assert machine.shl(a, 1).data[0] == 16
+
+    def test_sel(self, machine):
+        a = machine.dup(1)
+        b = machine.dup(2)
+        p = machine.whilelt(0, 3)
+        r = machine.sel(p, a, b)
+        assert r.data[:4].tolist() == [1, 1, 1, 2]
+
+    def test_unknown_binop(self, machine):
+        a = machine.dup(1)
+        with pytest.raises(MachineError):
+            machine.binop("pow", a, a)
+
+
+class TestPredicates:
+    def test_whilelt_counts(self, machine):
+        p = machine.whilelt(10, 14)
+        assert p.active == 4
+
+    def test_whilelt_saturates(self, machine):
+        assert machine.whilelt(0, 100).active == 16
+
+    def test_whilelt_empty(self, machine):
+        assert machine.whilelt(5, 5).active == 0
+
+    def test_cmp(self, machine):
+        a = machine.from_values([1, 5, 3], ebits=32)
+        p = machine.cmp("gt", a, 2)
+        assert p.data[:3].tolist() == [False, True, True]
+
+    def test_cmp_with_pred(self, machine):
+        a = machine.from_values([1, 5, 3], ebits=32)
+        mask = machine.whilelt(0, 2)
+        p = machine.cmp("gt", a, 0, pred=mask)
+        assert p.data[:3].tolist() == [True, True, False]
+
+    def test_pand_pnot(self, machine):
+        a = machine.whilelt(0, 4)
+        b = machine.whilelt(0, 2)
+        assert machine.pand(a, machine.pnot(b)).active == 2
+
+    def test_ptest(self, machine):
+        assert machine.ptest(machine.whilelt(0, 1))
+        assert not machine.ptest(machine.pfalse())
+
+    def test_count_active(self, machine):
+        assert machine.count_active(machine.whilelt(0, 5)) == 5
+
+
+class TestReductions:
+    def test_reduce_add(self, machine):
+        v = machine.iota()
+        assert machine.reduce_add(v) == sum(range(16))
+
+    def test_reduce_max_min(self, machine):
+        v = machine.from_values([4, 9, 2], ebits=32)
+        p = machine.whilelt(0, 3)
+        assert machine.reduce_max(v, p) == 9
+        assert machine.reduce_min(v, p) == 2
+
+    def test_reduce_empty_pred(self, machine):
+        v = machine.iota()
+        p = machine.pfalse()
+        assert machine.reduce_max(v, p) < -(1 << 60)
+
+    def test_extract(self, machine):
+        v = machine.iota()
+        assert machine.extract(v, 5) == 5
+
+    def test_extract_out_of_range(self, machine):
+        with pytest.raises(MachineError):
+            machine.extract(machine.iota(), 99)
+
+
+class TestMemoryOps:
+    def test_load_store_roundtrip(self, machine):
+        buf = machine.new_buffer("b", np.arange(100))
+        v = machine.load(buf, 10, ebits=32)
+        assert v.data.tolist() == list(range(10, 26))
+        machine.store(buf, 0, v)
+        assert buf.data[:16].tolist() == list(range(10, 26))
+
+    def test_load_pred_masks(self, machine):
+        buf = machine.new_buffer("b", np.arange(100))
+        p = machine.whilelt(0, 3)
+        v = machine.load(buf, 0, ebits=32, pred=p)
+        assert v.data[:4].tolist() == [0, 1, 2, 0]
+
+    def test_load_tail_is_zero(self, machine):
+        buf = machine.new_buffer("b", np.arange(8))
+        v = machine.load(buf, 0, ebits=32)
+        assert v.data[8:].sum() == 0
+
+    def test_gather(self, machine):
+        buf = machine.new_buffer("b", np.arange(100) * 10)
+        idx = machine.from_values([5, 1, 7], ebits=32)
+        p = machine.whilelt(0, 3)
+        v = machine.gather(buf, idx, pred=p)
+        assert v.data[:3].tolist() == [50, 10, 70]
+
+    def test_gather_out_of_range(self, machine):
+        buf = machine.new_buffer("b", np.arange(4))
+        idx = machine.from_values([9], ebits=32)
+        with pytest.raises(MachineError):
+            machine.gather(buf, idx, pred=machine.whilelt(0, 1))
+
+    def test_scatter(self, machine):
+        buf = machine.new_buffer("b", np.zeros(16, dtype=np.int64))
+        idx = machine.from_values([3, 1], ebits=32)
+        val = machine.from_values([30, 10], ebits=32)
+        machine.scatter(buf, idx, val, pred=machine.whilelt(0, 2))
+        assert buf.data[3] == 30 and buf.data[1] == 10
+
+    def test_store_out_of_range(self, machine):
+        buf = machine.new_buffer("b", np.zeros(4, dtype=np.int64))
+        with pytest.raises(MachineError):
+            machine.store(buf, 0, machine.iota())
+
+    def test_buffer_lookup(self, machine):
+        machine.new_buffer("named", np.arange(4))
+        assert machine.buffer("named").name == "named"
+        with pytest.raises(MachineError):
+            machine.buffer("ghost")
+
+
+class TestTiming:
+    def test_gather_slower_than_load(self):
+        m1 = VectorMachine(SystemConfig())
+        buf = m1.new_buffer("b", np.arange(64))
+        m1.mem.touch(buf.base, 64 * 8)
+        m1.reset()
+        m1.load(buf, 0, ebits=32)
+        m1.barrier()
+        load_cycles = m1.cycles
+
+        m2 = VectorMachine(SystemConfig())
+        buf2 = m2.new_buffer("b", np.arange(64))
+        m2.mem.touch(buf2.base, 64 * 8)
+        m2.reset()
+        idx = m2.iota(32)
+        m2.reset()
+        m2.gather(buf2, idx)
+        m2.barrier()
+        assert m2.cycles > load_cycles
+        # The paper's point: >=19 cycles even on L1 hits.
+        assert m2.cycles >= m2.system.lat_gather_base
+
+    def test_dependency_stalls_accumulate(self, machine):
+        a = machine.dup(1)
+        b = machine.add(a, 1)
+        c = machine.add(b, 1)
+        machine.barrier()
+        assert machine.cycles >= 3 * 1 + machine.system.lat_vector_arith
+
+    def test_serializing_ops_advance_clock(self, machine):
+        v = machine.iota()
+        before = machine.clock
+        machine.reduce_add(v)
+        assert machine.clock > before
+
+    def test_scalar_accounting(self, machine):
+        machine.scalar(5)
+        assert machine.cycles >= 5
+        snap = machine.snapshot()
+        assert snap.instructions["scalar"] == 5
+
+    def test_account_block(self, machine):
+        machine.account_block("vector", instructions=10, busy=20, stall=5,
+                              stall_category="memory")
+        snap = machine.snapshot()
+        assert snap.instructions["vector"] == 10
+        assert snap.busy["vector"] == 20
+        assert snap.stall["memory"] == 5
+        assert machine.cycles == 25
+
+    def test_account_block_rejects_negative(self, machine):
+        with pytest.raises(MachineError):
+            machine.account_block("vector", busy=-1)
+
+    def test_snapshot_delta(self, machine):
+        machine.dup(1)
+        before = machine.snapshot()
+        machine.dup(2)
+        delta = machine.snapshot().delta(before)
+        assert delta.instructions["vector"] == 1
+
+    def test_reset_keeps_buffers(self, machine):
+        buf = machine.new_buffer("b", np.arange(4))
+        machine.dup(1)
+        machine.reset()
+        assert machine.cycles == 0
+        assert machine.buffer("b") is buf
+
+    def test_breakdown_sums_to_one(self, machine):
+        buf = machine.new_buffer("b", np.arange(64))
+        v = machine.load(buf, 0, ebits=32)
+        machine.add(v, 1)
+        machine.barrier()
+        shares = machine.snapshot().breakdown()
+        assert 0.99 <= sum(shares.values()) <= 1.01

@@ -1,0 +1,193 @@
+"""Tests for the newer machine operations: rbit/clz, gather64, speculation,
+bulk accounting, and the store-to-load forwarding hazard."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SystemConfig
+from repro.errors import MachineError
+from repro.vector.machine import VectorMachine
+
+u64 = st.integers(0, (1 << 64) - 1)
+
+
+@pytest.fixture
+def machine():
+    return VectorMachine(SystemConfig())
+
+
+class TestBitOps:
+    def test_rbit_known(self, machine):
+        v = machine.from_values([0b1], ebits=64)
+        out = machine.rbit(v)
+        assert out.data[0] == np.int64(np.uint64(1 << 63).astype(np.int64))
+
+    def test_rbit_involution(self, machine):
+        vals = [0xDEADBEEF12345678, 0, (1 << 64) - 1]
+        v = machine.from_values(np.array(vals, dtype=np.uint64).astype(np.int64),
+                                ebits=64)
+        twice = machine.rbit(machine.rbit(v))
+        np.testing.assert_array_equal(twice.data[:3], v.data[:3])
+
+    def test_rbit_rejects_narrow(self, machine):
+        with pytest.raises(MachineError):
+            machine.rbit(machine.dup(1, ebits=32))
+
+    def test_clz_known(self, machine):
+        v = machine.from_values([0, 1, 1 << 62], ebits=64)
+        out = machine.clz(v)
+        assert out.data[:3].tolist() == [64, 63, 1]
+
+    def test_ctz_via_rbit_clz(self, machine):
+        """The extend loops' idiom: ctz(x) == clz(rbit(x))."""
+        vals = [0b1000, 0b1, 0, 0b110000]
+        v = machine.from_values(vals, ebits=64)
+        out = machine.clz(machine.rbit(v))
+        assert out.data[:4].tolist() == [3, 0, 64, 4]
+
+    @given(u64)
+    @settings(max_examples=60, deadline=None)
+    def test_ctz_property(self, x):
+        machine = VectorMachine(SystemConfig())
+        signed = np.uint64(x).astype(np.int64)
+        v = machine.from_values([signed], ebits=64)
+        got = int(machine.clz(machine.rbit(v)).data[0])
+        expected = 64 if x == 0 else (x & -x).bit_length() - 1
+        assert got == expected
+
+
+class TestGather64:
+    def test_packs_little_endian(self, machine):
+        data = np.arange(1, 17, dtype=np.uint8)
+        buf = machine.new_buffer("b", data, elem_bytes=1)
+        idx = machine.from_values([0, 3], ebits=64)
+        out = machine.gather64(buf, idx, pred=machine.whilelt(0, 2, ebits=64))
+        expect0 = sum((i + 1) << (8 * i) for i in range(8))
+        assert np.uint64(out.data[0]) == np.uint64(expect0)
+        assert out.data[1] & 0xFF == 4
+
+    def test_zero_pads_past_end(self, machine):
+        buf = machine.new_buffer("b", np.array([0xAA, 0xBB], dtype=np.uint8), 1)
+        idx = machine.from_values([1], ebits=64)
+        out = machine.gather64(buf, idx, pred=machine.whilelt(0, 1, ebits=64))
+        assert out.data[0] == 0xBB
+
+    def test_rejects_non_byte_buffer(self, machine):
+        buf = machine.new_buffer("b", np.arange(8), elem_bytes=4)
+        with pytest.raises(MachineError):
+            machine.gather64(buf, machine.iota(64))
+
+    def test_rejects_out_of_range(self, machine):
+        buf = machine.new_buffer("b", np.zeros(4, dtype=np.uint8), 1)
+        idx = machine.from_values([9], ebits=64)
+        with pytest.raises(MachineError):
+            machine.gather64(buf, idx, pred=machine.whilelt(0, 1, ebits=64))
+
+    def test_occupancy_scales_with_lanes(self, machine):
+        buf = machine.new_buffer("b", np.zeros(64, dtype=np.uint8), 1)
+        machine.mem.touch(buf.base, 64)
+        machine.reset()
+        idx = machine.from_values([0] * 8, ebits=64)
+        machine.barrier()
+        c0 = machine.clock
+        machine.gather64(buf, idx)
+        busy_full = machine.clock - c0
+        machine.barrier()
+        c1 = machine.clock
+        machine.gather64(buf, idx, pred=machine.whilelt(0, 1, ebits=64))
+        busy_one = machine.clock - c1
+        assert busy_full > busy_one
+
+
+class TestSpeculativePtest:
+    def test_no_serialisation(self, machine):
+        p = machine.whilelt(0, 4)
+        clock_before = machine.clock
+        machine.ptest_spec(p)
+        # Only the issue slot; no wait for the predicate.
+        assert machine.clock - clock_before <= 2
+
+    def test_mispredict_on_exit(self, machine):
+        taken = machine.ptest_spec(machine.whilelt(0, 4))
+        assert taken
+        c = machine.clock
+        not_taken = machine.ptest_spec(machine.pfalse())
+        assert not not_taken
+        assert machine.clock - c >= machine.system.mispredict_penalty
+
+
+class TestBulkAccounting:
+    def test_account_mix(self, machine):
+        machine.account_mix(
+            Counter({"vector": 5}), Counter({"vector": 9}),
+            extra_stall=4, stall_category="memory",
+        )
+        snap = machine.snapshot()
+        assert snap.instructions["vector"] == 5
+        assert snap.busy["vector"] == 9
+        assert snap.stall["memory"] == 4
+        assert machine.cycles == 13
+
+    def test_account_mix_rejects_negative(self, machine):
+        with pytest.raises(MachineError):
+            machine.account_mix(Counter(), Counter(), extra_stall=-1)
+
+    def test_account_stats_replay(self, machine):
+        machine.dup(1)
+        machine.barrier()
+        delta = machine.snapshot()
+        machine.account_stats(delta, times=3)
+        snap = machine.snapshot()
+        assert snap.instructions["vector"] == 1 + 3
+        assert machine.cycles == delta.cycles * 4
+
+
+class TestStoreForwardingHazard:
+    def _machine_with_tracked(self):
+        machine = VectorMachine(SystemConfig())
+        buf = machine.new_buffer("hot", np.zeros(64, dtype=np.int64), elem_bytes=4)
+        buf.track_forwarding = True
+        machine.mem.touch(buf.base, 256)
+        return machine, buf
+
+    def test_immediate_reload_stalls(self):
+        machine, buf = self._machine_with_tracked()
+        machine.reset()
+        val = machine.iota(32)
+        machine.store(buf, 0, val)
+        before = machine.clock
+        loaded = machine.load(buf, 0, 32)
+        machine.barrier()
+        # Completion waits for the store drain window.
+        assert loaded.ready - before >= machine.system.store_to_load_visible // 2
+
+    def test_stale_store_does_not_stall(self):
+        machine, buf = self._machine_with_tracked()
+        val = machine.iota(32)
+        machine.store(buf, 0, val)
+        machine.scalar(machine.system.store_to_load_visible + 10)
+        before = machine.clock
+        loaded = machine.load(buf, 0, 32)
+        expected = machine.system.l1d.load_to_use + machine.system.lat_vector_load_extra
+        assert loaded.ready - before <= expected + 2
+
+    def test_untracked_buffer_unaffected(self):
+        machine = VectorMachine(SystemConfig())
+        buf = machine.new_buffer("cold", np.zeros(64, dtype=np.int64), 4)
+        machine.mem.touch(buf.base, 256)
+        val = machine.iota(32)
+        machine.store(buf, 0, val)
+        before = machine.clock
+        loaded = machine.load(buf, 0, 32)
+        expected = machine.system.l1d.load_to_use + machine.system.lat_vector_load_extra
+        assert loaded.ready - before <= expected + 2
+
+    def test_functional_value_correct_despite_hazard(self):
+        machine, buf = self._machine_with_tracked()
+        val = machine.iota(32, start=5)
+        machine.store(buf, 0, val)
+        loaded = machine.load(buf, 0, 32)
+        np.testing.assert_array_equal(loaded.data, val.data)

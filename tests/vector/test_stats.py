@@ -1,0 +1,74 @@
+"""Tests for MachineStats arithmetic (delta / merge / breakdown)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.memory.hierarchy import MemoryStats
+from repro.vector.stats import CATEGORIES, MachineStats
+
+
+def make_stats(cycles=100, vec_busy=30, mem_busy=20, mem_stall=25):
+    return MachineStats(
+        cycles=cycles,
+        instructions=Counter({"vector": 10, "memory": 5}),
+        busy=Counter({"vector": vec_busy, "memory": mem_busy}),
+        stall=Counter({"memory": mem_stall}),
+        mem=MemoryStats(requests=7),
+        qz_reads=3,
+        qz_writes=2,
+    )
+
+
+class TestAccessors:
+    def test_total_instructions(self):
+        assert make_stats().total_instructions == 15
+
+    def test_time_in(self):
+        stats = make_stats()
+        assert stats.time_in("memory") == 20 + 25
+        assert stats.time_in("vector") == 30
+
+    def test_fraction_in(self):
+        stats = make_stats()
+        assert stats.fraction_in("memory") == pytest.approx(0.45)
+
+    def test_fraction_zero_cycles(self):
+        assert MachineStats().fraction_in("memory") == 0.0
+
+    def test_breakdown_includes_other(self):
+        shares = make_stats().breakdown()
+        assert set(shares) == set(CATEGORIES) | {"other"}
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_breakdown_empty(self):
+        shares = MachineStats().breakdown()
+        assert all(v == 0.0 for v in shares.values())
+
+
+class TestArithmetic:
+    def test_delta(self):
+        later = make_stats(cycles=150, vec_busy=40)
+        earlier = make_stats()
+        d = later.delta(earlier)
+        assert d.cycles == 50
+        assert d.busy["vector"] == 10
+        assert d.instructions["vector"] == 0
+        assert d.qz_reads == 0
+
+    def test_copy_is_independent(self):
+        stats = make_stats()
+        clone = stats.copy()
+        clone.instructions["vector"] += 1
+        assert stats.instructions["vector"] == 10
+
+    def test_merge_adds(self):
+        merged = make_stats().merge(make_stats())
+        assert merged.cycles == 200
+        assert merged.instructions["vector"] == 20
+        assert merged.mem.requests == 14
+        assert merged.qz_reads == 6
+
+    def test_merge_identity(self):
+        merged = make_stats().merge(MachineStats())
+        assert merged.cycles == make_stats().cycles
