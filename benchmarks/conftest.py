@@ -8,10 +8,14 @@ table is the reproduced artifact) and records headline numbers in
 
 ``QUETZAL_BENCH_SCALE`` (default 1.0) scales dataset pair counts for
 quicker runs, e.g. ``QUETZAL_BENCH_SCALE=0.2 pytest benchmarks/``.
+``REPRO_JOBS`` (or ``QUETZAL_BENCH_JOBS``) fans experiment cells out
+across worker processes for the experiments that support ``jobs``;
+reported tables are identical at every jobs value.
 """
 
 from __future__ import annotations
 
+import inspect
 import os
 
 import pytest
@@ -23,6 +27,15 @@ def bench_scale() -> float:
     return float(os.environ.get("QUETZAL_BENCH_SCALE", "1.0"))
 
 
+def bench_jobs() -> int:
+    """Worker count for the tier-2 suite (QUETZAL_BENCH_JOBS > REPRO_JOBS)."""
+    raw = os.environ.get("QUETZAL_BENCH_JOBS") or os.environ.get("REPRO_JOBS") or "1"
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
 @pytest.fixture
 def pairs_scale() -> float:
     return bench_scale()
@@ -30,6 +43,8 @@ def pairs_scale() -> float:
 
 def run_and_report(benchmark, fn, title: str, **kwargs):
     """Run one experiment under pytest-benchmark and print its table."""
+    if "jobs" in inspect.signature(fn).parameters:
+        kwargs.setdefault("jobs", bench_jobs())
     rows = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
     print()
     print(render_table(rows, title))

@@ -32,6 +32,7 @@ import itertools
 import numpy as np
 
 from repro.align.interface import Implementation, PairResult
+from repro.cache import CALIBRATION
 from repro.align.smith_waterman import banded_global_affine, nw_gotoh_global
 from repro.align.types import Penalties
 from repro.config import QZ_ESIZE_2BIT, QZ_ESIZE_8BIT, QZ_ESIZE_64BIT
@@ -46,8 +47,6 @@ _INF = 1 << 28
 
 #: Beyond this many DP cells the fast path replaces instruction-level runs.
 FAST_CELL_THRESHOLD = 300_000
-
-_CHUNK_COST_CACHE: dict = {}
 
 
 def _diag_range(d: int, m: int, n: int, band: int) -> tuple[int, int]:
@@ -384,7 +383,7 @@ class DpEngine:
             self.traceback_table,
             self.machine.quetzal.config.name if self.use_quetzal else "",
         )
-        cached = _CHUNK_COST_CACHE.get(key)
+        cached = CALIBRATION.get(key)
         if cached is not None:
             return cached
         from repro.genomics.generator import ReadPairGenerator
@@ -412,7 +411,7 @@ class DpEngine:
         before = scratch.snapshot()
         engine._chunk_kernel(d, ilo + 16, 16)
         cost = scratch.snapshot().delta(before)
-        _CHUNK_COST_CACHE[key] = cost
+        CALIBRATION.put(key, cost)
         return cost
 
     def _run_fast(self) -> int | None:

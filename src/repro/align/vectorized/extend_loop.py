@@ -34,6 +34,7 @@ from collections import Counter
 
 import numpy as np
 
+from repro.cache import CALIBRATION
 from repro.config import SystemConfig
 from repro.errors import MachineError
 from repro.vector.machine import VectorMachine
@@ -236,17 +237,19 @@ class LoopCostModel:
     loop-body iteration with ``k`` active lanes: its ``busy`` counters are
     the issue occupancy (the issue-bound contribution under pipelining)
     and its ``cycles`` the serial latency chain.  ``entry()`` is the fixed
-    entry/exit cost.  Measurements run once per parameter set and cache.
+    entry/exit cost.  Measurements run once per parameter set and are
+    kept in the shared calibration cache (:mod:`repro.cache`), which can
+    persist them across processes and CLI runs.
     """
 
-    _cache: dict = {}
     kind = "base"
     lanes_ebits = 64
 
     def __init__(self, system: SystemConfig) -> None:
         self.system = system
         self.lanes = system.lanes_for(self.lanes_ebits)
-        self._key = (self.kind,) + self._key_extra() + (
+        self._memo: dict | None = None
+        self._key = ("loop-cost", self.kind) + self._key_extra() + (
             system.vlen_bits,
             system.lat_gather_base,
             system.lat_vector_arith,
@@ -300,11 +303,13 @@ class LoopCostModel:
         return table
 
     def _table(self) -> dict:
-        table = LoopCostModel._cache.get(self._key)
-        if table is None:
-            table = self._measure()
-            LoopCostModel._cache[self._key] = table
-        return table
+        if self._memo is None:
+            table = CALIBRATION.get(self._key)
+            if table is None:
+                table = self._measure()
+                CALIBRATION.put(self._key, table)
+            self._memo = table
+        return self._memo
 
     # -- replay ---------------------------------------------------------
     def per_iteration(self, k: int) -> MachineStats:

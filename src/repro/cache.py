@@ -1,0 +1,193 @@
+"""Persistent calibration cache for measured cost tables.
+
+The simulator calibrates itself by *measuring* steady-state loop-body
+costs on scratch machines (``LoopCostModel`` in
+:mod:`repro.align.vectorized.extend_loop`, the DP chunk cost in
+:mod:`repro.align.dp_machine`).  Those measurements are deterministic
+functions of the system/accelerator configuration, so they can be reused
+across processes and across CLI invocations.  This module provides the
+shared store:
+
+* an always-on in-process memory layer (the behaviour the code had when
+  each call site kept its own module dict), and
+* an opt-in on-disk layer under ``.repro_cache/`` (one pickle per key,
+  named by a SHA-256 of the key plus the repro version) so worker
+  processes and repeated runs skip re-measurement.
+
+Keys must be tuples of picklable primitives with a stable ``repr``;
+values are :class:`repro.vector.stats.MachineStats`-shaped objects.  The
+disk layer is safe under concurrent writers: files are written to a
+temporary name and atomically renamed, and a payload is only trusted if
+its recorded version and key match exactly.
+
+Environment knobs (read by :func:`configure_from_env`, which the CLI and
+pool workers call): ``REPRO_CACHE_DIR`` overrides the directory and
+``REPRO_NO_CACHE=1`` disables the disk layer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro._version import __version__
+
+#: Default on-disk location, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_OFF = "REPRO_NO_CACHE"
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss accounting for the calibration cache (timing reports)."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def copy(self) -> "CacheCounters":
+        """An independent snapshot of the current counters."""
+        return CacheCounters(
+            self.memory_hits, self.disk_hits, self.misses, self.stores
+        )
+
+    def delta(self, earlier: "CacheCounters") -> "CacheCounters":
+        """Counter increments since an ``earlier`` snapshot."""
+        return CacheCounters(
+            memory_hits=self.memory_hits - earlier.memory_hits,
+            disk_hits=self.disk_hits - earlier.disk_hits,
+            misses=self.misses - earlier.misses,
+            stores=self.stores - earlier.stores,
+        )
+
+
+class CalibrationCache:
+    """Two-layer (memory + optional disk) store for measured cost tables."""
+
+    def __init__(self) -> None:
+        self._memory: dict = {}
+        self.directory: Path | None = None
+        self.counters = CacheCounters()
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def enable_disk(self, directory: "str | os.PathLike | None" = None) -> Path:
+        """Turn on the on-disk layer (created on first store)."""
+        self.directory = Path(directory or os.environ.get(_ENV_DIR) or DEFAULT_CACHE_DIR)
+        return self.directory
+
+    def disable_disk(self) -> None:
+        """Keep only the in-process memory layer."""
+        self.directory = None
+
+    @property
+    def disk_enabled(self) -> bool:
+        """Whether lookups and stores also consult the on-disk layer."""
+        return self.directory is not None
+
+    def clear_memory(self) -> None:
+        """Drop the in-process layer (used by tests to simulate cold starts)."""
+        self._memory.clear()
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def _path(self, key) -> Path:
+        digest = hashlib.sha256(
+            f"{__version__}|{key!r}".encode("utf-8")
+        ).hexdigest()[:32]
+        assert self.directory is not None
+        return self.directory / f"calib-{digest}.pkl"
+
+    def get(self, key):
+        """Cached value for ``key``, or ``None`` on a full miss.
+
+        Memory is consulted first (same-object semantics within a
+        process); a disk hit is promoted into memory so later lookups
+        return the identical object.
+        """
+        if key in self._memory:
+            self.counters.memory_hits += 1
+            return self._memory[key]
+        if self.directory is not None:
+            value = self._read_disk(key)
+            if value is not None:
+                self.counters.disk_hits += 1
+                self._memory[key] = value
+                return value
+        self.counters.misses += 1
+        return None
+
+    def put(self, key, value) -> None:
+        """Store a measured value in memory and (if enabled) on disk."""
+        self._memory[key] = value
+        self.counters.stores += 1
+        if self.directory is not None:
+            self._write_disk(key, value)
+
+    # ------------------------------------------------------------------
+    # Disk layer
+    # ------------------------------------------------------------------
+    def _read_disk(self, key):
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        # Trust nothing implicit: the version and the full key must match
+        # (the filename hash is only a routing shortcut).
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("version") != __version__ or payload.get("key") != repr(key):
+            return None
+        return payload.get("value")
+
+    def _write_disk(self, key, value) -> None:
+        assert self.directory is not None
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            payload = {"version": __version__, "key": repr(key), "value": value}
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=".calib-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or vanished cache directory degrades to
+            # memory-only behaviour; it never fails the run.
+            pass
+
+
+#: The process-wide calibration cache all cost models share.
+CALIBRATION = CalibrationCache()
+
+
+def configure_from_env(default_disk: bool = False) -> None:
+    """Apply ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` to the shared cache.
+
+    ``default_disk=True`` (the CLI and pool workers) enables the disk
+    layer unless explicitly disabled; library imports stay memory-only
+    unless ``REPRO_CACHE_DIR`` is set.
+    """
+    if os.environ.get(_ENV_OFF, "") not in ("", "0", "false"):
+        CALIBRATION.disable_disk()
+        return
+    if default_disk or os.environ.get(_ENV_DIR):
+        CALIBRATION.enable_disk()

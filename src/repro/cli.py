@@ -3,17 +3,28 @@
 Usage::
 
     python -m repro list
-    python -m repro fig13a [--scale 0.2]
-    python -m repro all --scale 0.1
+    python -m repro fig13a [--scale 0.2] [--jobs 8]
+    python -m repro all --scale 0.1 --jobs 8 --verbose
+
+``--jobs N`` fans experiment cells out across N worker processes
+(default: the ``REPRO_JOBS`` environment variable, else fully serial);
+tables are bit-identical at every jobs value.  Calibration measurements
+persist under ``.repro_cache/`` between runs unless ``--no-cache`` (or
+``REPRO_NO_CACHE=1``) is given.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
+from repro.cache import CALIBRATION, configure_from_env
+from repro.errors import ReproError
 from repro.eval import experiments as ex
+from repro.eval import timing
+from repro.eval.parallel import default_jobs
 from repro.eval.reporting import render_table
 
 #: Experiment id -> (callable, title, kwargs-name for scaling or None).
@@ -49,16 +60,44 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="dataset pair-count scale (default 1.0; use 0.1-0.3 for quick runs)",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes for experiment cells "
+        "(default: $REPRO_JOBS, else 1 = serial; results are identical)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not persist calibration measurements under .repro_cache/",
+    )
+    parser.add_argument(
+        "--verbose",
+        "-v",
+        action="store_true",
+        help="append per-experiment wall-time and cache-hit counters",
+    )
     return parser
 
 
-def run_experiment(name: str, scale: float) -> str:
+def run_experiment(
+    name: str, scale: float, jobs: int = 1, verbose: bool = False
+) -> str:
+    """Run one experiment and render its table (plus timing footer)."""
     fn, title, scale_kw = EXPERIMENTS[name]
     kwargs = {scale_kw: scale} if scale_kw else {}
+    if "jobs" in inspect.signature(fn).parameters:
+        kwargs["jobs"] = jobs
     start = time.time()
-    rows = fn(**kwargs)
+    with timing.measure(name, jobs=jobs) as record:
+        rows = fn(**kwargs)
     elapsed = time.time() - start
-    return render_table(rows, title) + f"\n[{name}: {elapsed:.1f}s]"
+    out = render_table(rows, title) + f"\n[{name}: {elapsed:.1f}s]"
+    if verbose:
+        out += f"\n[{record.summary()}]"
+    return out
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -67,10 +106,23 @@ def main(argv: "list[str] | None" = None) -> int:
         for name, (_, title, _) in EXPERIMENTS.items():
             print(f"{name:<8} {title}")
         return 0
+    try:
+        jobs = args.jobs if args.jobs is not None else default_jobs()
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if jobs < 1:
+        print(f"--jobs must be positive: {jobs}", file=sys.stderr)
+        return 2
+    configure_from_env(default_disk=not args.no_cache)
+    if args.no_cache:
+        CALIBRATION.disable_disk()
     if args.experiment == "all":
         for name in EXPERIMENTS:
-            print(run_experiment(name, args.scale))
+            print(run_experiment(name, args.scale, jobs=jobs, verbose=args.verbose))
             print()
+        if args.verbose:
+            print(timing.render_report())
         return 0
     if args.experiment not in EXPERIMENTS:
         print(
@@ -79,7 +131,7 @@ def main(argv: "list[str] | None" = None) -> int:
             file=sys.stderr,
         )
         return 2
-    print(run_experiment(args.experiment, args.scale))
+    print(run_experiment(args.experiment, args.scale, jobs=jobs, verbose=args.verbose))
     return 0
 
 

@@ -1,8 +1,22 @@
-"""Evaluation framework: runner, metrics, multicore model, experiments."""
+"""Evaluation framework: runner, metrics, multicore model, experiments.
+
+:mod:`repro.eval.parallel` adds the process-pool fan-out layer
+(``jobs``/``REPRO_JOBS``) and :mod:`repro.eval.timing` the per-experiment
+wall-time/cache micro-report.
+"""
 
 from repro.eval.runner import RunResult, run_implementation, make_machine
 from repro.eval.metrics import speedup, pairs_per_second, gcups, cells_for_pair
 from repro.eval.multicore import multicore_time_seconds, multicore_speedups
+from repro.eval.parallel import (
+    WorkUnit,
+    default_jobs,
+    evaluate_cells,
+    evaluate_units,
+    merge_run_results,
+    run_sharded,
+    shard_units,
+)
 
 __all__ = [
     "RunResult",
@@ -14,4 +28,11 @@ __all__ = [
     "cells_for_pair",
     "multicore_time_seconds",
     "multicore_speedups",
+    "WorkUnit",
+    "default_jobs",
+    "evaluate_cells",
+    "evaluate_units",
+    "merge_run_results",
+    "run_sharded",
+    "shard_units",
 ]

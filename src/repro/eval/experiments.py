@@ -4,6 +4,13 @@ Every function returns plain data structures (lists of row dicts) that
 :mod:`repro.eval.reporting` renders in the same shape the paper reports.
 ``pairs_scale`` shrinks the datasets for quick runs; the benchmark suite
 uses the defaults.
+
+Simulation-heavy experiments accept ``jobs``: each one first decomposes
+into (implementation x dataset x config) cells, evaluates them through
+:func:`repro.eval.parallel.evaluate_cells` (worker processes when
+``jobs`` > 1, inline otherwise), and assembles rows from the keyed
+results.  Cells always run on fresh machines — the same semantics as the
+serial code — so tables are bit-identical at every ``jobs`` value.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from repro.align.vectorized import BiwfaVec, SsVec, WfaVec
 from repro.config import DESIGN_POINTS, DEFAULT_QUETZAL, SystemConfig
 from repro.eval.metrics import gcups, speedup
 from repro.eval.multicore import multicore_speedups, multicore_time_seconds
+from repro.eval.parallel import evaluate_cells
 from repro.eval.runner import RunResult, run_implementation
 from repro.genomics.datasets import (
     Dataset,
@@ -86,22 +94,29 @@ def _impl_factories(threshold: int) -> dict[str, dict[str, Callable[[], Implemen
 # ----------------------------------------------------------------------
 # Fig. 3 — benefit of vectorisation (VEC vs autovec baseline)
 # ----------------------------------------------------------------------
-def fig3_vectorization(pairs_scale: float = 1.0) -> list[dict]:
+def fig3_vectorization(pairs_scale: float = 1.0, jobs: int = 1) -> list[dict]:
     """VEC speedup over the autovectorised baseline, WFA and SS."""
-    rows = []
+    cells = []
     for name in DNA_DATASETS:
         ds = _scaled(name, pairs_scale)
-        threshold = ds.spec.edit_threshold
+        impls_by_algo = _impl_factories(ds.spec.edit_threshold)
         for algo in ("wfa", "ss"):
-            impls = _impl_factories(threshold)[algo]
-            base = run_implementation(impls["base"](), ds.pairs)
-            vec = run_implementation(impls["vec"](), ds.pairs)
+            for style in ("base", "vec"):
+                cells.append(
+                    ((name, algo, style), impls_by_algo[algo][style](), ds.pairs)
+                )
+    runs = evaluate_cells(cells, jobs=jobs)
+    rows = []
+    for name in DNA_DATASETS:
+        for algo in ("wfa", "ss"):
             rows.append(
                 {
                     "algorithm": algo,
                     "dataset": name,
                     "regime": "short" if name in SHORT_READ_DATASETS else "long",
-                    "speedup_vec_over_base": speedup(base, vec),
+                    "speedup_vec_over_base": speedup(
+                        runs[(name, algo, "base")], runs[(name, algo, "vec")]
+                    ),
                 }
             )
     return rows
@@ -110,9 +125,10 @@ def fig3_vectorization(pairs_scale: float = 1.0) -> list[dict]:
 # ----------------------------------------------------------------------
 # Fig. 4 — execution-time breakdown of the VEC algorithms
 # ----------------------------------------------------------------------
-def fig4_breakdown(pairs_scale: float = 1.0) -> list[dict]:
+def fig4_breakdown(pairs_scale: float = 1.0, jobs: int = 1) -> list[dict]:
     """Share of execution time per component for VEC WFA/BiWFA/SS."""
-    rows = []
+    cells = []
+    order = []
     for name in ("250bp_1", "10Kbp"):
         ds = _scaled(name, pairs_scale)
         threshold = ds.spec.edit_threshold
@@ -121,21 +137,25 @@ def fig4_breakdown(pairs_scale: float = 1.0) -> list[dict]:
             ("biwfa", BiwfaVec()),
             ("ss", SsVec(threshold=threshold)),
         ):
-            result = run_implementation(impl, ds.pairs)
-            stats = result.stats()
-            shares = stats.breakdown()
-            rows.append(
-                {
-                    "algorithm": algo,
-                    "dataset": name,
-                    "cache_access_share": stats.fraction_in("memory"),
-                    "compute_share": shares.get("vector", 0.0),
-                    "control_share": shares.get("control", 0.0)
-                    + shares.get("scalar", 0.0),
-                    "other_share": shares.get("other", 0.0)
-                    + shares.get("qbuffer", 0.0),
-                }
-            )
+            cells.append(((name, algo), impl, ds.pairs))
+            order.append((name, algo))
+    runs = evaluate_cells(cells, jobs=jobs)
+    rows = []
+    for name, algo in order:
+        stats = runs[(name, algo)].stats()
+        shares = stats.breakdown()
+        rows.append(
+            {
+                "algorithm": algo,
+                "dataset": name,
+                "cache_access_share": stats.fraction_in("memory"),
+                "compute_share": shares.get("vector", 0.0),
+                "control_share": shares.get("control", 0.0)
+                + shares.get("scalar", 0.0),
+                "other_share": shares.get("other", 0.0)
+                + shares.get("qbuffer", 0.0),
+            }
+        )
     return rows
 
 
@@ -172,24 +192,24 @@ def table2_datasets() -> list[dict]:
 # ----------------------------------------------------------------------
 # Fig. 12 + Table III — design-space exploration
 # ----------------------------------------------------------------------
-def fig12_ports(pairs_scale: float = 1.0) -> list[dict]:
+def fig12_ports(pairs_scale: float = 1.0, jobs: int = 1) -> list[dict]:
     """Relative performance of QZ_1P..QZ_8P (normalised to QZ_1P)."""
+    datasets = {name: _scaled(name, pairs_scale) for name in ("250bp_1", "10Kbp")}
+    cells = [
+        ((name, config.name), WfaQzc(), ds.pairs, config)
+        for name, ds in datasets.items()
+        for config in DESIGN_POINTS
+    ]
+    runs = evaluate_cells(cells, jobs=jobs)
     rows = []
-    for name in ("250bp_1", "10Kbp"):
-        ds = _scaled(name, pairs_scale)
-        cycles: dict[str, int] = {}
-        for config in DESIGN_POINTS:
-            result = run_implementation(
-                WfaQzc(), ds.pairs, quetzal=config
-            )
-            cycles[config.name] = result.cycles
-        base = cycles["QZ_1P"]
+    for name in datasets:
+        base = runs[(name, "QZ_1P")].cycles
         for config in DESIGN_POINTS:
             rows.append(
                 {
                     "dataset": name,
                     "config": config.name,
-                    "relative_performance": base / cycles[config.name],
+                    "relative_performance": base / runs[(name, config.name)].cycles,
                 }
             )
     return rows
@@ -219,6 +239,7 @@ def fig13a_single_core(
     algorithms: tuple = ("wfa", "biwfa", "ss", "sw", "nw"),
     datasets: tuple = DNA_DATASETS,
     include_protein: bool = True,
+    jobs: int = 1,
 ) -> list[dict]:
     """Speedups normalised to each algorithm's baseline.
 
@@ -226,19 +247,25 @@ def fig13a_single_core(
     baseline; the classic DP baselines (ksw2/parasail) are themselves
     vectorised, so their VEC run is the unit (as in the paper).
     """
-    rows = []
+    cells = []
+    style_order: dict[tuple, list[str]] = {}
     for name in datasets:
         ds = _scaled(name, pairs_scale)
-        threshold = ds.spec.edit_threshold
-        factories = _impl_factories(threshold)
+        factories = _impl_factories(ds.spec.edit_threshold)
         for algo in algorithms:
             styles = factories[algo]
-            baseline_style = "base" if "base" in styles else "vec"
-            runs: dict[str, RunResult] = {}
+            style_order[(name, algo)] = list(styles)
             for style, make in styles.items():
-                runs[style] = run_implementation(make(), ds.pairs)
-            base = runs[baseline_style]
-            for style, result in runs.items():
+                cells.append(((name, algo, style), make(), ds.pairs))
+    runs = evaluate_cells(cells, jobs=jobs)
+    rows = []
+    for name in datasets:
+        for algo in algorithms:
+            styles = style_order[(name, algo)]
+            baseline_style = "base" if "base" in styles else "vec"
+            base = runs[(name, algo, baseline_style)]
+            for style in styles:
+                result = runs[(name, algo, style)]
                 rows.append(
                     {
                         "algorithm": algo,
@@ -249,25 +276,27 @@ def fig13a_single_core(
                     }
                 )
     if include_protein:
-        rows.extend(fig13a_protein(pairs_scale))
+        rows.extend(fig13a_protein(pairs_scale, jobs=jobs))
     return rows
 
 
-def fig13a_protein(pairs_scale: float = 1.0) -> list[dict]:
+def fig13a_protein(pairs_scale: float = 1.0, jobs: int = 1) -> list[dict]:
     """Use case 4: WFA/BiWFA/SS over the synthetic protein dataset."""
     n_families = max(1, int(round(2 * pairs_scale)))
     ds = build_protein_dataset(n_families=n_families, members=3, length=200)
-    threshold = ds.spec.edit_threshold
+    factories = _impl_factories(ds.spec.edit_threshold)
+    algorithms = ("wfa", "biwfa", "ss")
+    cells = [
+        ((algo, style), make(), ds.pairs)
+        for algo in algorithms
+        for style, make in factories[algo].items()
+    ]
+    runs = evaluate_cells(cells, jobs=jobs)
     rows = []
-    factories = _impl_factories(threshold)
-    for algo in ("wfa", "biwfa", "ss"):
-        styles = factories[algo]
-        runs = {
-            style: run_implementation(make(), ds.pairs)
-            for style, make in styles.items()
-        }
-        base = runs["base"]
-        for style, result in runs.items():
+    for algo in algorithms:
+        base = runs[(algo, "base")]
+        for style in factories[algo]:
+            result = runs[(algo, style)]
             rows.append(
                 {
                     "algorithm": algo,
@@ -288,6 +317,7 @@ def fig13b_multicore(
     core_counts: tuple = (1, 2, 4, 8, 16),
     datasets: tuple = ("250bp_1", "10Kbp"),
     bandwidth_sensitivity: bool = True,
+    jobs: int = 1,
 ) -> list[dict]:
     """QUETZAL+C scaling with thread count (bandwidth-contention model).
 
@@ -297,10 +327,13 @@ def fig13b_multicore(
     bandwidth-limited plateau the paper reports for its (much larger)
     long-read batches.
     """
+    cells = [
+        (name, WfaQzc(), _scaled(name, pairs_scale).pairs) for name in datasets
+    ]
+    runs = evaluate_cells(cells, jobs=jobs)
     rows = []
     for name in datasets:
-        ds = _scaled(name, pairs_scale)
-        result = run_implementation(WfaQzc(), ds.pairs)
+        result = runs[name]
         for label, system in (
             ("HBM2 (nominal)", None),
             ("constrained BW (1/64)", SystemConfig(
@@ -325,9 +358,10 @@ def fig13b_multicore(
 # ----------------------------------------------------------------------
 # Fig. 14a — memory-request reduction
 # ----------------------------------------------------------------------
-def fig14a_memory_requests(pairs_scale: float = 1.0) -> list[dict]:
+def fig14a_memory_requests(pairs_scale: float = 1.0, jobs: int = 1) -> list[dict]:
     """Cache-hierarchy requests: VEC vs QUETZAL+C (Fig. 14a)."""
-    rows = []
+    cells = []
+    order = []
     for name in DNA_DATASETS:
         ds = _scaled(name, pairs_scale)
         threshold = ds.spec.edit_threshold
@@ -335,37 +369,48 @@ def fig14a_memory_requests(pairs_scale: float = 1.0) -> list[dict]:
             ("wfa", WfaVec(), WfaQzc()),
             ("ss", SsVec(threshold=threshold), SsQzc(threshold=threshold)),
         ):
-            vec = run_implementation(vec_impl, ds.pairs)
-            qz = run_implementation(qz_impl, ds.pairs)
-            rows.append(
-                {
-                    "algorithm": algo,
-                    "dataset": name,
-                    "vec_requests": vec.mem_requests,
-                    "qz_requests": qz.mem_requests,
-                    "reduction": vec.mem_requests / max(1, qz.mem_requests),
-                }
-            )
+            cells.append(((name, algo, "vec"), vec_impl, ds.pairs))
+            cells.append(((name, algo, "qz"), qz_impl, ds.pairs))
+            order.append((name, algo))
+    runs = evaluate_cells(cells, jobs=jobs)
+    rows = []
+    for name, algo in order:
+        vec = runs[(name, algo, "vec")]
+        qz = runs[(name, algo, "qz")]
+        rows.append(
+            {
+                "algorithm": algo,
+                "dataset": name,
+                "vec_requests": vec.mem_requests,
+                "qz_requests": qz.mem_requests,
+                "reduction": vec.mem_requests / max(1, qz.mem_requests),
+            }
+        )
     return rows
 
 
 # ----------------------------------------------------------------------
 # Fig. 14b — SS + WFA pipeline
 # ----------------------------------------------------------------------
-def fig14b_pipeline(pairs_scale: float = 1.0, cores: int = 16) -> list[dict]:
+def fig14b_pipeline(
+    pairs_scale: float = 1.0, cores: int = 16, jobs: int = 1
+) -> list[dict]:
     """Use case 5: filter + align, VEC vs QUETZAL+C on ``cores`` cores."""
-    rows = []
+    cells = []
     for name in DNA_DATASETS:
         ds = _scaled(name, pairs_scale)
         threshold = ds.spec.edit_threshold
-        vec = run_implementation(
-            SsWfaPipelineVec(threshold=threshold), ds.pairs
+        cells.append(
+            ((name, "vec"), SsWfaPipelineVec(threshold=threshold), ds.pairs)
         )
-        qzc = run_implementation(
-            SsWfaPipelineQzc(threshold=threshold), ds.pairs, quetzal=True
+        cells.append(
+            ((name, "qzc"), SsWfaPipelineQzc(threshold=threshold), ds.pairs, True)
         )
-        vec_t = multicore_time_seconds(vec, cores)
-        qzc_t = multicore_time_seconds(qzc, cores)
+    runs = evaluate_cells(cells, jobs=jobs)
+    rows = []
+    for name in DNA_DATASETS:
+        vec_t = multicore_time_seconds(runs[(name, "vec")], cores)
+        qzc_t = multicore_time_seconds(runs[(name, "qzc")], cores)
         rows.append(
             {
                 "dataset": name,
@@ -381,26 +426,35 @@ def fig14b_pipeline(pairs_scale: float = 1.0, cores: int = 16) -> list[dict]:
 # ----------------------------------------------------------------------
 # Fig. 15a — GPU comparison
 # ----------------------------------------------------------------------
-def fig15a_gpu(pairs_scale: float = 1.0, cores: int = 16) -> list[dict]:
+def fig15a_gpu(
+    pairs_scale: float = 1.0, cores: int = 16, jobs: int = 1
+) -> list[dict]:
     """Throughput: 16-core VEC / QUETZAL+C vs analytic A40 GPU models.
 
     GPU rates are anchored to the simulated VEC CPU rate of the same
     regime (see :mod:`repro.gpu.model`); the occupancy column shows the
     long-read collapse driving the crossover.
     """
-    rows = []
     wfa_gpu = GpuAlignerModel(WFA_GPU, NVIDIA_A40)
     gasal2 = GpuAlignerModel(GASAL2, NVIDIA_A40)
-    for name in DNA_DATASETS:
-        ds = _scaled(name, pairs_scale)
+    aligners = (
+        ("WFA", wfa_gpu, WfaVec, WfaQzc),
+        ("SW(banded)", gasal2, KswVec, KswQz),
+    )
+    datasets = {name: _scaled(name, pairs_scale) for name in DNA_DATASETS}
+    cells = []
+    for name, ds in datasets.items():
+        for aligner, _gpu, vec_cls, qz_cls in aligners:
+            cells.append(((name, aligner, "vec"), vec_cls(), ds.pairs))
+            cells.append(((name, aligner, "qz"), qz_cls(), ds.pairs))
+    runs = evaluate_cells(cells, jobs=jobs)
+    rows = []
+    for name, ds in datasets.items():
         err = ds.spec.profile.total
         length = ds.spec.read_length
-        for aligner, gpu_model, vec_impl, qz_impl in (
-            ("WFA", wfa_gpu, WfaVec(), WfaQzc()),
-            ("SW(banded)", gasal2, KswVec(), KswQz()),
-        ):
-            vec = run_implementation(vec_impl, ds.pairs)
-            qz = run_implementation(qz_impl, ds.pairs)
+        for aligner, gpu_model, _vec_cls, _qz_cls in aligners:
+            vec = runs[(name, aligner, "vec")]
+            qz = runs[(name, aligner, "qz")]
             vec_rate = len(ds.pairs) / multicore_time_seconds(vec, cores)
             qz_rate = len(ds.pairs) / multicore_time_seconds(qz, cores)
             rows.append(
@@ -474,11 +528,11 @@ TABLE4_PUBLISHED = (
 )
 
 
-def table4_gcups(pairs_scale: float = 1.0) -> list[dict]:
+def table4_gcups(pairs_scale: float = 1.0, jobs: int = 1) -> list[dict]:
     """Peak GCUPS per area for QUETZAL, next to published accelerators."""
     model = AreaModel()
     ds = _scaled("250bp_1", pairs_scale)
-    result = run_implementation(WfaQzc(), ds.pairs)
+    result = run_implementation(WfaQzc(), ds.pairs, jobs=jobs)
     measured = gcups(result, ds.pairs)
     qz_area = model.area_mm2(DEFAULT_QUETZAL)
     core_area = A64FX_CORE_MM2 + qz_area

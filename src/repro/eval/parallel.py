@@ -1,0 +1,231 @@
+"""Process-pool fan-out for experiment cells and pair shards.
+
+The experiment stack is embarrassingly parallel across
+(implementation x dataset x config) *cells* — every
+:func:`repro.eval.runner.run_implementation` call builds its own
+:class:`~repro.vector.machine.VectorMachine` and touches nothing shared.
+This module decomposes experiments into picklable :class:`WorkUnit`
+descriptors, evaluates them on a ``ProcessPoolExecutor``, and merges the
+shard results back into the exact ``RunResult`` shape the serial code
+produces.
+
+Determinism is non-negotiable and comes from two rules:
+
+1. **The decomposition, not the worker count, defines the semantics.**
+   A unit always runs on a fresh machine (exactly what the serial path
+   does per ``run_implementation`` call), and a pair-sharded run uses
+   the same shard plan at every ``jobs`` value — so ``jobs=1``,
+   ``jobs=2`` and ``jobs=8`` execute identical units and produce
+   bit-identical cycle counts.
+2. **Order-independent merge.** Results are reassembled by unit index,
+   never by completion order.
+
+Workers rebuild their machines from the pickled configs and share the
+persistent calibration cache (:mod:`repro.cache`), so measured cost
+tables are not re-derived per process once the disk layer is enabled.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from repro.align.interface import Implementation
+from repro.config import QuetzalConfig, SystemConfig
+from repro.errors import ReproError
+from repro.eval import timing
+from repro.eval.runner import RunResult, run_implementation
+from repro.genomics.generator import SequencePair
+
+#: Environment override for the default worker count (CLI ``--jobs``).
+JOBS_ENV = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (1 — fully serial — if unset)."""
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise ReproError(f"invalid {JOBS_ENV} value: {raw!r}")
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One picklable cell (or pair shard) of an experiment.
+
+    Carries everything a worker needs to rebuild the simulation: the
+    implementation instance (a plain config holder), the sequence pairs,
+    and the system/QUETZAL configs from which the worker constructs a
+    fresh ``VectorMachine``.  ``key`` tags the experiment cell the unit
+    belongs to; ``shard_index``/``num_shards`` locate a pair shard
+    within its cell so merges can re-order deterministically.
+    """
+
+    key: object
+    impl: Implementation
+    pairs: "tuple[SequencePair, ...]"
+    system: "SystemConfig | None" = None
+    quetzal: "QuetzalConfig | bool | None" = None
+    shard_index: int = 0
+    num_shards: int = 1
+    #: Dataset seed, carried for provenance/debugging only.
+    seed: "int | None" = None
+
+
+def shard_units(unit: WorkUnit, shard_size: int) -> "list[WorkUnit]":
+    """Split one unit into fixed-size pair shards (same plan at any jobs).
+
+    Sharding changes the simulation semantics slightly — each shard
+    starts on a cold machine instead of inheriting the previous pairs'
+    cache state — which is why the plan depends only on ``shard_size``:
+    serial and parallel runs of the same plan stay bit-identical.
+    """
+    if shard_size < 1:
+        raise ReproError(f"shard size must be positive: {shard_size}")
+    if shard_size >= len(unit.pairs):
+        return [unit]
+    slices = [
+        unit.pairs[lo : lo + shard_size]
+        for lo in range(0, len(unit.pairs), shard_size)
+    ]
+    return [
+        replace(unit, pairs=chunk, shard_index=i, num_shards=len(slices))
+        for i, chunk in enumerate(slices)
+    ]
+
+
+def _execute_unit(unit: WorkUnit) -> RunResult:
+    """Run one unit on a freshly built machine (worker entry point)."""
+    return run_implementation(
+        unit.impl, unit.pairs, system=unit.system, quetzal=unit.quetzal
+    )
+
+
+def _worker_init(cache_dir: "str | None") -> None:
+    """Pool initializer: point the worker at the shared disk cache."""
+    from repro.cache import CALIBRATION, configure_from_env
+
+    configure_from_env(default_disk=False)
+    if cache_dir is not None:
+        CALIBRATION.enable_disk(cache_dir)
+
+
+def evaluate_units(
+    units: "Sequence[WorkUnit]", jobs: int = 1
+) -> "list[RunResult]":
+    """Evaluate units, returning results aligned with the input order.
+
+    ``jobs<=1`` (or a single unit) runs inline — byte-for-byte the
+    legacy serial path.  Otherwise a process pool evaluates units
+    concurrently; completion order never leaks into the output.
+    """
+    units = list(units)
+    jobs = max(1, int(jobs))
+    if jobs == 1 or len(units) <= 1:
+        timing.note_parallel(units=len(units), workers=1)
+        return [_execute_unit(u) for u in units]
+    from repro.cache import CALIBRATION
+
+    workers = min(jobs, len(units))
+    timing.note_parallel(units=len(units), workers=workers)
+    cache_dir = str(CALIBRATION.directory) if CALIBRATION.disk_enabled else None
+    results: "list[RunResult | None]" = [None] * len(units)
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_pool_context(),
+        initializer=_worker_init,
+        initargs=(cache_dir,),
+    ) as pool:
+        pending = {
+            pool.submit(_execute_unit, unit): i for i, unit in enumerate(units)
+        }
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                results[pending.pop(future)] = future.result()
+    return results  # type: ignore[return-value]
+
+
+def _pool_context():
+    """Prefer fork on platforms that have it: workers inherit the warmed
+    interpreter (numpy, calibration tables) instead of re-importing."""
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def merge_run_results(
+    shards: "Sequence[RunResult]",
+    name: "str | None" = None,
+    system: "SystemConfig | None" = None,
+) -> RunResult:
+    """Concatenate shard results into one ``RunResult``.
+
+    Shards must already be in plan order (``evaluate_units`` guarantees
+    it); pair results concatenate, so the merged cycles/instructions/
+    stats equal a serial run of the same shard plan exactly.
+    """
+    if not shards:
+        raise ReproError("cannot merge an empty shard list")
+    merged = RunResult(
+        name=name or shards[0].name, system=system or shards[0].system
+    )
+    for shard in shards:
+        merged.pair_results.extend(shard.pair_results)
+    return merged
+
+
+def run_sharded(
+    impl: Implementation,
+    pairs: "Iterable[SequencePair] | Sequence[SequencePair]",
+    system: "SystemConfig | None" = None,
+    quetzal: "QuetzalConfig | bool | None" = None,
+    jobs: int = 1,
+    shard_size: "int | None" = None,
+) -> RunResult:
+    """Parallel (and/or sharded) counterpart of ``run_implementation``.
+
+    With ``shard_size=None`` the whole dataset is one unit: any ``jobs``
+    value returns exactly the serial result.  With a shard size, the
+    fixed plan is evaluated — serially or across workers — and merged.
+    """
+    pairs = tuple(pairs)
+    system = system or SystemConfig()
+    base = WorkUnit(
+        key=(impl.name,), impl=impl, pairs=pairs, system=system, quetzal=quetzal
+    )
+    units = [base] if shard_size is None else shard_units(base, shard_size)
+    results = evaluate_units(units, jobs=jobs)
+    return merge_run_results(results, name=impl.name, system=system)
+
+
+def evaluate_cells(
+    cells: "Sequence[tuple]", jobs: int = 1
+) -> "dict[object, RunResult]":
+    """Evaluate labelled experiment cells; returns ``{key: RunResult}``.
+
+    ``cells`` rows are ``(key, impl, pairs)`` or
+    ``(key, impl, pairs, quetzal)``; keys must be unique.  Every cell is
+    one unit on a fresh machine — the exact serial semantics — so the
+    returned table is bit-identical at every ``jobs`` value.
+    """
+    units = []
+    for cell in cells:
+        key, impl, pairs = cell[0], cell[1], cell[2]
+        quetzal = cell[3] if len(cell) > 3 else None
+        units.append(
+            WorkUnit(key=key, impl=impl, pairs=tuple(pairs), quetzal=quetzal)
+        )
+    keys = [u.key for u in units]
+    if len(set(keys)) != len(keys):
+        raise ReproError("experiment cell keys must be unique")
+    results = evaluate_units(units, jobs=jobs)
+    return dict(zip(keys, results))

@@ -62,10 +62,15 @@ class RunResult:
         return [r.output for r in self.pair_results]
 
     def stats(self) -> MachineStats:
-        """Merged machine statistics across all pairs."""
+        """Merged machine statistics across all pairs.
+
+        Accumulates in place (``merge_``): the old ``total.merge(r)``
+        loop allocated a fresh merged snapshot per pair, which was
+        quadratic in allocations over large batches.
+        """
         total = MachineStats()
         for r in self.pair_results:
-            total = total.merge(r.stats)
+            total.merge_(r.stats)
         return total
 
     @property
@@ -83,14 +88,35 @@ def run_implementation(
     system: SystemConfig | None = None,
     quetzal: "QuetzalConfig | None | bool" = None,
     machine: VectorMachine | None = None,
+    jobs: int = 1,
+    shard_size: int | None = None,
 ) -> RunResult:
     """Simulate ``impl`` over ``pairs`` on one core.
 
     A single machine is reused across the dataset (pairs see each other's
     cache state, as in a real batch run).  If ``quetzal`` is unset, it is
     attached automatically when the implementation requires it.
+
+    ``jobs`` > 1 evaluates across worker processes and ``shard_size``
+    splits the batch into fixed pair shards (each on a fresh machine);
+    both route through :mod:`repro.eval.parallel`, whose shard plan is
+    independent of the worker count — any ``jobs`` value over the same
+    ``shard_size`` produces bit-identical results, and the default
+    ``shard_size=None`` reproduces this serial path exactly.
     """
     system = system or SystemConfig()
+    if jobs > 1 or shard_size is not None:
+        if machine is not None:
+            raise ReproError(
+                "a live machine cannot be shipped to worker processes; "
+                "drop machine= or run with jobs=1 and no shard_size"
+            )
+        from repro.eval.parallel import run_sharded
+
+        return run_sharded(
+            impl, pairs, system=system, quetzal=quetzal,
+            jobs=jobs, shard_size=shard_size,
+        )
     if machine is None:
         if quetzal is None and impl.requires_quetzal:
             quetzal = True

@@ -12,7 +12,7 @@ from typing import Iterable
 from repro.align.quetzal_impl import SsQzc, WfaQzc
 from repro.align.vectorized import SsVec, WfaVec
 from repro.errors import ReproError
-from repro.eval.runner import run_implementation
+from repro.eval.parallel import evaluate_cells
 from repro.genomics.generator import ErrorProfile, ReadPairGenerator
 
 
@@ -29,6 +29,7 @@ def sweep_error_rate(
     length: int = 2000,
     pairs: int = 2,
     seed: int = 33,
+    jobs: int = 1,
 ) -> list[dict]:
     """WFA QZ+C speedup over VEC as the error rate grows.
 
@@ -36,18 +37,26 @@ def sweep_error_rate(
     ALU's window advantage shrinks while staging amortises better —
     the sweep shows where the net lands.
     """
-    rows = []
+    rates = list(rates)
+    cells = []
+    batches = {}
     for rate in rates:
         if not 0 < rate < 0.2:
             raise ReproError(f"error rate out of range: {rate}")
         gen = ReadPairGenerator(length, _profile(rate), seed=seed)
         batch = gen.pairs(pairs)
-        vec = run_implementation(WfaVec(), batch)
-        qzc = run_implementation(WfaQzc(), batch)
+        batches[rate] = batch
+        cells.append(((rate, "vec"), WfaVec(), batch))
+        cells.append(((rate, "qzc"), WfaQzc(), batch))
+    runs = evaluate_cells(cells, jobs=jobs)
+    rows = []
+    for rate in rates:
+        vec = runs[(rate, "vec")]
+        qzc = runs[(rate, "qzc")]
         rows.append(
             {
                 "error_rate": rate,
-                "mean_distance": sum(vec.outputs) / len(batch),
+                "mean_distance": sum(vec.outputs) / len(batches[rate]),
                 "vec_cycles": vec.cycles,
                 "qzc_cycles": qzc.cycles,
                 "speedup": vec.cycles / qzc.cycles,
@@ -60,14 +69,21 @@ def sweep_read_length(
     lengths: Iterable[int] = (100, 250, 1000, 4000, 10_000),
     error_rate: float = 0.005,
     seed: int = 34,
+    jobs: int = 1,
 ) -> list[dict]:
     """WFA QZ+C speedup over VEC as reads grow (the Fig. 13a x-axis)."""
-    rows = []
+    lengths = list(lengths)
+    cells = []
     for length in lengths:
         gen = ReadPairGenerator(length, _profile(error_rate), seed=seed)
         batch = gen.pairs(1)
-        vec = run_implementation(WfaVec(), batch)
-        qzc = run_implementation(WfaQzc(), batch)
+        cells.append(((length, "vec"), WfaVec(), batch))
+        cells.append(((length, "qzc"), WfaQzc(), batch))
+    runs = evaluate_cells(cells, jobs=jobs)
+    rows = []
+    for length in lengths:
+        vec = runs[(length, "vec")]
+        qzc = runs[(length, "qzc")]
         rows.append(
             {
                 "length": length,
@@ -85,18 +101,28 @@ def sweep_ss_threshold(
     error_rate: float = 0.01,
     pairs: int = 2,
     seed: int = 35,
+    jobs: int = 1,
 ) -> list[dict]:
     """SneakySnake QZ+C speedup vs the edit threshold E.
 
     E controls the diagonal count per snake step (2E+1): larger E means
     more lanes of gather traffic for VEC to pay and QUETZAL to avoid.
     """
-    rows = []
+    thresholds = list(thresholds)
+    cells = []
+    batches = {}
     for threshold in thresholds:
         gen = ReadPairGenerator(length, _profile(error_rate), seed=seed)
         batch = gen.pairs(pairs)
-        vec = run_implementation(SsVec(threshold=threshold), batch)
-        qzc = run_implementation(SsQzc(threshold=threshold), batch)
+        batches[threshold] = batch
+        cells.append(((threshold, "vec"), SsVec(threshold=threshold), batch))
+        cells.append(((threshold, "qzc"), SsQzc(threshold=threshold), batch))
+    runs = evaluate_cells(cells, jobs=jobs)
+    rows = []
+    for threshold in thresholds:
+        vec = runs[(threshold, "vec")]
+        qzc = runs[(threshold, "qzc")]
+        batch = batches[threshold]
         accepted = sum(1 for out in qzc.outputs if out.accepted)
         rows.append(
             {

@@ -1,0 +1,106 @@
+"""Per-experiment wall-time and cache-hit micro-report.
+
+Every ``--verbose`` CLI run (and any caller using :func:`measure`) gets a
+small profile per experiment: wall time, the worker fan-out used by the
+parallel engine, and the calibration-cache traffic
+(:data:`repro.cache.CALIBRATION` hits/misses) attributable to that
+experiment.  The point is a stable baseline for future perf work — the
+numbers land in one place instead of being re-derived ad hoc.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.cache import CALIBRATION
+
+
+@dataclass
+class ExperimentTiming:
+    """One experiment's wall-time/cache profile."""
+
+    name: str
+    jobs: int = 1
+    seconds: float = 0.0
+    units: int = 0
+    workers: int = 0
+    cache: "dict[str, int]" = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line report, appended to the table footer under --verbose."""
+        cache = self.cache or {}
+        hits = cache.get("memory_hits", 0) + cache.get("disk_hits", 0)
+        return (
+            f"{self.name}: {self.seconds:.1f}s | jobs={self.jobs} "
+            f"workers={self.workers} units={self.units} | "
+            f"calibration cache: {hits} hits "
+            f"({cache.get('disk_hits', 0)} from disk), "
+            f"{cache.get('misses', 0)} misses"
+        )
+
+
+#: Completed measurements, in execution order (``python -m repro all``).
+HISTORY: "list[ExperimentTiming]" = []
+
+_ACTIVE: "list[ExperimentTiming]" = []
+
+
+@contextmanager
+def measure(name: str, jobs: int = 1):
+    """Measure one experiment; yields the record being filled.
+
+    Nested measurements are supported (each sees its own cache-counter
+    window); the parallel engine reports its fan-out to the innermost
+    active record via :func:`note_parallel`.
+    """
+    record = ExperimentTiming(name=name, jobs=jobs)
+    before = CALIBRATION.counters.copy()
+    _ACTIVE.append(record)
+    start = time.perf_counter()
+    try:
+        yield record
+    finally:
+        record.seconds = time.perf_counter() - start
+        delta = CALIBRATION.counters.delta(before)
+        record.cache = {
+            "memory_hits": delta.memory_hits,
+            "disk_hits": delta.disk_hits,
+            "misses": delta.misses,
+            "stores": delta.stores,
+        }
+        _ACTIVE.pop()
+        HISTORY.append(record)
+
+
+def note_parallel(units: int, workers: int) -> None:
+    """Called by the parallel engine: record fan-out on the active measure."""
+    if _ACTIVE:
+        record = _ACTIVE[-1]
+        record.units += units
+        record.workers = max(record.workers, workers)
+
+
+def render_report(records: "list[ExperimentTiming] | None" = None) -> str:
+    """Multi-experiment summary table (the ``all`` run footer)."""
+    from repro.eval.reporting import render_table
+
+    records = HISTORY if records is None else records
+    if not records:
+        return "(no timing records)"
+    rows = [
+        {
+            "experiment": r.name,
+            "seconds": r.seconds,
+            "jobs": r.jobs,
+            "workers": r.workers,
+            "units": r.units,
+            "calib_hits": r.cache.get("memory_hits", 0)
+            + r.cache.get("disk_hits", 0),
+            "calib_disk_hits": r.cache.get("disk_hits", 0),
+            "calib_misses": r.cache.get("misses", 0),
+        }
+        for r in records
+    ]
+    return render_table(rows, "Timing report")

@@ -9,6 +9,7 @@ overridable everywhere.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 from repro.errors import DatasetError
@@ -120,10 +121,13 @@ def build_dataset(
             f"unknown dataset {name!r}; choose from {sorted(TABLE_II_SPECS)}"
         )
     count = spec.default_pairs if num_pairs is None else num_pairs
+    # crc32, not hash(): str hashing is randomised per process, which
+    # would give every CLI invocation (and every pool worker) different
+    # reads for the same (name, seed).
     gen = ReadPairGenerator(
         length=spec.read_length,
         profile=spec.profile,
-        seed=seed ^ hash(name) & 0xFFFF_FFFF,
+        seed=seed ^ zlib.crc32(name.encode("utf-8")),
     )
     return Dataset(spec=spec, pairs=tuple(gen.pairs(count)))
 

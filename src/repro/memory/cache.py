@@ -41,6 +41,15 @@ class CacheStats:
             prefetch_hits=self.prefetch_hits + other.prefetch_hits,
         )
 
+    def merge_(self, other: "CacheStats") -> "CacheStats":
+        """In-place accumulate ``other`` into this counter set."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        self.prefetch_fills += other.prefetch_fills
+        self.prefetch_hits += other.prefetch_hits
+        return self
+
     def delta(self, earlier: "CacheStats") -> "CacheStats":
         return CacheStats(
             hits=self.hits - earlier.hits,

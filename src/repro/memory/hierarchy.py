@@ -46,6 +46,25 @@ class MemoryStats:
             dram_bytes=self.dram_bytes,
         )
 
+    def merge(self, other: "MemoryStats") -> "MemoryStats":
+        """Sum of two runs' request statistics."""
+        return MemoryStats(
+            requests=self.requests + other.requests,
+            l1=self.l1.merge(other.l1),
+            l2=self.l2.merge(other.l2),
+            dram_accesses=self.dram_accesses + other.dram_accesses,
+            dram_bytes=self.dram_bytes + other.dram_bytes,
+        )
+
+    def merge_(self, other: "MemoryStats") -> "MemoryStats":
+        """In-place accumulate ``other`` into this statistics block."""
+        self.requests += other.requests
+        self.l1.merge_(other.l1)
+        self.l2.merge_(other.l2)
+        self.dram_accesses += other.dram_accesses
+        self.dram_bytes += other.dram_bytes
+        return self
+
 
 class MemoryHierarchy:
     """L1D + shared L2 + DRAM, with stride prefetchers at both levels."""

@@ -81,13 +81,26 @@ class MachineStats:
             instructions=self.instructions + other.instructions,
             busy=self.busy + other.busy,
             stall=self.stall + other.stall,
-            mem=MemoryStats(
-                requests=self.mem.requests + other.mem.requests,
-                l1=self.mem.l1.merge(other.mem.l1),
-                l2=self.mem.l2.merge(other.mem.l2),
-                dram_accesses=self.mem.dram_accesses + other.mem.dram_accesses,
-                dram_bytes=self.mem.dram_bytes + other.mem.dram_bytes,
-            ),
+            mem=self.mem.merge(other.mem),
             qz_reads=self.qz_reads + other.qz_reads,
             qz_writes=self.qz_writes + other.qz_writes,
         )
+
+    def merge_(self, other: "MachineStats") -> "MachineStats":
+        """In-place accumulate ``other`` (no per-merge allocation).
+
+        Unlike ``Counter.__add__``, ``Counter.update`` keeps zero-valued
+        entries, so only counter *keys* may differ from the functional
+        ``merge``; every count, cycle, and memory figure is identical.
+        Used by the batch/shard aggregation paths where merging thousands
+        of :class:`MachineStats` with ``merge`` was quadratic in
+        allocations.
+        """
+        self.cycles += other.cycles
+        self.instructions.update(other.instructions)
+        self.busy.update(other.busy)
+        self.stall.update(other.stall)
+        self.mem.merge_(other.mem)
+        self.qz_reads += other.qz_reads
+        self.qz_writes += other.qz_writes
+        return self

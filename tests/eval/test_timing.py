@@ -1,0 +1,58 @@
+"""Tests for the per-experiment timing micro-report (repro.eval.timing)."""
+
+from repro.cache import CALIBRATION
+from repro.eval import timing
+
+
+class TestMeasure:
+    def test_records_wall_time_and_history(self):
+        history_before = len(timing.HISTORY)
+        with timing.measure("unit-test", jobs=3) as record:
+            pass
+        assert record.seconds >= 0.0
+        assert record.jobs == 3
+        assert timing.HISTORY[-1] is record
+        assert len(timing.HISTORY) == history_before + 1
+
+    def test_cache_counter_window(self):
+        with timing.measure("cache-window") as record:
+            CALIBRATION.get(("timing-test-absent-key",))
+        assert record.cache["misses"] >= 1
+
+    def test_note_parallel_attaches_to_active_record(self):
+        with timing.measure("fanout") as record:
+            timing.note_parallel(units=16, workers=4)
+            timing.note_parallel(units=8, workers=2)
+        assert record.units == 24
+        assert record.workers == 4
+
+    def test_note_parallel_without_active_record_is_noop(self):
+        timing.note_parallel(units=5, workers=5)  # must not raise
+
+    def test_nested_measurements(self):
+        with timing.measure("outer") as outer:
+            with timing.measure("inner") as inner:
+                timing.note_parallel(units=4, workers=2)
+        assert inner.units == 4
+        assert outer.units == 0
+
+
+class TestRendering:
+    def test_summary_mentions_cache_and_jobs(self):
+        with timing.measure("summarised", jobs=2) as record:
+            pass
+        line = record.summary()
+        assert "summarised" in line
+        assert "jobs=2" in line
+        assert "calibration cache" in line
+
+    def test_render_report_lists_experiments(self):
+        with timing.measure("report-a"):
+            pass
+        with timing.measure("report-b"):
+            pass
+        text = timing.render_report()
+        assert "report-a" in text and "report-b" in text
+
+    def test_render_report_empty(self):
+        assert "no timing records" in timing.render_report([])

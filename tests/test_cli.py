@@ -10,10 +10,22 @@ class TestParser:
         args = build_parser().parse_args(["fig3"])
         assert args.experiment == "fig3"
         assert args.scale == 1.0
+        assert args.jobs is None
+        assert args.no_cache is False
+        assert args.verbose is False
 
     def test_scale(self):
         args = build_parser().parse_args(["fig3", "--scale", "0.25"])
         assert args.scale == 0.25
+
+    def test_jobs_flag(self):
+        assert build_parser().parse_args(["fig3", "--jobs", "8"]).jobs == 8
+        assert build_parser().parse_args(["fig3", "-j", "2"]).jobs == 2
+
+    def test_cache_and_verbose_flags(self):
+        args = build_parser().parse_args(["fig3", "--no-cache", "-v"])
+        assert args.no_cache is True
+        assert args.verbose is True
 
 
 class TestMain:
@@ -44,8 +56,19 @@ class TestRunExperiment:
         assert "[tab2:" in out
         assert "100bp_1" in out
 
+    def test_verbose_appends_micro_report(self):
+        out = run_experiment("tab2", scale=1.0, jobs=2, verbose=True)
+        assert "jobs=2" in out
+        assert "calibration cache" in out
+
     def test_every_registered_id_is_callable(self):
         for name, (fn, title, scale_kw) in EXPERIMENTS.items():
             assert callable(fn)
             assert title
             assert scale_kw in (None, "pairs_scale", "scale")
+
+    def test_jobs_flag_reaches_experiments(self, capsys):
+        """--jobs must parse and run end-to-end on a tiny slice."""
+        assert main(["fig4", "--scale", "0.05", "--jobs", "2", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out

@@ -72,3 +72,30 @@ class TestArithmetic:
     def test_merge_identity(self):
         merged = make_stats().merge(MachineStats())
         assert merged.cycles == make_stats().cycles
+
+    def test_merge_inplace_matches_functional(self):
+        functional = make_stats().merge(make_stats(cycles=50, vec_busy=5))
+        total = make_stats()
+        returned = total.merge_(make_stats(cycles=50, vec_busy=5))
+        assert returned is total
+        assert total.cycles == functional.cycles
+        assert dict(total.instructions) == dict(functional.instructions)
+        assert dict(total.busy) == dict(functional.busy)
+        assert dict(total.stall) == dict(functional.stall)
+        assert total.mem.requests == functional.mem.requests
+        assert total.qz_reads == functional.qz_reads
+        assert total.qz_writes == functional.qz_writes
+
+    def test_merge_inplace_leaves_other_untouched(self):
+        other = make_stats()
+        MachineStats().merge_(other)
+        assert other.cycles == 100
+        assert other.mem.requests == 7
+
+    def test_merge_inplace_accumulates_many(self):
+        total = MachineStats()
+        for _ in range(5):
+            total.merge_(make_stats())
+        assert total.cycles == 500
+        assert total.instructions["vector"] == 50
+        assert total.mem.requests == 35
