@@ -5,12 +5,20 @@ Usage::
     python -m repro list
     python -m repro fig13a [--scale 0.2] [--jobs 8]
     python -m repro all --scale 0.1 --jobs 8 --verbose
+    python -m repro fig4 --emit-json results/fig4.json --emit-csv results/fig4.csv
+    python -m repro compare results/baselines/fig4.json results/fig4.json
 
 ``--jobs N`` fans experiment cells out across N worker processes
 (default: the ``REPRO_JOBS`` environment variable, else fully serial);
 tables are bit-identical at every jobs value.  Calibration measurements
 persist under ``.repro_cache/`` between runs unless ``--no-cache`` (or
 ``REPRO_NO_CACHE=1``) is given.
+
+``--emit-json``/``--emit-csv`` write schema-versioned result records
+(rows + per-cell machine statistics: cycle breakdown, cache hit rates,
+prefetch accuracy, DRAM traffic — see :mod:`repro.eval.records`); the
+``compare`` subcommand diffs two such records with configurable
+tolerances and exits non-zero on drift (:mod:`repro.eval.compare`).
 """
 
 from __future__ import annotations
@@ -19,11 +27,13 @@ import argparse
 import inspect
 import sys
 import time
+from pathlib import Path
 
 from repro.cache import CALIBRATION, configure_from_env
 from repro.errors import ReproError
 from repro.eval import experiments as ex
-from repro.eval import timing
+from repro.eval import records, timing
+from repro.eval.compare import Tolerances, compare_records, render_drifts
 from repro.eval.parallel import default_jobs
 from repro.eval.reporting import render_table
 
@@ -79,28 +89,146 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append per-experiment wall-time and cache-hit counters",
     )
+    parser.add_argument(
+        "--emit-json",
+        metavar="PATH",
+        default=None,
+        help="write a schema-versioned result record (rows + machine "
+        "stats); with 'all', PATH is a directory of <experiment>.json",
+    )
+    parser.add_argument(
+        "--emit-csv",
+        metavar="PATH",
+        default=None,
+        help="write the table rows as CSV; with 'all', PATH is a "
+        "directory of <experiment>.csv",
+    )
     return parser
 
 
+def build_compare_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro compare",
+        description="Diff two emitted result records; exit 1 on drift.",
+    )
+    parser.add_argument("baseline", help="baseline result JSON")
+    parser.add_argument("current", help="result JSON to check against it")
+    parser.add_argument(
+        "--tol-cycles",
+        type=float,
+        default=Tolerances.cycles,
+        help="relative cycle / row-value drift tolerance "
+        f"(default {Tolerances.cycles})",
+    )
+    parser.add_argument(
+        "--tol-instructions",
+        type=float,
+        default=Tolerances.instructions,
+        help="relative instruction / request count drift tolerance "
+        f"(default {Tolerances.instructions})",
+    )
+    parser.add_argument(
+        "--tol-hit-rate",
+        type=float,
+        default=Tolerances.hit_rate,
+        help="absolute hit-rate / prefetch-accuracy drift tolerance "
+        f"(default {Tolerances.hit_rate})",
+    )
+    parser.add_argument(
+        "--tol-dram",
+        type=float,
+        default=Tolerances.dram,
+        help=f"relative DRAM-traffic drift tolerance (default {Tolerances.dram})",
+    )
+    parser.add_argument(
+        "--no-rows",
+        action="store_true",
+        help="compare only machine statistics, not the rendered rows",
+    )
+    return parser
+
+
+def compare_main(argv: "list[str]") -> int:
+    """``python -m repro compare BASELINE CURRENT [--tol-*]``."""
+    args = build_compare_parser().parse_args(argv)
+    tolerances = Tolerances(
+        cycles=args.tol_cycles,
+        instructions=args.tol_instructions,
+        requests=args.tol_instructions,
+        dram=args.tol_dram,
+        hit_rate=args.tol_hit_rate,
+    )
+    baseline = records.read_json(args.baseline)
+    current = records.read_json(args.current)
+    drifts = compare_records(
+        baseline, current, tolerances, include_rows=not args.no_rows
+    )
+    print(render_drifts(drifts, args.baseline, args.current))
+    return 1 if drifts else 0
+
+
+def _emit_path(base: str, name: str, suffix: str, multi: bool) -> Path:
+    """Resolve an emit target: a file for one experiment, a directory
+    of ``<experiment><suffix>`` files for an ``all`` run."""
+    if multi:
+        return Path(base) / f"{name}{suffix}"
+    return Path(base)
+
+
 def run_experiment(
-    name: str, scale: float, jobs: int = 1, verbose: bool = False
+    name: str,
+    scale: float,
+    jobs: int = 1,
+    verbose: bool = False,
+    emit_json: "str | None" = None,
+    emit_csv: "str | None" = None,
+    multi: bool = False,
 ) -> str:
-    """Run one experiment and render its table (plus timing footer)."""
+    """Run one experiment and render its table (plus timing footer).
+
+    ``emit_json``/``emit_csv`` additionally write the machine-readable
+    record (rows plus the per-cell machine statistics captured while the
+    experiment ran); ``multi`` treats the emit paths as directories.
+    """
     fn, title, scale_kw = EXPERIMENTS[name]
     kwargs = {scale_kw: scale} if scale_kw else {}
     if "jobs" in inspect.signature(fn).parameters:
         kwargs["jobs"] = jobs
     start = time.time()
     with timing.measure(name, jobs=jobs) as record:
-        rows = fn(**kwargs)
+        with records.capture() as captured:
+            rows = fn(**kwargs)
     elapsed = time.time() - start
     out = render_table(rows, title) + f"\n[{name}: {elapsed:.1f}s]"
     if verbose:
         out += f"\n[{record.summary()}]"
+    if emit_json is not None:
+        result_record = records.experiment_record(
+            name,
+            title,
+            rows,
+            scale=scale,
+            jobs=jobs,
+            machines=captured.machine_records(),
+        )
+        path = records.write_json(
+            result_record, _emit_path(emit_json, name, ".json", multi)
+        )
+        out += f"\n[wrote {path}]"
+    if emit_csv is not None:
+        path = records.write_csv(rows, _emit_path(emit_csv, name, ".csv", multi))
+        out += f"\n[wrote {path}]"
     return out
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["compare"]:
+        try:
+            return compare_main(argv[1:])
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, (_, title, _) in EXPERIMENTS.items():
@@ -119,7 +247,17 @@ def main(argv: "list[str] | None" = None) -> int:
         CALIBRATION.disable_disk()
     if args.experiment == "all":
         for name in EXPERIMENTS:
-            print(run_experiment(name, args.scale, jobs=jobs, verbose=args.verbose))
+            print(
+                run_experiment(
+                    name,
+                    args.scale,
+                    jobs=jobs,
+                    verbose=args.verbose,
+                    emit_json=args.emit_json,
+                    emit_csv=args.emit_csv,
+                    multi=True,
+                )
+            )
             print()
         if args.verbose:
             print(timing.render_report())
@@ -131,7 +269,16 @@ def main(argv: "list[str] | None" = None) -> int:
             file=sys.stderr,
         )
         return 2
-    print(run_experiment(args.experiment, args.scale, jobs=jobs, verbose=args.verbose))
+    print(
+        run_experiment(
+            args.experiment,
+            args.scale,
+            jobs=jobs,
+            verbose=args.verbose,
+            emit_json=args.emit_json,
+            emit_csv=args.emit_csv,
+        )
+    )
     return 0
 
 

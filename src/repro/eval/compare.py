@@ -1,0 +1,216 @@
+"""Diff two emitted result records and flag drift beyond tolerances.
+
+``python -m repro compare BASELINE.json CURRENT.json`` turns the
+``results/*.json`` files written by ``--emit-json`` into an enforced
+perf trajectory: cycle counts, instruction counts, cache hit rates,
+prefetch accuracy, and DRAM traffic are compared per experiment cell,
+and any drift beyond the configured tolerance is reported (and fails
+CI).  A record always compares clean against itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+#: Metrics compared with a *relative* tolerance, as
+#: (record path inside a machine entry, tolerance attribute).
+_RELATIVE_METRICS = (
+    (("cycles",), "cycles"),
+    (("total_instructions",), "instructions"),
+    (("mem", "requests"), "requests"),
+    (("mem", "dram_bytes"), "dram"),
+)
+
+#: Metrics compared with an *absolute* tolerance (rates in [0, 1]).
+_ABSOLUTE_METRICS = (
+    (("mem", "l1", "hit_rate"), "hit_rate"),
+    (("mem", "l2", "hit_rate"), "hit_rate"),
+    (("mem", "l1", "prefetch_accuracy"), "hit_rate"),
+    (("mem", "l2", "prefetch_accuracy"), "hit_rate"),
+)
+
+
+@dataclass(frozen=True)
+class Tolerances:
+    """Maximum allowed drift per metric family.
+
+    ``cycles``/``instructions``/``requests``/``dram`` are relative
+    (fraction of the baseline value); ``hit_rate`` is absolute (the
+    rates live in [0, 1], where a relative test would explode near 0).
+    """
+
+    cycles: float = 0.02
+    instructions: float = 0.02
+    requests: float = 0.02
+    dram: float = 0.05
+    hit_rate: float = 0.01
+
+    def __post_init__(self) -> None:
+        for name in ("cycles", "instructions", "requests", "dram", "hit_rate"):
+            if getattr(self, name) < 0:
+                raise ReproError(f"tolerance {name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One metric that moved beyond its tolerance."""
+
+    location: str
+    metric: str
+    baseline: float
+    current: float
+    delta: float
+    tolerance: float
+    kind: str = "relative"
+
+    def describe(self) -> str:
+        unit = "%" if self.kind == "relative" else ""
+        scale = 100.0 if self.kind == "relative" else 1.0
+        return (
+            f"{self.location}: {self.metric} {self.baseline:g} -> "
+            f"{self.current:g} (drift {self.delta * scale:+.2f}{unit or ' abs'}, "
+            f"tolerance {self.tolerance * scale:.2f}{unit or ' abs'})"
+        )
+
+
+def _dig(record: dict, path: "tuple[str, ...]"):
+    node = record
+    for part in path:
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def _relative_delta(baseline: float, current: float) -> float:
+    if baseline == current:
+        return 0.0
+    if baseline == 0:
+        return float("inf")
+    return (current - baseline) / abs(baseline)
+
+
+def compare_machines(
+    baseline: dict, current: dict, tol: Tolerances
+) -> "list[Drift]":
+    """Compare the ``machines`` sections of two records."""
+    drifts: "list[Drift]" = []
+    base_machines = baseline.get("machines") or {}
+    cur_machines = current.get("machines") or {}
+    for name in sorted(set(base_machines) | set(cur_machines)):
+        if name not in cur_machines:
+            drifts.append(
+                Drift(name, "missing-in-current", 1.0, 0.0, float("inf"), 0.0)
+            )
+            continue
+        if name not in base_machines:
+            drifts.append(
+                Drift(name, "missing-in-baseline", 0.0, 1.0, float("inf"), 0.0)
+            )
+            continue
+        base, cur = base_machines[name], cur_machines[name]
+        for path, tol_name in _RELATIVE_METRICS:
+            b, c = _dig(base, path), _dig(cur, path)
+            if b is None or c is None:
+                continue
+            delta = _relative_delta(float(b), float(c))
+            allowed = getattr(tol, tol_name)
+            if abs(delta) > allowed:
+                drifts.append(
+                    Drift(name, "/".join(path), float(b), float(c), delta, allowed)
+                )
+        for path, tol_name in _ABSOLUTE_METRICS:
+            b, c = _dig(base, path), _dig(cur, path)
+            if b is None or c is None:
+                continue
+            delta = float(c) - float(b)
+            allowed = getattr(tol, tol_name)
+            if abs(delta) > allowed:
+                drifts.append(
+                    Drift(
+                        name,
+                        "/".join(path),
+                        float(b),
+                        float(c),
+                        delta,
+                        allowed,
+                        kind="absolute",
+                    )
+                )
+    return drifts
+
+
+def compare_rows(
+    baseline: dict, current: dict, tol: Tolerances
+) -> "list[Drift]":
+    """Compare the rendered table rows (numeric cells, relative)."""
+    drifts: "list[Drift]" = []
+    base_rows = baseline.get("rows") or []
+    cur_rows = current.get("rows") or []
+    if len(base_rows) != len(cur_rows):
+        drifts.append(
+            Drift(
+                "rows",
+                "row-count",
+                float(len(base_rows)),
+                float(len(cur_rows)),
+                float("inf"),
+                0.0,
+            )
+        )
+        return drifts
+    for i, (brow, crow) in enumerate(zip(base_rows, cur_rows)):
+        for col in brow:
+            b, c = brow[col], crow.get(col)
+            if isinstance(b, bool) or not isinstance(b, (int, float)):
+                if b != c:
+                    drifts.append(
+                        Drift(f"rows[{i}]", col, float("nan"), float("nan"),
+                              float("inf"), 0.0)
+                    )
+                continue
+            if not isinstance(c, (int, float)) or isinstance(c, bool):
+                drifts.append(
+                    Drift(f"rows[{i}]", col, float(b), float("nan"),
+                          float("inf"), 0.0)
+                )
+                continue
+            delta = _relative_delta(float(b), float(c))
+            if abs(delta) > tol.cycles:
+                drifts.append(
+                    Drift(f"rows[{i}]", col, float(b), float(c), delta, tol.cycles)
+                )
+    return drifts
+
+
+def compare_records(
+    baseline: dict,
+    current: dict,
+    tol: "Tolerances | None" = None,
+    include_rows: bool = True,
+) -> "list[Drift]":
+    """Full record diff; returns every out-of-tolerance metric."""
+    tol = tol or Tolerances()
+    if baseline.get("experiment") != current.get("experiment"):
+        raise ReproError(
+            f"records are from different experiments: "
+            f"{baseline.get('experiment')!r} vs {current.get('experiment')!r}"
+        )
+    drifts = compare_machines(baseline, current, tol)
+    if include_rows:
+        drifts.extend(compare_rows(baseline, current, tol))
+    return drifts
+
+
+def render_drifts(drifts: "list[Drift]", baseline_name: str, current_name: str) -> str:
+    """Human-readable comparison report."""
+    if not drifts:
+        return f"OK: {current_name} matches {baseline_name} within tolerances"
+    lines = [
+        f"DRIFT: {len(drifts)} metric(s) moved beyond tolerance "
+        f"({baseline_name} -> {current_name}):"
+    ]
+    lines.extend(f"  {d.describe()}" for d in drifts)
+    return "\n".join(lines)

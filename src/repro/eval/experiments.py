@@ -39,7 +39,6 @@ from repro.config import DESIGN_POINTS, DEFAULT_QUETZAL, SystemConfig
 from repro.eval.metrics import gcups, speedup
 from repro.eval.multicore import multicore_speedups, multicore_time_seconds
 from repro.eval.parallel import evaluate_cells
-from repro.eval.runner import RunResult, run_implementation
 from repro.genomics.datasets import (
     Dataset,
     SHORT_READ_DATASETS,
@@ -532,7 +531,8 @@ def table4_gcups(pairs_scale: float = 1.0, jobs: int = 1) -> list[dict]:
     """Peak GCUPS per area for QUETZAL, next to published accelerators."""
     model = AreaModel()
     ds = _scaled("250bp_1", pairs_scale)
-    result = run_implementation(WfaQzc(), ds.pairs, jobs=jobs)
+    runs = evaluate_cells([(("250bp_1", "wfa", "qzc"), WfaQzc(), ds.pairs)], jobs=jobs)
+    result = runs[("250bp_1", "wfa", "qzc")]
     measured = gcups(result, ds.pairs)
     qz_area = model.area_mm2(DEFAULT_QUETZAL)
     core_area = A64FX_CORE_MM2 + qz_area

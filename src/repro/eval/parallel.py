@@ -35,7 +35,7 @@ from typing import Iterable, Sequence
 from repro.align.interface import Implementation
 from repro.config import QuetzalConfig, SystemConfig
 from repro.errors import ReproError
-from repro.eval import timing
+from repro.eval import records, timing
 from repro.eval.runner import RunResult, run_implementation
 from repro.genomics.generator import SequencePair
 
@@ -128,7 +128,12 @@ def evaluate_units(
     jobs = max(1, int(jobs))
     if jobs == 1 or len(units) <= 1:
         timing.note_parallel(units=len(units), workers=1)
-        return [_execute_unit(u) for u in units]
+        results = []
+        for unit in units:
+            result = _execute_unit(unit)
+            records.note_run(unit.key, result)
+            results.append(result)
+        return results
     from repro.cache import CALIBRATION
 
     workers = min(jobs, len(units))
@@ -148,6 +153,10 @@ def evaluate_units(
             done, _ = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 results[pending.pop(future)] = future.result()
+    # Report in plan order (not completion order) so shard merges under a
+    # shared key stay deterministic.
+    for unit, result in zip(units, results):
+        records.note_run(unit.key, result)
     return results  # type: ignore[return-value]
 
 

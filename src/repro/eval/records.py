@@ -1,0 +1,197 @@
+"""Schema-versioned, machine-readable experiment result records.
+
+Every experiment table the CLI can render can also be *emitted* as a
+JSON record (``--emit-json``) or a CSV of its rows (``--emit-csv``).  A
+record carries the rendered rows **plus** the per-cell machine
+statistics — :meth:`repro.vector.stats.MachineStats.breakdown`, cache
+hit rates, prefetch accuracy, DRAM traffic — captured as the experiment
+runs, so ``results/*.json`` files are diffable perf artifacts
+(:mod:`repro.eval.compare`) rather than write-only tables.
+
+Capture piggybacks on the evaluation funnel: :func:`capture` installs a
+collector, :func:`note_run` (called by
+:func:`repro.eval.parallel.evaluate_units` in the parent process) feeds
+it one :class:`~repro.eval.runner.RunResult` per work unit, and shards
+sharing a cell key are merged in plan order.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro._version import __version__
+from repro.errors import ReproError
+
+#: Version of the record layout; bump on any shape change so
+#: ``repro compare`` can refuse cross-schema diffs.
+SCHEMA_VERSION = 1
+
+#: The ``kind`` tag stamped on every emitted record.
+RECORD_KIND = "repro.result"
+
+
+# ----------------------------------------------------------------------
+# Record construction
+# ----------------------------------------------------------------------
+def cache_level_record(stats) -> dict:
+    """JSON-ready counters for one cache level (:class:`CacheStats`)."""
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "accesses": stats.accesses,
+        "hit_rate": stats.hit_rate,
+        "evictions": stats.evictions,
+        "prefetch_fills": stats.prefetch_fills,
+        "prefetch_hits": stats.prefetch_hits,
+        "prefetch_accuracy": stats.prefetch_accuracy,
+    }
+
+
+def memory_record(mem) -> dict:
+    """JSON-ready hierarchy statistics (:class:`MemoryStats`)."""
+    return {
+        "requests": mem.requests,
+        "l1": cache_level_record(mem.l1),
+        "l2": cache_level_record(mem.l2),
+        "dram_accesses": mem.dram_accesses,
+        "dram_bytes": mem.dram_bytes,
+    }
+
+
+def machine_record(stats) -> dict:
+    """JSON-ready machine statistics (:class:`MachineStats`)."""
+    return {
+        "cycles": stats.cycles,
+        "total_instructions": stats.total_instructions,
+        "instructions": dict(stats.instructions),
+        "busy": dict(stats.busy),
+        "stall": dict(stats.stall),
+        "breakdown": stats.breakdown(),
+        "mem": memory_record(stats.mem),
+        "qz_reads": stats.qz_reads,
+        "qz_writes": stats.qz_writes,
+    }
+
+
+def experiment_record(
+    name: str,
+    title: str,
+    rows: "list[dict]",
+    *,
+    scale: "float | None" = None,
+    jobs: int = 1,
+    machines: "dict[str, dict] | None" = None,
+    trace: "dict | None" = None,
+) -> dict:
+    """Assemble one emit-ready result record."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": RECORD_KIND,
+        "version": __version__,
+        "experiment": name,
+        "title": title,
+        "params": {"scale": scale, "jobs": jobs},
+        "rows": [dict(r) for r in rows],
+        "machines": machines or {},
+        "trace": trace,
+    }
+
+
+# ----------------------------------------------------------------------
+# Stats capture (fed by the evaluation funnel)
+# ----------------------------------------------------------------------
+def _key_str(key) -> str:
+    """Stable string form of an experiment cell key."""
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+class StatsCapture:
+    """Accumulates per-cell machine statistics during one experiment."""
+
+    def __init__(self) -> None:
+        self._stats: "dict[str, object]" = {}
+
+    def add(self, key, run_result) -> None:
+        """Fold one unit's statistics in (shards merge under their key)."""
+        name = _key_str(key)
+        stats = run_result.stats()
+        existing = self._stats.get(name)
+        if existing is None:
+            self._stats[name] = stats
+        else:
+            existing.merge_(stats)
+
+    def machine_records(self) -> "dict[str, dict]":
+        return {name: machine_record(s) for name, s in self._stats.items()}
+
+
+_ACTIVE: "list[StatsCapture]" = []
+
+
+@contextmanager
+def capture():
+    """Collect machine statistics from every unit evaluated inside."""
+    collector = StatsCapture()
+    _ACTIVE.append(collector)
+    try:
+        yield collector
+    finally:
+        _ACTIVE.remove(collector)
+
+
+def note_run(key, run_result) -> None:
+    """Report one evaluated unit to the innermost active capture."""
+    if _ACTIVE:
+        _ACTIVE[-1].add(key, run_result)
+
+
+# ----------------------------------------------------------------------
+# File I/O
+# ----------------------------------------------------------------------
+def write_json(record: dict, path: "str | Path") -> Path:
+    """Write a record as pretty JSON; creates parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(record, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def read_json(path: "str | Path") -> dict:
+    """Load a result record, validating kind and schema version."""
+    path = Path(path)
+    try:
+        record = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ReproError(f"no such result file: {path}")
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"not a JSON result file: {path} ({exc})")
+    if not isinstance(record, dict) or record.get("kind") != RECORD_KIND:
+        raise ReproError(f"not a {RECORD_KIND} record: {path}")
+    if record.get("schema_version") != SCHEMA_VERSION:
+        raise ReproError(
+            f"schema version mismatch in {path}: "
+            f"{record.get('schema_version')} != {SCHEMA_VERSION}"
+        )
+    return record
+
+
+def write_csv(rows: "list[dict]", path: "str | Path") -> Path:
+    """Write experiment rows as CSV (columns: union, first-seen order)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    columns: "list[str]" = []
+    for row in rows:
+        for col in row:
+            if col not in columns:
+                columns.append(col)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path

@@ -32,6 +32,19 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
 
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of prefetched lines that a demand later hit.
+
+        Every ``prefetch_hit`` consumes a line that a ``prefetch_fill``
+        inserted, so this is always in ``[0, 1]``.
+        """
+        return (
+            self.prefetch_hits / self.prefetch_fills
+            if self.prefetch_fills
+            else 0.0
+        )
+
     def merge(self, other: "CacheStats") -> "CacheStats":
         return CacheStats(
             hits=self.hits + other.hits,

@@ -83,8 +83,13 @@ class MemoryHierarchy:
         self._l1_prefetcher = (
             StridePrefetcher(line_bytes=line) if self.system.l1d.prefetcher else None
         )
+        # The L2 prefetcher sees the L1-miss stream, which the L1
+        # prefetcher already runs `degree` strides ahead of — so L2 must
+        # look deeper than L1 to ever fetch a line first.
         self._l2_prefetcher = (
-            StridePrefetcher(line_bytes=line) if self.system.l2.prefetcher else None
+            StridePrefetcher(line_bytes=line, degree=4)
+            if self.system.l2.prefetcher
+            else None
         )
         self.requests = 0
 
@@ -98,8 +103,17 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     # Demand path
     # ------------------------------------------------------------------
-    def _fill_from_l2(self, line_addr: int, prefetch: bool = False) -> int:
-        """Bring a line into L1, recursing into L2/DRAM. Returns latency."""
+    def _fill_from_l2(
+        self, line_addr: int, stream_id: int = 0, prefetch: bool = False
+    ) -> int:
+        """Bring a line into L1, recursing into L2/DRAM. Returns latency.
+
+        Demand fills (``prefetch=False``) are the L1-miss stream, which
+        is what trains the L2 stride prefetcher; L1-issued prefetches do
+        not retrain L2 (they would double-train every miss stride).
+        """
+        if not prefetch:
+            self._train_l2(stream_id, line_addr)
         if self.l2.access(line_addr):
             latency = self.system.l2.load_to_use
         else:
@@ -108,23 +122,40 @@ class MemoryHierarchy:
         self.l1.fill(line_addr, prefetch=prefetch)
         return latency
 
-    def _train(self, stream_id: int, addr: int) -> None:
-        """Train the stride prefetcher on a raw request address."""
+    def _train_l2(self, stream_id: int, line_addr: int) -> None:
+        """Train the L2 prefetcher on one L1-miss; stage fills from DRAM."""
+        if self._l2_prefetcher is None:
+            return
+        exclude = (line_addr, line_addr)
+        for pf_line in self._l2_prefetcher.observe(stream_id, line_addr, exclude):
+            if not self.l2.probe(pf_line):
+                self.dram.access(pf_line)
+                self.l2.fill(pf_line, prefetch=True)
+
+    def _train(self, stream_id: int, addr: int, demand: "tuple[int, int]") -> None:
+        """Train the L1 stride prefetcher on a raw request address.
+
+        ``demand`` is the inclusive line range the triggering request is
+        itself about to access — those lines must not be filled here, or
+        the demand's own miss would be miscounted as a prefetch hit.
+        """
         if self._l1_prefetcher is None:
             return
-        for pf_line in self._l1_prefetcher.observe(stream_id, addr):
+        for pf_line in self._l1_prefetcher.observe(stream_id, addr, demand):
             if not self.l1.probe(pf_line):
-                self._fill_from_l2(pf_line, prefetch=True)
+                self._fill_from_l2(pf_line, stream_id, prefetch=True)
 
     def access_line(self, line_addr: int, stream_id: int = 0) -> int:
         """One demand line access; returns load-to-use latency in cycles."""
         if line_addr % self.system.l1d.line_bytes:
             raise MemoryModelError(f"unaligned line address: {line_addr:#x}")
         self.requests += 1
-        self._train(stream_id, line_addr)
+        self._train(stream_id, line_addr, (line_addr, line_addr))
         if self.l1.access(line_addr):
             return self.system.l1d.load_to_use
-        return self.system.l1d.load_to_use + self._fill_from_l2(line_addr)
+        return self.system.l1d.load_to_use + self._fill_from_l2(
+            line_addr, stream_id
+        )
 
     def access(self, addr: int, size_bytes: int = 1, stream_id: int = 0) -> int:
         """Demand access of ``size_bytes`` at ``addr``.
@@ -136,21 +167,23 @@ class MemoryHierarchy:
         """
         if size_bytes < 1:
             raise MemoryModelError(f"access size must be positive: {size_bytes}")
-        self._train(stream_id, addr)
         line = self.system.l1d.line_bytes
         first = addr - (addr % line)
         last = (addr + size_bytes - 1) - ((addr + size_bytes - 1) % line)
+        self._train(stream_id, addr, (first, last))
         latency = 0
         for line_addr in range(first, last + 1, line):
-            latency = max(latency, self._access_line_untrained(line_addr))
+            latency = max(latency, self._access_line_untrained(line_addr, stream_id))
         return latency
 
-    def _access_line_untrained(self, line_addr: int) -> int:
+    def _access_line_untrained(self, line_addr: int, stream_id: int = 0) -> int:
         """Demand line access without prefetcher training."""
         self.requests += 1
         if self.l1.access(line_addr):
             return self.system.l1d.load_to_use
-        return self.system.l1d.load_to_use + self._fill_from_l2(line_addr)
+        return self.system.l1d.load_to_use + self._fill_from_l2(
+            line_addr, stream_id
+        )
 
     def touch(self, addr: int, size_bytes: int, stream_id: int = 0) -> None:
         """Warm the hierarchy over a range without collecting latencies."""
@@ -174,7 +207,12 @@ class MemoryHierarchy:
         if n_requests < 0 or n_lines < 0 or not 0 <= dram_fraction <= 1:
             raise MemoryModelError("invalid streaming accounting")
         n_lines = min(n_lines, n_requests)
-        dram_lines = int(n_lines * dram_fraction)
+        # Round half-up rather than floor-truncate: flooring systematically
+        # undercounted DRAM traffic (every fractional line was dropped).
+        # Half-up (not banker's) keeps the count monotone in the fraction;
+        # dram_fraction <= 1 guarantees dram_lines <= n_lines, so the
+        # L1/L2/DRAM counters below stay mutually consistent.
+        dram_lines = int(n_lines * dram_fraction + 0.5)
         self.requests += n_requests
         self.l1.stats.hits += n_requests - n_lines
         self.l1.stats.misses += n_lines

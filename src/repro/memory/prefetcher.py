@@ -30,8 +30,21 @@ class StridePrefetcher:
         self._table: dict[int, _StreamEntry] = {}
         self.issued = 0
 
-    def observe(self, stream_id: int, addr: int) -> list[int]:
-        """Record a demand access; return line addresses to prefetch."""
+    def observe(
+        self,
+        stream_id: int,
+        addr: int,
+        exclude: "tuple[int, int] | None" = None,
+    ) -> list[int]:
+        """Record a demand access; return line addresses to prefetch.
+
+        ``exclude`` is an inclusive ``(first_line, last_line)`` range the
+        caller's demand request is about to access itself: with sub-line
+        strides the ``degree`` look-ahead can land back on the demanded
+        line, and filling it here would convert the demand's true miss
+        into a hit plus a phantom ``prefetch_hit``.  Such targets are
+        never issued (and never counted in :attr:`issued`).
+        """
         entry = self._table.get(stream_id)
         if entry is None:
             if len(self._table) >= self.table_size:
@@ -47,6 +60,8 @@ class StridePrefetcher:
                 target = addr + stride * k
                 if target >= 0:
                     line = target - (target % self.line_bytes)
+                    if exclude is not None and exclude[0] <= line <= exclude[1]:
+                        continue
                     if line not in prefetches:
                         prefetches.append(line)
         else:

@@ -3,5 +3,14 @@
 from repro.vector.register import VReg, Pred, SimBuffer
 from repro.vector.stats import MachineStats
 from repro.vector.machine import VectorMachine
+from repro.vector.trace import MachineTracer, TraceEvent
 
-__all__ = ["VReg", "Pred", "SimBuffer", "MachineStats", "VectorMachine"]
+__all__ = [
+    "VReg",
+    "Pred",
+    "SimBuffer",
+    "MachineStats",
+    "VectorMachine",
+    "MachineTracer",
+    "TraceEvent",
+]

@@ -85,6 +85,28 @@ class VectorMachine:
         #: Attached QUETZAL unit (set by ``QuetzalUnit.attach``); None on a
         #: baseline machine.
         self.quetzal = None
+        #: Opt-in event trace (``attach_tracer``); None costs one branch
+        #: per instruction.
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer=None, capacity: int = 4096):
+        """Attach an event trace (see :mod:`repro.vector.trace`).
+
+        Returns the attached :class:`~repro.vector.trace.MachineTracer`;
+        pass an existing tracer to share one ring across machines.
+        """
+        from repro.vector.trace import MachineTracer
+
+        self.tracer = tracer if tracer is not None else MachineTracer(capacity)
+        return self.tracer
+
+    def detach_tracer(self):
+        """Stop tracing; returns the detached tracer (with its events)."""
+        tracer, self.tracer = self.tracer, None
+        return tracer
 
     # ------------------------------------------------------------------
     # Core scoreboard
@@ -110,6 +132,17 @@ class VectorMachine:
             self._max_complete = complete
         self._instructions[category] += 1
         self._busy[category] += occupancy
+        if self.tracer is not None:
+            self.tracer.record(
+                "issue",
+                category,
+                start,
+                occupancy=occupancy,
+                latency=latency,
+                complete=complete,
+                stall=stall,
+                stall_category=blocker.category if stall else None,
+            )
         return complete
 
     def account_block(
@@ -133,9 +166,38 @@ class VectorMachine:
         self._busy[category] += busy
         if stall:
             self._stall[stall_category or category] += stall
+        if self.tracer is not None:
+            self.tracer.record(
+                "block",
+                category,
+                self.clock,
+                occupancy=busy,
+                complete=self.clock + busy + stall,
+                stall=stall,
+                stall_category=stall_category,
+                instructions=instructions,
+            )
         self.clock += busy + stall
         if self.clock > self._max_complete:
             self._max_complete = self.clock
+
+    def _trace_bulk(self, instructions, busy, stall) -> None:
+        """Mirror bulk counter updates into the tracer as block events,
+        so tracer totals reconcile with ``snapshot()`` even across the
+        fast-forward accounting paths."""
+        for cat in sorted(set(instructions) | set(busy)):
+            self.tracer.record(
+                "block",
+                cat,
+                self.clock,
+                occupancy=busy.get(cat, 0),
+                instructions=instructions.get(cat, 0),
+            )
+        for cat in sorted(stall):
+            if stall[cat]:
+                self.tracer.record(
+                    "block", cat, self.clock, stall=stall[cat], stall_category=cat
+                )
 
     def account_stats(self, delta: MachineStats, times: int = 1) -> None:
         """Replay a measured :class:`MachineStats` delta ``times`` times.
@@ -155,6 +217,12 @@ class VectorMachine:
             self._busy[cat] += n * times
         for cat, n in delta.stall.items():
             self._stall[cat] += n * times
+        if self.tracer is not None:
+            self._trace_bulk(
+                {c: n * times for c, n in delta.instructions.items()},
+                {c: n * times for c, n in delta.busy.items()},
+                {c: n * times for c, n in delta.stall.items()},
+            )
         self.clock += delta.cycles * times
         if self.clock > self._max_complete:
             self._max_complete = self.clock
@@ -177,6 +245,11 @@ class VectorMachine:
         self._busy.update(busy)
         if extra_stall:
             self._stall[stall_category] += extra_stall
+        if self.tracer is not None:
+            self._trace_bulk(
+                instructions, busy,
+                {stall_category: extra_stall} if extra_stall else {},
+            )
         self.clock += sum(busy.values()) + extra_stall
         if self.clock > self._max_complete:
             self._max_complete = self.clock
@@ -393,6 +466,15 @@ class VectorMachine:
     # --- serialising (vector -> scalar) operations ---------------------
     def _serialize(self, complete: int) -> None:
         if complete > self.clock:
+            if self.tracer is not None:
+                self.tracer.record(
+                    "serialize",
+                    "control",
+                    self.clock,
+                    complete=complete,
+                    stall=complete - self.clock,
+                    stall_category="control",
+                )
             self._stall["control"] += complete - self.clock
             self.clock = complete
 
@@ -648,6 +730,10 @@ class VectorMachine:
             raise MachineError("scalar count must be non-negative")
         self._instructions["scalar"] += n
         self._busy["scalar"] += n
+        if self.tracer is not None and n:
+            self.tracer.record(
+                "block", "scalar", self.clock, occupancy=n, instructions=n
+            )
         self.clock += n
 
     # ------------------------------------------------------------------

@@ -1,0 +1,187 @@
+"""Opt-in instruction event trace for the vector machine.
+
+The scoreboard in :class:`repro.vector.machine.VectorMachine` attributes
+every cycle to a category (Fig. 4's breakdown), but the aggregate
+counters cannot answer *which* instructions in a stream paid for a
+spike.  A :class:`MachineTracer` attached to a machine records one event
+per issue/serialise/bulk-account with full category attribution, keeps
+the most recent events in a bounded ring buffer, and maintains
+per-category cycle histograms that survive ring overwrites — so Fig. 4
+style breakdowns can be drilled into per instruction stream without
+unbounded memory.
+
+Tracing is strictly opt-in: a machine with no tracer attached pays one
+``is None`` check per instruction (guarded by a timing-smoke test in
+``tests/vector/test_machine_trace.py``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.errors import MachineError
+
+#: Version of the event/summary record layout (bump on shape changes).
+TRACE_SCHEMA_VERSION = 1
+
+#: Event kinds emitted by the machine.
+KIND_ISSUE = "issue"
+KIND_SERIALIZE = "serialize"
+KIND_BLOCK = "block"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scoreboard event.
+
+    ``cycle`` is the clock at which the instruction started issuing
+    (after any operand stall); ``complete`` is when its result became
+    ready.  ``stall`` cycles are attributed to ``stall_category`` — the
+    category of the instruction that produced the blocking operand.
+    """
+
+    kind: str
+    category: str
+    cycle: int
+    occupancy: int = 0
+    latency: int = 0
+    complete: int = 0
+    stall: int = 0
+    stall_category: "str | None" = None
+
+    def to_record(self) -> dict:
+        """Flat JSON-ready dict (schema ``TRACE_SCHEMA_VERSION``)."""
+        return {
+            "kind": self.kind,
+            "category": self.category,
+            "cycle": self.cycle,
+            "occupancy": self.occupancy,
+            "latency": self.latency,
+            "complete": self.complete,
+            "stall": self.stall,
+            "stall_category": self.stall_category,
+        }
+
+
+def _bucket(cycles: int) -> int:
+    """Power-of-two histogram bucket (upper bound) for a cycle count."""
+    if cycles <= 0:
+        return 0
+    bound = 1
+    while bound < cycles:
+        bound <<= 1
+    return bound
+
+
+class MachineTracer:
+    """Bounded event ring + per-category cycle histograms.
+
+    The ring holds the ``capacity`` most recent events (older ones are
+    overwritten and counted in :attr:`dropped`); the histograms and
+    per-category totals accumulate over *all* events seen, so summary
+    statistics stay exact even after the ring wraps.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise MachineError(f"trace capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._ring: "list[TraceEvent | None]" = [None] * capacity
+        self._next = 0
+        self.events_seen = 0
+        self.dropped = 0
+        self.instructions_by_category: Counter = Counter()
+        self.busy_by_category: Counter = Counter()
+        self.stall_by_category: Counter = Counter()
+        #: category -> Counter of power-of-two latency buckets (issue ->
+        #: result-ready cycles, occupancy included).
+        self.latency_histograms: "dict[str, Counter]" = {}
+
+    # ------------------------------------------------------------------
+    # Recording (called by the machine)
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        kind: str,
+        category: str,
+        cycle: int,
+        occupancy: int = 0,
+        latency: int = 0,
+        complete: int = 0,
+        stall: int = 0,
+        stall_category: "str | None" = None,
+        instructions: int = 0,
+    ) -> None:
+        """Record one event; ``instructions`` is the bulk count carried
+        by a ``block`` event (an ``issue`` event always counts one)."""
+        event = TraceEvent(
+            kind=kind,
+            category=category,
+            cycle=cycle,
+            occupancy=occupancy,
+            latency=latency,
+            complete=complete,
+            stall=stall,
+            stall_category=stall_category,
+        )
+        if self._ring[self._next] is not None:
+            self.dropped += 1
+        self._ring[self._next] = event
+        self._next = (self._next + 1) % self.capacity
+        self.events_seen += 1
+        if kind == KIND_ISSUE:
+            self.instructions_by_category[category] += 1
+            self.busy_by_category[category] += occupancy
+            hist = self.latency_histograms.setdefault(category, Counter())
+            hist[_bucket(occupancy + latency)] += 1
+        elif kind == KIND_BLOCK:
+            self.instructions_by_category[category] += instructions
+            self.busy_by_category[category] += occupancy
+        if stall:
+            self.stall_by_category[stall_category or category] += stall
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def events(self) -> "list[TraceEvent]":
+        """Retained events, oldest first."""
+        if self.events_seen < self.capacity:
+            return [e for e in self._ring[: self._next] if e is not None]
+        tail = self._ring[self._next :] + self._ring[: self._next]
+        return [e for e in tail if e is not None]
+
+    def histogram(self, category: str) -> "dict[int, int]":
+        """Latency histogram for one category: {pow2 upper bound: count}."""
+        hist = self.latency_histograms.get(category, Counter())
+        return dict(sorted(hist.items()))
+
+    def summary(self) -> dict:
+        """Machine-readable roll-up (embeddable in a result record)."""
+        return {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "capacity": self.capacity,
+            "events_seen": self.events_seen,
+            "events_retained": min(self.events_seen, self.capacity),
+            "dropped": self.dropped,
+            "instructions_by_category": dict(self.instructions_by_category),
+            "busy_by_category": dict(self.busy_by_category),
+            "stall_by_category": dict(self.stall_by_category),
+            "latency_histograms": {
+                cat: self.histogram(cat) for cat in sorted(self.latency_histograms)
+            },
+        }
+
+    def to_records(self) -> "list[dict]":
+        """Retained events as JSON-ready dicts, oldest first."""
+        return [e.to_record() for e in self.events()]
+
+    def reset(self) -> None:
+        self._ring = [None] * self.capacity
+        self._next = 0
+        self.events_seen = 0
+        self.dropped = 0
+        self.instructions_by_category.clear()
+        self.busy_by_category.clear()
+        self.stall_by_category.clear()
+        self.latency_histograms.clear()

@@ -1,0 +1,158 @@
+"""Tests for result-record diffing (repro.eval.compare)."""
+
+import copy
+
+import pytest
+
+from repro.errors import ReproError
+from repro.eval import records
+from repro.eval.compare import (
+    Tolerances,
+    compare_records,
+    render_drifts,
+)
+
+
+def make_record(cycles=1000, l1_hit_rate=0.95, rows=None, name="fig4"):
+    machine = {
+        "cycles": cycles,
+        "total_instructions": 500,
+        "instructions": {"vector": 500},
+        "busy": {"vector": 500},
+        "stall": {},
+        "breakdown": {"vector": 1.0},
+        "mem": {
+            "requests": 200,
+            "l1": {
+                "hits": 190, "misses": 10, "accesses": 200,
+                "hit_rate": l1_hit_rate, "evictions": 0,
+                "prefetch_fills": 8, "prefetch_hits": 6,
+                "prefetch_accuracy": 0.75,
+            },
+            "l2": {
+                "hits": 8, "misses": 2, "accesses": 10,
+                "hit_rate": 0.8, "evictions": 0,
+                "prefetch_fills": 0, "prefetch_hits": 0,
+                "prefetch_accuracy": 0.0,
+            },
+            "dram_accesses": 2,
+            "dram_bytes": 128,
+        },
+        "qz_reads": 0,
+        "qz_writes": 0,
+    }
+    return records.experiment_record(
+        name, "Test record", rows if rows is not None else [{"impl": "wfa", "cycles": cycles}],
+        machines={"cell": machine},
+    )
+
+
+class TestTolerances:
+    def test_defaults(self):
+        tol = Tolerances()
+        assert tol.cycles == 0.02 and tol.hit_rate == 0.01
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ReproError, match="must be non-negative"):
+            Tolerances(cycles=-0.1)
+
+
+class TestCompareRecords:
+    def test_self_compare_is_clean(self):
+        rec = make_record()
+        assert compare_records(rec, copy.deepcopy(rec)) == []
+
+    def test_detects_five_percent_cycle_regression(self):
+        """Acceptance: an injected >=5% cycle regression must be flagged."""
+        base = make_record(cycles=1000, rows=[{"cycles": 1000}])
+        cur = make_record(cycles=1050, rows=[{"cycles": 1050}])
+        drifts = compare_records(base, cur)
+        cycle_drifts = [d for d in drifts if d.metric == "cycles"]
+        assert cycle_drifts
+        assert cycle_drifts[0].delta == pytest.approx(0.05)
+        assert cycle_drifts[0].tolerance == 0.02
+
+    def test_drift_within_tolerance_passes(self):
+        base = make_record(cycles=1000, rows=[])
+        cur = make_record(cycles=1010, rows=[])  # +1% < 2%
+        assert compare_records(base, cur) == []
+
+    def test_custom_tolerance_widens_gate(self):
+        base = make_record(cycles=1000, rows=[])
+        cur = make_record(cycles=1050, rows=[])
+        assert compare_records(base, cur, Tolerances(cycles=0.10)) == []
+
+    def test_hit_rate_compared_absolutely(self):
+        base = make_record(l1_hit_rate=0.95, rows=[])
+        cur = make_record(l1_hit_rate=0.92, rows=[])  # -0.03 abs > 0.01
+        drifts = compare_records(base, cur)
+        assert [d.metric for d in drifts] == ["mem/l1/hit_rate"]
+        assert drifts[0].kind == "absolute"
+        assert drifts[0].delta == pytest.approx(-0.03)
+
+    def test_missing_machine_in_current(self):
+        base = make_record(rows=[])
+        cur = make_record(rows=[])
+        cur["machines"] = {}
+        drifts = compare_records(base, cur)
+        assert [d.metric for d in drifts] == ["missing-in-current"]
+
+    def test_extra_machine_in_current(self):
+        base = make_record(rows=[])
+        cur = make_record(rows=[])
+        cur["machines"]["extra"] = cur["machines"]["cell"]
+        drifts = compare_records(base, cur)
+        assert [d.metric for d in drifts] == ["missing-in-baseline"]
+
+    def test_experiment_mismatch_raises(self):
+        with pytest.raises(ReproError, match="different experiments"):
+            compare_records(make_record(name="fig4"), make_record(name="fig5"))
+
+    def test_zero_baseline_to_nonzero_is_infinite_drift(self):
+        base = make_record(rows=[])
+        cur = make_record(rows=[])
+        base["machines"]["cell"]["mem"]["dram_bytes"] = 0
+        drifts = compare_records(base, cur)
+        assert [d.metric for d in drifts] == ["mem/dram_bytes"]
+        assert drifts[0].delta == float("inf")
+
+
+class TestCompareRows:
+    def test_row_count_mismatch(self):
+        base = make_record(rows=[{"a": 1}, {"a": 2}])
+        cur = make_record(rows=[{"a": 1}])
+        drifts = compare_records(base, cur)
+        assert [d.metric for d in drifts] == ["row-count"]
+
+    def test_numeric_row_drift(self):
+        base = make_record(rows=[{"gcups": 10.0}])
+        cur = make_record(rows=[{"gcups": 11.0}])
+        drifts = compare_records(base, cur)
+        assert [(d.location, d.metric) for d in drifts] == [("rows[0]", "gcups")]
+
+    def test_non_numeric_cells_compared_exactly(self):
+        base = make_record(rows=[{"impl": "wfa"}])
+        cur = make_record(rows=[{"impl": "swg"}])
+        drifts = compare_records(base, cur)
+        assert [d.metric for d in drifts] == ["impl"]
+
+    def test_rows_skipped_when_disabled(self):
+        base = make_record(rows=[{"a": 1}])
+        cur = make_record(rows=[{"a": 99}])
+        assert compare_records(base, cur, include_rows=False) == []
+
+
+class TestRender:
+    def test_clean_report(self):
+        text = render_drifts([], "base.json", "cur.json")
+        assert text.startswith("OK")
+        assert "base.json" in text and "cur.json" in text
+
+    def test_drift_report_lists_each(self):
+        base = make_record(cycles=1000, rows=[])
+        cur = make_record(cycles=1100, rows=[])
+        drifts = compare_records(base, cur)
+        text = render_drifts(drifts, "base.json", "cur.json")
+        assert text.startswith("DRIFT: 1 metric(s)")
+        assert "cycles 1000 -> 1100" in text
+        assert "+10.00%" in text

@@ -1,0 +1,134 @@
+"""Tests for schema-versioned result records (repro.eval.records)."""
+
+import json
+
+import pytest
+
+from repro._version import __version__
+from repro.align.vectorized import WfaVec
+from repro.errors import ReproError
+from repro.eval import records
+from repro.eval.parallel import evaluate_cells
+from repro.genomics.generator import ErrorProfile, ReadPairGenerator
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.vector.machine import VectorMachine
+
+
+def pairs(n=2, length=80, seed=5):
+    gen = ReadPairGenerator(length, ErrorProfile(0.02, 0.005, 0.005), seed=seed)
+    return tuple(gen.pairs(n))
+
+
+class TestRecordShapes:
+    def test_cache_level_record_fields(self):
+        mem = MemoryHierarchy()
+        mem.access_line(0, stream_id=1)
+        mem.access_line(0, stream_id=1)
+        rec = records.cache_level_record(mem.stats().l1)
+        assert rec["hits"] == 1 and rec["misses"] == 1
+        assert rec["accesses"] == 2 and rec["hit_rate"] == 0.5
+        assert set(rec) == {
+            "hits", "misses", "accesses", "hit_rate", "evictions",
+            "prefetch_fills", "prefetch_hits", "prefetch_accuracy",
+        }
+
+    def test_machine_record_matches_snapshot(self):
+        m = VectorMachine()
+        a = m.dup(1)
+        m.add(a, 2)
+        snap = m.snapshot()
+        rec = records.machine_record(snap)
+        assert rec["cycles"] == snap.cycles
+        assert rec["total_instructions"] == snap.total_instructions
+        assert rec["instructions"] == dict(snap.instructions)
+        assert rec["breakdown"] == snap.breakdown()
+        assert rec["mem"]["requests"] == snap.mem.requests
+        json.dumps(rec)  # must be JSON-serialisable as-is
+
+    def test_experiment_record_stamps_schema_and_version(self):
+        rec = records.experiment_record(
+            "fig4", "Time breakdown", [{"a": 1}], scale=0.1, jobs=2
+        )
+        assert rec["schema_version"] == records.SCHEMA_VERSION
+        assert rec["kind"] == records.RECORD_KIND
+        assert rec["version"] == __version__
+        assert rec["experiment"] == "fig4"
+        assert rec["params"] == {"scale": 0.1, "jobs": 2}
+        assert rec["rows"] == [{"a": 1}]
+        assert rec["machines"] == {}
+
+    def test_experiment_record_copies_rows(self):
+        row = {"a": 1}
+        rec = records.experiment_record("t", "T", [row])
+        row["a"] = 2
+        assert rec["rows"] == [{"a": 1}]
+
+
+class TestCapture:
+    def test_capture_collects_evaluated_cells(self):
+        with records.capture() as cap:
+            evaluate_cells([(("100bp", "wfa"), WfaVec(), pairs())])
+        machines = cap.machine_records()
+        assert list(machines) == ["100bp/wfa"]
+        rec = machines["100bp/wfa"]
+        assert rec["cycles"] > 0
+        assert rec["mem"]["l1"]["accesses"] > 0
+
+    def test_capture_merges_shards_under_one_key(self):
+        batch = pairs(4)
+        with records.capture() as cap:
+            evaluate_cells([("cell", WfaVec(), batch)])
+        merged = cap.machine_records()["cell"]
+        with records.capture() as cap2:
+            evaluate_cells([("a", WfaVec(), batch[:2]), ("b", WfaVec(), batch[2:])])
+        halves = cap2.machine_records()
+        assert merged["cycles"] == halves["a"]["cycles"] + halves["b"]["cycles"]
+
+    def test_note_run_without_active_capture_is_noop(self):
+        evaluate_cells([("quiet", WfaVec(), pairs(1))])  # must not raise
+
+    def test_captures_nest_innermost_wins(self):
+        with records.capture() as outer:
+            with records.capture() as inner:
+                evaluate_cells([("x", WfaVec(), pairs(1))])
+        assert inner.machine_records()
+        assert not outer.machine_records()
+
+
+class TestFileIO:
+    def test_json_round_trip(self, tmp_path):
+        rec = records.experiment_record("t", "T", [{"n": 1}])
+        path = records.write_json(rec, tmp_path / "sub" / "out.json")
+        assert records.read_json(path) == rec
+
+    def test_read_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="no such result file"):
+            records.read_json(tmp_path / "absent.json")
+
+    def test_read_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError, match="not a JSON result file"):
+            records.read_json(path)
+
+    def test_read_wrong_kind(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"kind": "something.else"}))
+        with pytest.raises(ReproError, match="not a repro.result record"):
+            records.read_json(path)
+
+    def test_read_schema_mismatch(self, tmp_path):
+        rec = records.experiment_record("t", "T", [])
+        rec["schema_version"] = records.SCHEMA_VERSION + 1
+        path = records.write_json(rec, tmp_path / "future.json")
+        with pytest.raises(ReproError, match="schema version mismatch"):
+            records.read_json(path)
+
+    def test_csv_union_of_columns(self, tmp_path):
+        path = records.write_csv(
+            [{"a": 1, "b": 2}, {"a": 3, "c": 4}], tmp_path / "rows.csv"
+        )
+        lines = path.read_text().splitlines()
+        assert lines[0] == "a,b,c"
+        assert lines[1] == "1,2,"
+        assert lines[2] == "3,,4"

@@ -110,6 +110,78 @@ class TestPrefetching:
         # Same lines ultimately fetched; prefetching may overfetch slightly.
         assert h.stats().dram_bytes >= demand_only.stats().dram_bytes
 
+    def test_l2_prefetcher_trains_on_l1_miss_stream(self):
+        """The L2 stride prefetcher must actually issue prefetches.
+
+        Regression: it used to be constructed and reset but never
+        trained or consulted, despite the module docstring ("Both levels
+        train a stride prefetcher") and Table I.
+        """
+        h = MemoryHierarchy(tiny_system(prefetch=True))
+        # A full-L1-footprint stride keeps missing L1 (1KB / 2-way tiny
+        # L1 -> same set every 512B), feeding the L1-miss stream.
+        for i in range(8):
+            h.access_line(i * 512, stream_id=9)
+        stats = h.stats()
+        assert stats.l2.prefetch_fills > 0
+        assert stats.l2.prefetch_hits > 0
+
+    def test_l2_prefetch_traffic_reaches_dram(self):
+        h = MemoryHierarchy(tiny_system(prefetch=True))
+        for i in range(8):
+            h.access_line(i * 512, stream_id=9)
+        demand_only = MemoryHierarchy(tiny_system(prefetch=False))
+        for i in range(8):
+            demand_only.access_line(i * 512, stream_id=9)
+        assert h.stats().dram_bytes > demand_only.stats().dram_bytes
+
+    def test_l2_prefetch_hides_dram_latency(self):
+        """Once the stream is confident, L1 misses land in L2, not DRAM."""
+        sys = tiny_system(prefetch=True)
+        h = MemoryHierarchy(sys)
+        latencies = [h.access_line(i * 512, stream_id=9) for i in range(8)]
+        # Early accesses pay DRAM; once both prefetchers are armed the
+        # stream is staged through L2 (or into L1 directly).
+        assert latencies[0] == 4 + 120
+        assert latencies[-1] <= 4 + 37
+
+    def test_demand_line_is_not_self_prefetched(self):
+        """A sub-line-stride stream must not prefetch its own demand.
+
+        Regression: ``_train`` ran before the demand access, and with a
+        32-byte stride the degree-2 look-ahead lands back on the
+        demanded line — filling it as a "prefetch" converted the true
+        miss into a hit plus a phantom ``prefetch_hit``.
+        """
+        h = MemoryHierarchy(tiny_system(prefetch=True))
+        h.access(0, 8, stream_id=3)
+        h.access(32, 8, stream_id=3)
+        h.access(64, 8, stream_id=3)  # trains stride 32; demands line 64
+        stats = h.stats()
+        # Line 0 and line 64 are both genuine cold misses; the only hit
+        # is the second request landing in line 0.
+        assert stats.l1.misses == 2
+        assert stats.l1.hits == 1
+        assert stats.l1.prefetch_hits == 0
+
+    def test_multi_line_demand_not_self_prefetched(self):
+        """The exclusion covers every line of a multi-line request."""
+        h = MemoryHierarchy(tiny_system(prefetch=True))
+        # 128-byte requests at stride 96: the look-ahead (96, 192 bytes
+        # out) can land inside the next request's own two lines.
+        for i in range(6):
+            h.access(i * 96, 128, stream_id=5)
+        stats = h.stats()
+        assert stats.l1.prefetch_hits <= stats.l1.prefetch_fills
+
+    def test_prefetch_hits_bounded_by_fills_on_random_mix(self):
+        h = MemoryHierarchy(tiny_system(prefetch=True))
+        for i in range(32):
+            h.access((i * 7919) % 4096, 1 + (i % 80), stream_id=i % 3)
+        stats = h.stats()
+        assert stats.l1.prefetch_hits <= stats.l1.prefetch_fills
+        assert stats.l2.prefetch_hits <= stats.l2.prefetch_fills
+
 
 class TestStatsAndReset:
     def test_touch_warms_range(self):
@@ -134,6 +206,22 @@ class TestStatsAndReset:
         assert h.stats().requests == 0
         assert h.access(0, 8) == 4 + 120  # cold again
 
+    def test_reset_clears_prefetcher_state(self):
+        """After reset, armed streams must re-learn from scratch."""
+        h = MemoryHierarchy(tiny_system(prefetch=True))
+        for i in range(8):
+            h.access_line(i * 512, stream_id=9)
+        assert h._l1_prefetcher.issued > 0
+        assert h._l2_prefetcher.issued > 0
+        h.reset()
+        assert h._l1_prefetcher.issued == 0
+        assert h._l2_prefetcher.issued == 0
+        # One access on a previously-armed stream must not prefetch.
+        h.access_line(8 * 512, stream_id=9)
+        stats = h.stats()
+        assert stats.l1.prefetch_fills == 0
+        assert stats.l2.prefetch_fills == 0
+
 
 class TestBulkAccounting:
     def test_account_streaming_counters(self):
@@ -151,6 +239,35 @@ class TestBulkAccounting:
         h.account_streaming(n_requests=5, n_lines=50, dram_fraction=1.0)
         stats = h.stats()
         assert stats.l1.misses == 5
+
+    def test_account_streaming_rounds_dram_lines(self):
+        """Fractional DRAM lines round (half-up), they don't truncate.
+
+        Regression: ``int(n_lines * dram_fraction)`` floored, so a 0.55
+        fraction over 10 lines reported 5 DRAM lines instead of 6 —
+        systematically undercounting DRAM traffic on fast-forward paths.
+        """
+        h = MemoryHierarchy(tiny_system())
+        h.account_streaming(n_requests=100, n_lines=10, dram_fraction=0.55)
+        stats = h.stats()
+        assert stats.dram_accesses == 6
+        assert stats.dram_bytes == 6 * 64
+
+    def test_account_streaming_half_rounds_up(self):
+        h = MemoryHierarchy(tiny_system())
+        h.account_streaming(n_requests=10, n_lines=3, dram_fraction=0.5)
+        assert h.stats().dram_accesses == 2  # half-up, not banker's
+
+    def test_account_streaming_counters_mutually_consistent(self):
+        for fraction in (0.0, 0.33, 0.5, 0.66, 0.99, 1.0):
+            h = MemoryHierarchy(tiny_system())
+            h.account_streaming(n_requests=97, n_lines=13, dram_fraction=fraction)
+            stats = h.stats()
+            assert stats.l1.hits + stats.l1.misses == 97
+            assert stats.l2.hits + stats.l2.misses == 13
+            assert stats.l2.misses == stats.dram_accesses
+            assert stats.dram_bytes == stats.dram_accesses * 64
+            assert stats.dram_accesses <= 13
 
     def test_account_streaming_validation(self):
         h = MemoryHierarchy(tiny_system())

@@ -69,6 +69,31 @@ class TestStrideDetection:
         out = pf.observe(1, 266)
         assert out and all(a % 64 == 0 for a in out)
 
+    def test_exclude_filters_demand_range(self):
+        """Targets landing in the caller's own demand range are dropped."""
+        pf = StridePrefetcher(degree=2, line_bytes=64)
+        pf.observe(1, 0)
+        pf.observe(1, 32)
+        # Stride 32 from addr 64: raw targets 96 and 128 -> lines 64, 128.
+        out = pf.observe(1, 64, exclude=(64, 64))
+        assert out == [128]
+
+    def test_exclude_does_not_count_issued(self):
+        pf = StridePrefetcher(degree=2, line_bytes=64)
+        pf.observe(1, 0)
+        pf.observe(1, 32)
+        pf.observe(1, 64, exclude=(64, 64))
+        assert pf.issued == 1
+
+    def test_exclude_range_spans_multiple_lines(self):
+        pf = StridePrefetcher(degree=2, line_bytes=64)
+        pf.observe(1, 0)
+        pf.observe(1, 96)
+        # Stride 96 from 192: targets 288, 384 -> lines 256, 384; a
+        # (192, 256) demand range swallows the first.
+        out = pf.observe(1, 192, exclude=(192, 256))
+        assert out == [384]
+
     def test_reset(self):
         pf = StridePrefetcher(degree=1)
         pf.observe(1, 0)

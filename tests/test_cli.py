@@ -1,8 +1,17 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main, run_experiment
+from repro.cli import (
+    EXPERIMENTS,
+    build_compare_parser,
+    build_parser,
+    main,
+    run_experiment,
+)
+from repro.eval import records
 
 
 class TestParser:
@@ -26,6 +35,33 @@ class TestParser:
         args = build_parser().parse_args(["fig3", "--no-cache", "-v"])
         assert args.no_cache is True
         assert args.verbose is True
+
+    def test_emit_flags_default_off(self):
+        args = build_parser().parse_args(["fig3"])
+        assert args.emit_json is None
+        assert args.emit_csv is None
+
+    def test_emit_flags_take_paths(self):
+        args = build_parser().parse_args(
+            ["fig3", "--emit-json", "a.json", "--emit-csv", "b.csv"]
+        )
+        assert args.emit_json == "a.json"
+        assert args.emit_csv == "b.csv"
+
+    def test_compare_parser_defaults(self):
+        args = build_compare_parser().parse_args(["base.json", "cur.json"])
+        assert args.baseline == "base.json"
+        assert args.current == "cur.json"
+        assert args.tol_cycles == 0.02
+        assert args.tol_hit_rate == 0.01
+        assert args.no_rows is False
+
+    def test_compare_parser_tolerance_overrides(self):
+        args = build_compare_parser().parse_args(
+            ["b.json", "c.json", "--tol-cycles", "0.1", "--no-rows"]
+        )
+        assert args.tol_cycles == 0.1
+        assert args.no_rows is True
 
 
 class TestMain:
@@ -72,3 +108,57 @@ class TestRunExperiment:
         assert main(["fig4", "--scale", "0.05", "--jobs", "2", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "Fig. 4" in out
+
+
+class TestEmitAndCompare:
+    @pytest.fixture(scope="class")
+    def emitted(self, tmp_path_factory):
+        """One tiny fig4 run emitted as JSON + CSV, shared by the class."""
+        out_dir = tmp_path_factory.mktemp("emit")
+        json_path = out_dir / "fig4.json"
+        csv_path = out_dir / "fig4.csv"
+        rc = main([
+            "fig4", "--scale", "0.05", "--no-cache",
+            "--emit-json", str(json_path), "--emit-csv", str(csv_path),
+        ])
+        assert rc == 0
+        return json_path, csv_path
+
+    def test_emitted_record_shape(self, emitted):
+        json_path, csv_path = emitted
+        record = records.read_json(json_path)
+        assert record["experiment"] == "fig4"
+        assert record["params"]["scale"] == 0.05
+        assert record["rows"]
+        assert record["machines"], "per-cell machine stats must be captured"
+        cell = next(iter(record["machines"].values()))
+        assert cell["cycles"] > 0
+        assert 0.0 <= cell["mem"]["l1"]["hit_rate"] <= 1.0
+        assert "breakdown" in cell
+        header = csv_path.read_text().splitlines()[0]
+        assert "implementation" in header or "," in header
+
+    def test_self_compare_passes(self, emitted, capsys):
+        json_path, _ = emitted
+        assert main(["compare", str(json_path), str(json_path)]) == 0
+        assert capsys.readouterr().out.startswith("OK")
+
+    def test_injected_cycle_regression_fails_compare(
+        self, emitted, tmp_path, capsys
+    ):
+        """Acceptance: a 6% cycle inflation must fail the compare gate."""
+        json_path, _ = emitted
+        record = records.read_json(json_path)
+        for cell in record["machines"].values():
+            cell["cycles"] = int(cell["cycles"] * 1.06)
+        mutated = tmp_path / "regressed.json"
+        mutated.write_text(json.dumps(record))
+        rc = main(["compare", str(json_path), str(mutated), "--no-rows"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "DRIFT" in out and "cycles" in out
+
+    def test_compare_missing_file_is_usage_error(self, tmp_path, capsys):
+        rc = main(["compare", str(tmp_path / "a.json"), str(tmp_path / "b.json")])
+        assert rc == 2
+        assert "no such result file" in capsys.readouterr().err

@@ -1,0 +1,223 @@
+"""Tests for the opt-in machine event trace (repro.vector.trace)."""
+
+import time
+
+import pytest
+
+from repro.errors import MachineError
+from repro.vector.machine import VectorMachine
+from repro.vector.trace import TRACE_SCHEMA_VERSION, MachineTracer, _bucket
+
+
+class TestTracerCore:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(MachineError):
+            MachineTracer(capacity=0)
+
+    def test_bucket_boundaries(self):
+        assert _bucket(0) == 0
+        assert _bucket(1) == 1
+        assert _bucket(2) == 2
+        assert _bucket(3) == 4
+        assert _bucket(4) == 4
+        assert _bucket(5) == 8
+        assert _bucket(100) == 128
+
+    def test_ring_is_bounded_and_counts_drops(self):
+        t = MachineTracer(capacity=4)
+        for i in range(10):
+            t.record("issue", "vector", cycle=i, occupancy=1, latency=2)
+        assert t.events_seen == 10
+        assert t.dropped == 6
+        events = t.events()
+        assert len(events) == 4
+        assert [e.cycle for e in events] == [6, 7, 8, 9]  # oldest first
+
+    def test_histograms_survive_ring_overwrite(self):
+        t = MachineTracer(capacity=2)
+        for i in range(8):
+            t.record("issue", "vector", cycle=i, occupancy=1, latency=3)
+        # 8 events of latency 4 -> bucket 4, even though only 2 retained.
+        assert t.histogram("vector") == {4: 8}
+        assert t.instructions_by_category["vector"] == 8
+        assert t.busy_by_category["vector"] == 8
+
+    def test_stall_attribution(self):
+        t = MachineTracer()
+        t.record("issue", "vector", cycle=5, occupancy=1, latency=4,
+                 stall=3, stall_category="memory")
+        assert t.stall_by_category == {"memory": 3}
+
+    def test_block_events_carry_bulk_instructions(self):
+        t = MachineTracer()
+        t.record("block", "scalar", cycle=0, occupancy=10, instructions=10)
+        assert t.instructions_by_category["scalar"] == 10
+        assert t.busy_by_category["scalar"] == 10
+
+    def test_summary_schema(self):
+        t = MachineTracer(capacity=8)
+        t.record("issue", "memory", cycle=0, occupancy=2, latency=9)
+        summary = t.summary()
+        assert summary["schema_version"] == TRACE_SCHEMA_VERSION
+        assert summary["events_seen"] == 1
+        assert summary["events_retained"] == 1
+        assert summary["dropped"] == 0
+        assert summary["instructions_by_category"] == {"memory": 1}
+        assert summary["latency_histograms"] == {"memory": {16: 1}}
+
+    def test_reset(self):
+        t = MachineTracer(capacity=4)
+        t.record("issue", "vector", cycle=0, occupancy=1, latency=1)
+        t.reset()
+        assert t.events() == []
+        assert t.events_seen == 0 and t.dropped == 0
+        assert not t.instructions_by_category
+
+    def test_event_records_are_json_shaped(self):
+        t = MachineTracer()
+        t.record("issue", "vector", cycle=3, occupancy=1, latency=4,
+                 complete=8, stall=2, stall_category="memory")
+        (rec,) = t.to_records()
+        assert rec == {
+            "kind": "issue",
+            "category": "vector",
+            "cycle": 3,
+            "occupancy": 1,
+            "latency": 4,
+            "complete": 8,
+            "stall": 2,
+            "stall_category": "memory",
+        }
+
+
+class TestMachineIntegration:
+    def test_tracing_is_off_by_default(self, machine):
+        assert machine.tracer is None
+        machine.dup(1)
+        assert machine.tracer is None
+
+    def test_attach_records_issue_events(self, machine):
+        tracer = machine.attach_tracer()
+        a = machine.dup(1)
+        machine.add(a, 2)
+        events = tracer.events()
+        assert len(events) == 2
+        assert all(e.kind == "issue" and e.category == "vector" for e in events)
+        assert events[0].cycle <= events[1].cycle
+
+    def test_trace_matches_aggregate_counters(self, machine):
+        """The tracer's totals must agree with ``MachineStats``."""
+        tracer = machine.attach_tracer()
+        a = machine.dup(3, ebits=32)
+        b = machine.iota(ebits=32)
+        c = machine.add(a, b)
+        machine.reduce_max(c)
+        snap = machine.snapshot()
+        assert dict(tracer.instructions_by_category) == dict(snap.instructions)
+        assert dict(tracer.busy_by_category) == dict(snap.busy)
+        assert sum(tracer.stall_by_category.values()) == sum(snap.stall.values())
+
+    def test_dependency_stall_attributed_to_producer(self, machine):
+        tracer = machine.attach_tracer()
+        a = machine.dup(1)
+        machine.add(a, 1)  # waits on the dup's latency
+        stall_events = [e for e in tracer.events() if e.stall]
+        assert stall_events
+        assert all(e.stall_category == "vector" for e in stall_events)
+
+    def test_serialize_event_on_ptest(self, machine):
+        tracer = machine.attach_tracer()
+        pred = machine.ptrue()
+        machine.ptest(pred)
+        kinds = [e.kind for e in tracer.events()]
+        assert "serialize" in kinds
+
+    def test_block_event_on_account_block(self, machine):
+        tracer = machine.attach_tracer()
+        machine.account_block("scalar", instructions=5, busy=5, stall=2)
+        (event,) = [e for e in tracer.events() if e.kind == "block"]
+        assert event.category == "scalar"
+        assert event.occupancy == 5
+        assert event.stall == 2
+
+    def test_detach_returns_tracer_and_stops_recording(self, machine):
+        tracer = machine.attach_tracer()
+        machine.dup(1)
+        detached = machine.detach_tracer()
+        assert detached is tracer
+        machine.dup(1)
+        assert detached.events_seen == 1
+        assert machine.tracer is None
+
+    def test_trace_reconciles_on_real_alignment(self):
+        """Tracer totals must equal the machine counters end-to-end,
+        including the fast-forward bulk-accounting paths."""
+        from repro.align.vectorized import WfaVec
+        from repro.eval.runner import make_machine
+        from repro.genomics.generator import ErrorProfile, ReadPairGenerator
+
+        pair = ReadPairGenerator(
+            150, ErrorProfile(0.03, 0.01, 0.01), seed=7
+        ).pair()
+        m = make_machine()
+        tracer = m.attach_tracer(capacity=256)
+        WfaVec().run_pair(m, pair)
+        snap = m.snapshot()
+        assert dict(tracer.instructions_by_category) == dict(snap.instructions)
+        assert dict(tracer.busy_by_category) == dict(snap.busy)
+        assert dict(tracer.stall_by_category) == dict(snap.stall)
+        assert tracer.dropped == tracer.events_seen - 256
+
+    def test_scalar_blocks_are_traced(self, machine):
+        tracer = machine.attach_tracer()
+        machine.scalar(7)
+        (event,) = tracer.events()
+        assert event.kind == "block" and event.category == "scalar"
+        assert tracer.instructions_by_category["scalar"] == 7
+
+    def test_account_stats_is_traced(self, machine):
+        probe = VectorMachine(machine.system)
+        a = probe.dup(1)
+        probe.add(a, 2)
+        delta = probe.snapshot()
+        tracer = machine.attach_tracer()
+        machine.account_stats(delta, times=3)
+        assert dict(tracer.instructions_by_category) == {"vector": 6}
+        assert dict(tracer.busy_by_category) == {"vector": 6}
+
+    def test_shared_tracer_across_machines(self, machine):
+        other = VectorMachine(machine.system)
+        tracer = machine.attach_tracer()
+        other.attach_tracer(tracer)
+        machine.dup(1)
+        other.dup(1)
+        assert tracer.events_seen == 2
+
+
+class TestDisabledOverhead:
+    def test_disabled_tracing_has_no_measurable_overhead(self, machine):
+        """Timing smoke: trace-off must not slow the per-instruction path.
+
+        The disabled path is a single ``is None`` branch; enabled tracing
+        does strictly more work (ring append + histogram update), so the
+        disabled run must not be slower than the enabled one (with slack
+        for scheduler noise), and must stay under a generous absolute
+        per-instruction budget.
+        """
+        n = 2000
+
+        def issue_burst():
+            start = time.perf_counter()
+            for _ in range(n):
+                machine.scalar(1)
+                machine._issue("vector", 1, 4)
+            return time.perf_counter() - start
+
+        issue_burst()  # warm-up
+        off = min(issue_burst() for _ in range(3))
+        machine.attach_tracer(capacity=256)
+        on = min(issue_burst() for _ in range(3))
+        machine.detach_tracer()
+        per_instruction = off / (2 * n)
+        assert per_instruction < 50e-6
+        assert off <= on * 1.5 + 1e-3
