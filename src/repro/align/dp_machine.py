@@ -104,7 +104,9 @@ class _DpStateMem:
         machine.store(self._bufs[kind][0], self.pos(i), value, pred=pred)
 
     def poke(self, kind: str, gen: int, i: int, value: int) -> None:
-        self._bufs[kind][gen].data[self.pos(i)] = value
+        buf = self._bufs[kind][gen]
+        buf.data[self.pos(i)] = value
+        buf.mark_dirty()
 
     def peek(self, kind: str, gen: int, i: int) -> int:
         return int(self._bufs[kind][gen].data[self.pos(i)])

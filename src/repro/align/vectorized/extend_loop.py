@@ -437,11 +437,10 @@ def account_extend_memory(
             a0 = buf.addr_of(int(s))
             a1 = buf.addr_of(min(len(buf.data) - 1, int(s) + int(it) * VEC_WINDOW))
             lines.update(range(a0 - a0 % line, a1 + 1, line))
-    extra = 0
-    for line_addr in sorted(lines):
-        lat = machine.mem.access_line(line_addr)
-        if lat > l1_lat:
-            extra += lat - l1_lat
+    latencies = machine.mem.access_line_batch(
+        np.fromiter(sorted(lines), dtype=np.int64, count=len(lines))
+    )
+    extra = int(np.maximum(latencies - l1_lat, 0).sum())
     machine.mem.account_extra_hits(max(0, total_requests - len(lines)))
     if extra:
         machine.account_block("memory", stall=extra, stall_category="memory")

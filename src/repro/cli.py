@@ -7,6 +7,7 @@ Usage::
     python -m repro all --scale 0.1 --jobs 8 --verbose
     python -m repro fig4 --emit-json results/fig4.json --emit-csv results/fig4.csv
     python -m repro compare results/baselines/fig4.json results/fig4.json
+    python -m repro bench --quick --check
 
 ``--jobs N`` fans experiment cells out across N worker processes
 (default: the ``REPRO_JOBS`` environment variable, else fully serial);
@@ -31,6 +32,7 @@ from pathlib import Path
 
 from repro.cache import CALIBRATION, configure_from_env
 from repro.errors import ReproError
+from repro.eval import bench
 from repro.eval import experiments as ex
 from repro.eval import records, timing
 from repro.eval.compare import Tolerances, compare_records, render_drifts
@@ -148,6 +150,53 @@ def build_compare_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Benchmark the batched memory fast path against the "
+        "legacy serial walk (bit-identical statistics enforced).",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink repetition counts (CI smoke setting)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=bench.DEFAULT_OUT,
+        help=f"report destination (default {bench.DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--only",
+        metavar="WORKLOAD",
+        action="append",
+        default=None,
+        help="run a subset (repeatable); choose from "
+        "stride_sweep, random_gather, wfa_extend, fig4_cell",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if statistics diverge or the batched path is "
+        "slower than serial on the stride-sweep workload",
+    )
+    return parser
+
+
+def bench_main(argv: "list[str]") -> int:
+    """``python -m repro bench [--quick] [--only W] [--check] [--out P]``."""
+    args = build_bench_parser().parse_args(argv)
+    report = bench.run_bench(quick=args.quick, out=args.out, only=args.only)
+    print(bench.render_report(report))
+    if args.check:
+        failures = bench.check_report(report)
+        for failure in failures:
+            print(f"BENCH FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
 def compare_main(argv: "list[str]") -> int:
     """``python -m repro compare BASELINE CURRENT [--tol-*]``."""
     args = build_compare_parser().parse_args(argv)
@@ -226,6 +275,12 @@ def main(argv: "list[str] | None" = None) -> int:
     if argv[:1] == ["compare"]:
         try:
             return compare_main(argv[1:])
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    if argv[:1] == ["bench"]:
+        try:
+            return bench_main(argv[1:])
         except ReproError as exc:
             print(str(exc), file=sys.stderr)
             return 2

@@ -1,0 +1,267 @@
+"""Micro-benchmarks for the batched memory fast path (``repro bench``).
+
+Each workload is run twice on fresh machines — once with the legacy
+per-lane serial walk (``VectorMachine.use_batched_memory = False``) and
+once with the batched ``access_batch`` engine — under identical inputs
+and seeds.  The harness reports old-vs-new wall-clock, verifies the two
+paths produced **bit-identical** machine statistics (any divergence is a
+correctness bug, not a benchmark artifact), and writes the report to
+``results/BENCH_membatch.json``.
+
+Workloads:
+
+``stride_sweep``
+    Strided gathers at strides 1..16 elements over an L1-resident
+    buffer — the run-length-collapse sweet spot.
+``random_gather``
+    Uniformly random byte gathers over an L1-resident buffer — no
+    collapse possible; measures pure per-lane overhead.
+``wfa_extend``
+    The WFA extend inner loop (``vec_extend``: two ``gather64`` windows
+    per iteration) on synthetic sequences.
+``fig4_cell``
+    End to end: the Fig. 4 VEC/SS cell (vectorised banded
+    Smith-Waterman) on a slice of the 250bp dataset through
+    ``run_implementation``.  Dataset synthesis happens outside the
+    timed region — the cell measures alignment work, not the
+    generator.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro._version import __version__
+from repro.align.vectorized.extend_loop import ExtendConsts, vec_extend
+from repro.align.vectorized.ss_vec import SsVec
+from repro.config import SystemConfig
+from repro.errors import ReproError
+from repro.eval.runner import make_machine, run_implementation
+from repro.genomics.datasets import build_dataset
+from repro.vector.machine import VectorMachine
+
+#: Default report location (relative to the working directory).
+DEFAULT_OUT = "results/BENCH_membatch.json"
+
+#: Workload name -> (reps in full mode, reps in --quick mode).
+_SCALES = {
+    "stride_sweep": (400, 60),
+    "random_gather": (600, 90),
+    "wfa_extend": (40, 8),
+    "fig4_cell": (24, 4),
+}
+
+
+class _BatchedPath:
+    """Context manager pinning the class-wide batched-memory default."""
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+
+    def __enter__(self) -> None:
+        self._saved = VectorMachine.use_batched_memory
+        VectorMachine.use_batched_memory = self.enabled
+
+    def __exit__(self, *exc) -> None:
+        VectorMachine.use_batched_memory = self._saved
+
+
+# ----------------------------------------------------------------------
+# Workloads (deterministic: fixed seeds, no wall-clock-dependent state)
+# ----------------------------------------------------------------------
+def _stride_sweep(reps: int):
+    machine = make_machine(SystemConfig())
+    data = np.arange(1 << 14, dtype=np.int64)  # 16K x 4B = 64KB
+    buf = machine.new_buffer("sweep", data, elem_bytes=4)
+    n = len(data)
+    lanes = machine.lanes(32)
+    for stride in (1, 2, 3, 4, 8, 16):
+        span = lanes * stride
+        base = 0
+        for _ in range(reps):
+            idx = machine.iota(32, start=base, step=stride)
+            machine.gather(buf, idx, stream_id=11)
+            base = (base + span) % (n - span)
+    machine.barrier()
+    return machine.snapshot()
+
+
+def _random_gather(reps: int):
+    machine = make_machine(SystemConfig())
+    rng = np.random.default_rng(1234)
+    data = (np.arange(48 << 10) % 251).astype(np.int64)  # 48KB, L1-resident
+    buf = machine.new_buffer("rand", data, elem_bytes=1)
+    lanes = machine.lanes(8)
+    indices = rng.integers(0, len(data), size=(reps, lanes))
+    for row in indices:
+        idx = machine.from_values(row, 8)
+        machine.gather(buf, idx, stream_id=13)
+    machine.barrier()
+    return machine.snapshot()
+
+
+def _wfa_extend(reps: int):
+    machine = make_machine(SystemConfig())
+    rng = np.random.default_rng(7)
+    length = 2048
+    pattern = rng.integers(0, 4, length).astype(np.int64)
+    text = pattern.copy()
+    text[::97] = (text[::97] + 1) % 4  # sparse mismatches end each run
+    pbuf = machine.new_buffer("bench_p", pattern, elem_bytes=1)
+    tbuf = machine.new_buffer("bench_t", text, elem_bytes=1)
+    consts = ExtendConsts(machine, length, length, 8)
+    lanes = machine.lanes(64)
+    for rep in range(reps):
+        starts = (rep * 53) % 512 + 17 * np.arange(lanes)
+        v = machine.from_values(starts, 64)
+        h = machine.from_values(starts, 64)
+        vec_extend(
+            machine, pbuf, tbuf, v, h, machine.ptrue(64),
+            length, length, consts=consts,
+        )
+    machine.barrier()
+    return machine.snapshot()
+
+
+_FIG4_DATASETS: dict = {}
+
+
+def _fig4_cell(reps: int):
+    # Dataset synthesis is deterministic and identical on both paths;
+    # build it once per rep count so the timed region is alignment only.
+    dataset = _FIG4_DATASETS.get(reps)
+    if dataset is None:
+        dataset = _FIG4_DATASETS[reps] = build_dataset(
+            "250bp_1", num_pairs=reps, seed=1234
+        )
+    impl = SsVec(threshold=dataset.spec.edit_threshold)
+    result = run_implementation(impl, dataset.pairs)
+    return result.stats()
+
+
+_WORKLOADS = {
+    "stride_sweep": _stride_sweep,
+    "random_gather": _random_gather,
+    "wfa_extend": _wfa_extend,
+    "fig4_cell": _fig4_cell,
+}
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def _measure(workload, reps: int, rounds: int = 3):
+    """Time one workload on both paths; returns the comparison dict.
+
+    Both paths are warmed first, then timed in alternating rounds
+    (serial, batched, serial, ...) keeping the best time per path —
+    interleaving cancels slow machine-load drift that would otherwise
+    bias whichever path ran last, and the minimum is the least
+    noise-contaminated sample.
+    """
+    legs = (("serial", False), ("batched", True))
+    for _, enabled in legs:
+        with _BatchedPath(enabled):
+            workload(max(1, reps // 8))  # warm code paths and caches
+    timings = {}
+    stats = {}
+    for _ in range(rounds):
+        for label, enabled in legs:
+            with _BatchedPath(enabled):
+                start = time.perf_counter()
+                stats[label] = workload(reps)
+                elapsed = time.perf_counter() - start
+            if label not in timings or elapsed < timings[label]:
+                timings[label] = elapsed
+    return {
+        "serial_s": round(timings["serial"], 4),
+        "batched_s": round(timings["batched"], 4),
+        "speedup": round(timings["serial"] / max(timings["batched"], 1e-9), 3),
+        "stats_identical": stats["serial"] == stats["batched"],
+    }
+
+
+def run_bench(
+    quick: bool = False,
+    out: "str | os.PathLike | None" = DEFAULT_OUT,
+    only: "list[str] | None" = None,
+) -> dict:
+    """Run the micro-workloads; returns (and optionally writes) the report.
+
+    ``quick`` shrinks every workload's repetition count (the CI smoke
+    setting); ``only`` restricts to a subset of workload names.
+    """
+    names = list(_WORKLOADS) if not only else list(only)
+    unknown = [n for n in names if n not in _WORKLOADS]
+    if unknown:
+        raise ReproError(
+            f"unknown bench workload(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(_WORKLOADS)}"
+        )
+    report = {
+        "version": __version__,
+        "quick": quick,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "note": (
+            "serial = per-lane Python walk (use_batched_memory=False); "
+            "batched = MemoryHierarchy.access_batch; both paths are "
+            "checked for bit-identical machine statistics"
+        ),
+        "workloads": {},
+    }
+    for name in names:
+        reps = _SCALES[name][1 if quick else 0]
+        report["workloads"][name] = {"reps": reps, **_measure(_WORKLOADS[name], reps)}
+    if out is not None:
+        path = Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2) + "\n")
+        report["path"] = str(path)
+    return report
+
+
+def check_report(report: dict, gate: str = "stride_sweep") -> "list[str]":
+    """CI gate: failures if stats diverge or the gated workload regressed."""
+    failures = []
+    for name, cell in report["workloads"].items():
+        if not cell["stats_identical"]:
+            failures.append(
+                f"{name}: batched path diverged from serial statistics"
+            )
+    gated = report["workloads"].get(gate)
+    if gated is not None and gated["speedup"] < 1.0:
+        failures.append(
+            f"{gate}: batched path slower than serial "
+            f"({gated['batched_s']}s vs {gated['serial_s']}s, "
+            f"speedup {gated['speedup']}x)"
+        )
+    return failures
+
+
+def render_report(report: dict) -> str:
+    """Human-readable table for the CLI."""
+    lines = [
+        f"membatch bench (v{report['version']}, "
+        f"{'quick' if report['quick'] else 'full'}):",
+        f"{'workload':<16} {'reps':>5} {'serial':>9} {'batched':>9} "
+        f"{'speedup':>8}  stats",
+    ]
+    for name, cell in report["workloads"].items():
+        lines.append(
+            f"{name:<16} {cell['reps']:>5} {cell['serial_s']:>8.3f}s "
+            f"{cell['batched_s']:>8.3f}s {cell['speedup']:>7.2f}x  "
+            f"{'identical' if cell['stats_identical'] else 'DIVERGED'}"
+        )
+    if "path" in report:
+        lines.append(f"[wrote {report['path']}]")
+    return "\n".join(lines)

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.config import CacheConfig
 from repro.errors import MemoryModelError
 
@@ -80,66 +82,128 @@ class CacheStats:
 
 
 class Cache:
-    """One level of set-associative cache with true-LRU replacement."""
+    """One level of set-associative cache with true-LRU replacement.
+
+    The internals are organised for speed on the batched demand path
+    (:meth:`repro.memory.hierarchy.MemoryHierarchy.access_batch`, which
+    reaches into them directly): a flat numpy tag array with one slot
+    per (set, way), an integer-timestamp LRU (an O(1) store per touch —
+    no ``list.remove``), a ``line -> slot`` dict for O(1) membership,
+    and a per-slot prefetched flag.  Replacement picks the smallest
+    timestamp in the set, which reproduces the previous
+    ``list[list[int]]`` MRU-ordering bit for bit: timestamps are drawn
+    from one monotone clock, so their order *is* the recency order.
+
+    Line size and set count must be powers of two (they are, for every
+    Table I geometry) so set indexing and line alignment reduce to
+    shift/mask; anything else raises :class:`MemoryModelError`.
+    """
 
     def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        line = config.line_bytes
+        sets = config.num_sets
+        if line < 1 or line & (line - 1):
+            raise MemoryModelError(
+                f"line size must be a power of two: {line}"
+            )
+        if sets < 1 or sets & (sets - 1):
+            raise MemoryModelError(
+                f"set count must be a power of two: {sets}"
+            )
         self.config = config
         self.name = name
         self.stats = CacheStats()
-        # Per-set list of line addresses, most-recently-used last.
-        self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
-        # Lines brought in by the prefetcher and not yet demanded.
-        self._prefetched: set[int] = set()
+        self._ways = config.ways
+        self._line_shift = line.bit_length() - 1
+        self._line_mask = line - 1
+        self._set_mask = sets - 1
+        nslots = sets * config.ways
+        # Slot s holds way (s % ways) of set (s // ways); -1 = invalid.
+        self._tags = np.full(nslots, -1, dtype=np.int64)
+        # LRU timestamps, one monotone clock shared by hits and fills.
+        self._tick: list[int] = [0] * nslots
+        # Prefetched-and-not-yet-demanded flag per slot.
+        self._pf = bytearray(nslots)
+        # Resident way count per set.  Fills stay compact (a new line
+        # goes to slot base+count; eviction replaces in place; only
+        # invalidate_all empties), so this is also the next free way.
+        self._fill_count: list[int] = [0] * sets
+        # Resident line -> slot, the single source of truth for lookup.
+        self._slot_of: "dict[int, int]" = {}
+        self._clock = 0
 
     def _set_index(self, line_addr: int) -> int:
-        return (line_addr // self.config.line_bytes) % self.config.num_sets
+        return (line_addr >> self._line_shift) & self._set_mask
 
     def line_of(self, addr: int) -> int:
         """Line-aligned address containing ``addr``."""
         if addr < 0:
             raise MemoryModelError(f"negative address: {addr}")
-        return addr - (addr % self.config.line_bytes)
+        return addr & ~self._line_mask
 
     def probe(self, line_addr: int) -> bool:
         """Check residency without touching LRU state or stats."""
-        return line_addr in self._sets[self._set_index(line_addr)]
+        return line_addr in self._slot_of
 
     def access(self, line_addr: int) -> bool:
         """Demand access; returns True on hit and updates LRU + stats."""
-        ways = self._sets[self._set_index(line_addr)]
-        if line_addr in ways:
-            ways.remove(line_addr)
-            ways.append(line_addr)
-            self.stats.hits += 1
-            if line_addr in self._prefetched:
-                self._prefetched.discard(line_addr)
-                self.stats.prefetch_hits += 1
-            return True
-        self.stats.misses += 1
-        return False
+        slot = self._slot_of.get(line_addr)
+        if slot is None:
+            self.stats.misses += 1
+            return False
+        self._clock += 1
+        self._tick[slot] = self._clock
+        self.stats.hits += 1
+        if self._pf[slot]:
+            self._pf[slot] = 0
+            self.stats.prefetch_hits += 1
+        return True
 
     def fill(self, line_addr: int, prefetch: bool = False) -> int | None:
-        """Insert a line; returns the evicted line address, if any."""
-        ways = self._sets[self._set_index(line_addr)]
-        if line_addr in ways:
+        """Insert a line; returns the evicted line address, if any.
+
+        Filling an already-resident line is a no-op and does not promote
+        it (matching a hardware fill that finds the line present).
+        """
+        if line_addr in self._slot_of:
             return None
+        set_idx = (line_addr >> self._line_shift) & self._set_mask
+        base = set_idx * self._ways
+        count = self._fill_count[set_idx]
         evicted = None
-        if len(ways) >= self.config.ways:
-            evicted = ways.pop(0)
-            self._prefetched.discard(evicted)
+        if count < self._ways:
+            slot = base + count
+            self._fill_count[set_idx] = count + 1
+        else:
+            tick = self._tick
+            slot = base
+            oldest = tick[base]
+            for s in range(base + 1, base + self._ways):
+                if tick[s] < oldest:
+                    oldest = tick[s]
+                    slot = s
+            evicted = int(self._tags[slot])
+            del self._slot_of[evicted]
             self.stats.evictions += 1
-        ways.append(line_addr)
+        self._tags[slot] = line_addr
+        self._slot_of[line_addr] = slot
+        self._clock += 1
+        self._tick[slot] = self._clock
         if prefetch:
-            self._prefetched.add(line_addr)
+            self._pf[slot] = 1
             self.stats.prefetch_fills += 1
+        else:
+            self._pf[slot] = 0
         return evicted
 
     def invalidate_all(self) -> None:
         """Drop every resident line (stats are preserved)."""
-        for ways in self._sets:
-            ways.clear()
-        self._prefetched.clear()
+        self._tags.fill(-1)
+        self._tick = [0] * len(self._tick)
+        self._pf = bytearray(len(self._pf))
+        self._fill_count = [0] * (self._set_mask + 1)
+        self._slot_of.clear()
 
     @property
     def resident_lines(self) -> int:
-        return sum(len(ways) for ways in self._sets)
+        return len(self._slot_of)

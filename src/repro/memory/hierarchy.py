@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.config import SystemConfig
 from repro.errors import MemoryModelError
 from repro.memory.cache import Cache, CacheStats
@@ -185,13 +187,380 @@ class MemoryHierarchy:
             line_addr, stream_id
         )
 
+    # ------------------------------------------------------------------
+    # Batched demand path
+    # ------------------------------------------------------------------
+    def access_batch(
+        self,
+        addrs,
+        size_bytes: int = 1,
+        stream_id: int = 0,
+    ) -> "np.ndarray":
+        """Demand-access a whole address stream in one call.
+
+        Bit-identical to ``[self.access(a, size_bytes, stream_id) for a
+        in addrs]`` — same :class:`MemoryStats`, LRU order, prefetcher
+        training, and DRAM traffic — but returns the per-request latency
+        sequence as an int64 array and runs far fewer Python operations.
+
+        The stride/confidence recurrence of the L1 prefetcher is
+        precomputed over the batch with numpy, and consecutive requests
+        that (a) land on the same line as their predecessor, (b) span a
+        single line, and (c) provably emit no prefetches are
+        *collapsed*: a serial walk would score each as an L1 hit of an
+        already-MRU line at L1 load-to-use latency with no other state
+        change, so only the counters move.  Every other request — line
+        boundaries, multi-line spans, and confident accesses whose
+        look-ahead escapes their own demand lines — flows through the
+        existing sequential hit/miss/fill/prefetch logic.
+        """
+        if size_bytes < 1:
+            raise MemoryModelError(f"access size must be positive: {size_bytes}")
+        arr = np.asarray(addrs, dtype=np.int64)
+        if arr.ndim != 1:
+            arr = arr.reshape(-1)
+        n = arr.size
+        l1_lat = self.system.l1d.load_to_use
+        # Prefilled with the L1 latency: every collapsed request (and
+        # every full-path all-hit request) resolves to exactly that.
+        out = np.full(n, l1_lat, dtype=np.int64)
+        if n == 0:
+            return out
+        if n <= self._SCALAR_BATCH_MAX:
+            return self._access_batch_scalar(
+                arr.tolist(), size_bytes, stream_id, out
+            )
+        line = self.system.l1d.line_bytes
+        line_mask = line - 1
+        not_mask = ~line_mask
+        offsets = arr & line_mask
+        first = arr - offsets
+        # Requests spilling past their first line can never collapse.
+        slow = offsets > line - size_bytes
+
+        pf = self._l1_prefetcher
+        strides = conf = None
+        if pf is not None:
+            state = pf.begin_batch(stream_id, int(arr[0]))
+            strides = np.empty(n, dtype=np.int64)
+            np.subtract(arr[1:], arr[:-1], out=strides[1:])
+            conf = np.empty(n, dtype=bool)
+            if state is None:
+                strides[0] = 0
+                conf[0] = False
+            else:
+                prev_addr, prev_stride = state
+                strides[0] = int(arr[0]) - prev_addr
+                conf[0] = strides[0] != 0 and strides[0] == prev_stride
+            np.logical_and(
+                strides[1:] != 0, strides[1:] == strides[:-1], out=conf[1:]
+            )
+            if conf.any():
+                # A confident access needs real prefetch handling only
+                # if some non-negative candidate escapes its own demand
+                # lines; otherwise the serial walk provably issues
+                # nothing and the access can still collapse.  For a
+                # single-line request the demand window is just `first`
+                # (multi-line requests are already on the slow path, so
+                # their value here is irrelevant).
+                escapes = np.zeros(n, dtype=bool)
+                target = arr
+                for _ in range(pf.degree):
+                    target = target + strides
+                    escapes |= (target >= 0) & ((target & not_mask) != first)
+                slow |= conf & escapes
+
+        fullproc = np.empty(n, dtype=bool)
+        fullproc[0] = True
+        np.logical_or(slow[1:], slow[:-1], out=fullproc[1:])
+        fullproc[1:] |= first[1:] != first[:-1]
+        idxs = np.flatnonzero(fullproc)
+
+        # Collapsed requests: guaranteed L1 hits of the predecessor's
+        # line.  The line is already MRU (its timestamp monotonically
+        # lags the clock without reordering any set), its prefetched
+        # flag was consumed by the run's first access, and no fills can
+        # intervene — so only these counters advance.
+        collapsed = n - idxs.size
+        hits = collapsed
+        misses = 0
+        pf_hits = 0
+        nreq = collapsed
+        issued = 0
+
+        l1 = self.l1
+        slot_of = l1._slot_of
+        slot_get = slot_of.get
+        tick = l1._tick
+        pf_flag = l1._pf
+        fill_from_l2 = self._fill_from_l2
+        degree = pf.degree if pf is not None else 0
+        size_m1 = size_bytes - 1
+        arr_l = arr.tolist()
+        first_l = first.tolist()
+        strides_l = strides.tolist() if strides is not None else None
+        conf_l = conf.tolist() if conf is not None else ()
+        # The LRU clock lives in a local between fills; any call that
+        # can reach Cache.fill is bracketed by a flush/reload.
+        clock = l1._clock
+
+        for i in idxs.tolist():
+            addr_i = arr_l[i]
+            lo = first_l[i]
+            hi = (addr_i + size_m1) & not_mask
+            if conf_l and conf_l[i]:
+                # Inline of StridePrefetcher.observe's emission plus
+                # _train's fill staging, bit for bit: same exclusion
+                # window, in-order dedup, and issued count.
+                stride_i = strides_l[i]
+                targets: "list[int]" = []
+                target = addr_i
+                for _ in range(degree):
+                    target += stride_i
+                    if target >= 0:
+                        target_line = target & not_mask
+                        if (
+                            target_line < lo or target_line > hi
+                        ) and target_line not in targets:
+                            targets.append(target_line)
+                if targets:
+                    issued += len(targets)
+                    l1._clock = clock
+                    for pf_line in targets:
+                        if pf_line not in slot_of:
+                            fill_from_l2(pf_line, stream_id, prefetch=True)
+                    clock = l1._clock
+            nreq += 1
+            if lo == hi:
+                slot = slot_get(lo)
+                if slot is not None:
+                    clock += 1
+                    tick[slot] = clock
+                    hits += 1
+                    if pf_flag[slot]:
+                        pf_flag[slot] = 0
+                        pf_hits += 1
+                else:
+                    misses += 1
+                    l1._clock = clock
+                    out[i] = l1_lat + fill_from_l2(lo, stream_id)
+                    clock = l1._clock
+                continue
+            line_addr = lo
+            worst = 0
+            while True:
+                slot = slot_get(line_addr)
+                if slot is not None:
+                    clock += 1
+                    tick[slot] = clock
+                    hits += 1
+                    if pf_flag[slot]:
+                        pf_flag[slot] = 0
+                        pf_hits += 1
+                    latency = l1_lat
+                else:
+                    misses += 1
+                    l1._clock = clock
+                    latency = l1_lat + fill_from_l2(line_addr, stream_id)
+                    clock = l1._clock
+                if latency > worst:
+                    worst = latency
+                if line_addr == hi:
+                    break
+                line_addr += line
+                nreq += 1
+            if worst != l1_lat:
+                out[i] = worst
+
+        l1._clock = clock
+        l1.stats.hits += hits
+        l1.stats.misses += misses
+        l1.stats.prefetch_hits += pf_hits
+        self.requests += nreq
+        if pf is not None:
+            pf.end_batch(
+                stream_id, arr_l[-1], strides_l[-1], bool(conf_l[-1]), issued
+            )
+        return out
+
+    #: Batch lengths at or below this run the scalar engine: numpy's
+    #: per-array setup costs more than a short Python loop (measured
+    #: crossover; 8- and 16-lane gathers are the common small cases).
+    _SCALAR_BATCH_MAX = 64
+
+    def access_batch_max(
+        self, addrs, size_bytes: int = 1, stream_id: int = 0
+    ) -> int:
+        """Worst-lane load-to-use latency of a demand batch.
+
+        Identical state evolution to :meth:`access_batch` (and therefore
+        to the serial loop), returning only ``max()`` of the per-request
+        latencies — the lean entry for gather/scatter accounting, which
+        exposes nothing but the slowest lane.  Returns 0 for an empty
+        batch.
+        """
+        n = len(addrs)
+        if n == 0:
+            return 0
+        if n <= self._SCALAR_BATCH_MAX:
+            if size_bytes < 1:
+                raise MemoryModelError(
+                    f"access size must be positive: {size_bytes}"
+                )
+            if not isinstance(addrs, list):
+                addrs = np.asarray(addrs, dtype=np.int64).tolist()
+            return self._access_batch_scalar(addrs, size_bytes, stream_id, None)
+        return int(self.access_batch(addrs, size_bytes, stream_id).max())
+
+    def _access_batch_scalar(
+        self,
+        arr: "list[int]",
+        size_bytes: int,
+        stream_id: int,
+        out: "np.ndarray | None",
+    ):
+        """Scalar engine behind :meth:`access_batch` for short batches.
+
+        Identical state evolution to the vectorized engine — the stride
+        recurrence is carried element to element, and consecutive
+        same-line single-line non-confident requests short-circuit to
+        collapsed L1 hits — just without any numpy setup.  With
+        ``out=None`` the per-request latencies are not materialised and
+        the worst one is returned instead (:meth:`access_batch_max`).
+        """
+        l1 = self.l1
+        l1_lat = self.system.l1d.load_to_use
+        line = self.system.l1d.line_bytes
+        not_mask = ~(line - 1)
+        size_m1 = size_bytes - 1
+        slot_of = l1._slot_of
+        slot_get = slot_of.get
+        tick = l1._tick
+        pf_flag = l1._pf
+        fill_from_l2 = self._fill_from_l2
+        pf = self._l1_prefetcher
+        degree = pf.degree if pf is not None else 0
+        clock = l1._clock
+        hits = misses = pf_hits = nreq = issued = 0
+        worst_all = l1_lat
+        prev_line = -1
+        conf = False
+        if pf is not None:
+            state = pf.begin_batch(stream_id, arr[0])
+            # On stream creation the first element must see stride 0 /
+            # no confidence, which (addr - addr) == 0 delivers for free.
+            prev_addr, prev_stride = state if state is not None else (arr[0], 0)
+        else:
+            prev_addr = prev_stride = 0
+        for i, addr_i in enumerate(arr):
+            lo = addr_i & not_mask
+            hi = (addr_i + size_m1) & not_mask
+            if pf is not None:
+                stride = addr_i - prev_addr
+                conf = stride != 0 and stride == prev_stride
+                prev_addr = addr_i
+                prev_stride = stride
+            nreq += 1
+            if lo == prev_line and lo == hi and not conf:
+                hits += 1  # collapsed: out[i] is already l1_lat
+                continue
+            if conf:
+                targets: "list[int]" = []
+                target = addr_i
+                for _ in range(degree):
+                    target += stride
+                    if target >= 0:
+                        target_line = target & not_mask
+                        if (
+                            target_line < lo or target_line > hi
+                        ) and target_line not in targets:
+                            targets.append(target_line)
+                if targets:
+                    issued += len(targets)
+                    l1._clock = clock
+                    for pf_line in targets:
+                        if pf_line not in slot_of:
+                            fill_from_l2(pf_line, stream_id, prefetch=True)
+                    clock = l1._clock
+            if lo == hi:
+                prev_line = lo
+                slot = slot_get(lo)
+                if slot is not None:
+                    clock += 1
+                    tick[slot] = clock
+                    hits += 1
+                    if pf_flag[slot]:
+                        pf_flag[slot] = 0
+                        pf_hits += 1
+                else:
+                    misses += 1
+                    l1._clock = clock
+                    latency = l1_lat + fill_from_l2(lo, stream_id)
+                    clock = l1._clock
+                    if out is not None:
+                        out[i] = latency
+                    elif latency > worst_all:
+                        worst_all = latency
+                continue
+            prev_line = -1
+            line_addr = lo
+            worst = 0
+            while True:
+                slot = slot_get(line_addr)
+                if slot is not None:
+                    clock += 1
+                    tick[slot] = clock
+                    hits += 1
+                    if pf_flag[slot]:
+                        pf_flag[slot] = 0
+                        pf_hits += 1
+                    latency = l1_lat
+                else:
+                    misses += 1
+                    l1._clock = clock
+                    latency = l1_lat + fill_from_l2(line_addr, stream_id)
+                    clock = l1._clock
+                if latency > worst:
+                    worst = latency
+                if line_addr == hi:
+                    break
+                line_addr += line
+                nreq += 1
+            if worst != l1_lat:
+                if out is not None:
+                    out[i] = worst
+                elif worst > worst_all:
+                    worst_all = worst
+
+        l1._clock = clock
+        l1.stats.hits += hits
+        l1.stats.misses += misses
+        l1.stats.prefetch_hits += pf_hits
+        self.requests += nreq
+        if pf is not None:
+            pf.end_batch(stream_id, prev_addr, prev_stride, conf, issued)
+        return out if out is not None else worst_all
+
+    def access_line_batch(self, line_addrs, stream_id: int = 0) -> "np.ndarray":
+        """Batched :meth:`access_line`: aligned line addresses in, per-
+        request latencies out, statistics identical to the serial loop."""
+        arr = np.ascontiguousarray(line_addrs, dtype=np.int64)
+        mask = self.system.l1d.line_bytes - 1
+        if arr.size:
+            unaligned = arr & mask
+            if unaligned.any():
+                bad = int(arr[np.flatnonzero(unaligned)[0]])
+                raise MemoryModelError(f"unaligned line address: {bad:#x}")
+        return self.access_batch(arr, 1, stream_id)
+
     def touch(self, addr: int, size_bytes: int, stream_id: int = 0) -> None:
         """Warm the hierarchy over a range without collecting latencies."""
         line = self.system.l1d.line_bytes
         first = addr - (addr % line)
         end = addr + size_bytes
-        for line_addr in range(first, end, line):
-            self.access_line(line_addr, stream_id)
+        self.access_line_batch(
+            np.arange(first, end, line, dtype=np.int64), stream_id
+        )
 
     def account_streaming(
         self, n_requests: int, n_lines: int, dram_fraction: float = 1.0

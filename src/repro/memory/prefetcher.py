@@ -71,6 +71,51 @@ class StridePrefetcher:
         self.issued += len(prefetches)
         return prefetches
 
+    # ------------------------------------------------------------------
+    # Batch protocol (used by MemoryHierarchy.access_batch)
+    # ------------------------------------------------------------------
+    def begin_batch(self, stream_id: int, first_addr: int) -> "tuple[int, int] | None":
+        """Open a batch of observations for one stream.
+
+        Returns the stream's ``(last_addr, stride)`` so the caller can
+        vectorise the stride/confidence recurrence across the whole
+        batch, or ``None`` if the stream was unknown — in which case the
+        entry is created from ``first_addr`` exactly as a serial first
+        :meth:`observe` would (including oldest-entry eviction), and the
+        batch's first access contributes stride 0 / no confidence.
+
+        The caller must finish with :meth:`end_batch`; the entry is not
+        advanced here.
+        """
+        entry = self._table.get(stream_id)
+        if entry is not None:
+            return entry.last_addr, entry.stride
+        if len(self._table) >= self.table_size:
+            self._table.pop(next(iter(self._table)))
+        self._table[stream_id] = _StreamEntry(last_addr=first_addr)
+        return None
+
+    def end_batch(
+        self,
+        stream_id: int,
+        last_addr: int,
+        stride: int,
+        confident: bool,
+        issued: int,
+    ) -> None:
+        """Commit the stream state a serial walk would have left behind.
+
+        ``last_addr``/``stride``/``confident`` are the batch's final
+        access, its stride, and whether that stride was confirmed;
+        ``issued`` is the total number of prefetch targets the batch
+        emitted (post-exclusion, deduplicated — the serial count).
+        """
+        entry = self._table[stream_id]
+        entry.last_addr = last_addr
+        entry.stride = stride
+        entry.confident = confident
+        self.issued += issued
+
     def reset(self) -> None:
         self._table.clear()
         self.issued = 0

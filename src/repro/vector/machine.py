@@ -52,20 +52,40 @@ _CMPOPS = {
 
 
 def _byte_reverse_lut() -> np.ndarray:
-    table = np.empty(256, dtype=np.uint8)
-    for value in range(256):
-        rev = 0
-        for bit in range(8):
-            rev |= ((value >> bit) & 1) << (7 - bit)
-        table[value] = rev
+    """Bit-reversal table for every byte value, built with the classic
+    swap-halves trick (three vectorized passes, no 256x8 Python loop)."""
+    table = np.arange(256, dtype=np.uint8)
+    table = ((table & 0xF0) >> 4) | ((table & 0x0F) << 4)
+    table = ((table & 0xCC) >> 2) | ((table & 0x33) << 2)
+    table = ((table & 0xAA) >> 1) | ((table & 0x55) << 1)
     return table
 
 
 _BYTE_REVERSE_LUT = _byte_reverse_lut()
 
+#: (gather_element_occupancy, max_lanes) -> occupancy-by-lane-count table,
+#: shared across machines (see ``VectorMachine._indexed_occupancy``).
+_OCC_LUTS: dict = {}
+
+
+def _raise_gather64_range(buf: SimBuffer, indices: np.ndarray) -> None:
+    """Cold path: reconstruct the precise out-of-range message."""
+    lo, hi = int(indices.min()), int(indices.max())
+    raise MachineError(
+        f"gather64 index out of range on {buf.name!r}: [{lo}, {hi}]"
+    )
+
 
 class VectorMachine:
     """One simulated core: VPU + caches (+ optionally a QUETZAL unit)."""
+
+    #: Route gather/gather64/scatter traffic through the batched memory
+    #: engine (``MemoryHierarchy.access_batch``) instead of a per-lane
+    #: Python walk.  Both paths are bit-identical in statistics and
+    #: latency (enforced by tests and ``repro bench``); the serial walk
+    #: is kept for cross-checks.  Class-wide default; instances may
+    #: override.
+    use_batched_memory = True
 
     def __init__(
         self,
@@ -88,6 +108,27 @@ class VectorMachine:
         #: Opt-in event trace (``attach_tracer``); None costs one branch
         #: per instruction.
         self.tracer = None
+        # Occupancy of an indexed memory op by active-lane count
+        # (``_indexed_occupancy``): precomputed for every possible lane
+        # count so the hot path is a list index.  Cached per
+        # (occupancy, lane-count) config across machines.
+        per = self.system.gather_element_occupancy
+        max_lanes = self.system.lanes_for(8)
+        key = (per, max_lanes)
+        lut = _OCC_LUTS.get(key)
+        if lut is None:
+            lut = _OCC_LUTS[key] = [
+                max(1, int(round(per * k))) for k in range(max_lanes + 1)
+            ]
+        self._occ_lut = lut
+        # Cached ``np.arange(n)`` per lane count (``whilelt``).
+        self._lane_arange: dict[int, np.ndarray] = {}
+        # Hot latency constants (``SystemConfig`` is frozen, so these
+        # cannot go stale): cached to avoid attribute chains per issue.
+        self._lat_arith = self.system.lat_vector_arith
+        self._lat_pred = self.system.lat_predicate
+        self._l1_ltu = self.system.l1d.load_to_use
+        self._lat_gather_base = self.system.lat_gather_base
 
     # ------------------------------------------------------------------
     # Tracing
@@ -313,29 +354,50 @@ class VectorMachine:
     # ------------------------------------------------------------------
     # Arithmetic / logic
     # ------------------------------------------------------------------
-    def _coerce(self, b, ebits: int) -> tuple[np.ndarray, "VReg | None"]:
-        if isinstance(b, VReg):
-            if b.ebits != ebits:
-                raise MachineError(
-                    f"element width mismatch: {b.ebits} vs {ebits}"
-                )
-            return b.data, b
-        return np.int64(b), None
-
     def binop(self, op: str, a: VReg, b, pred: Pred | None = None) -> VReg:
         """Predicated binary operation; inactive lanes keep ``a``'s value."""
         try:
             fn = _BINOPS[op]
         except KeyError:
             raise MachineError(f"unknown binop: {op!r}")
-        b_data, b_reg = self._coerce(b, a.ebits)
-        complete = self._issue(
-            "vector", 1, self.system.lat_vector_arith, deps=(a, b_reg, pred)
-        )
+        # ``_coerce`` inlined: this is the hottest arithmetic entry point.
+        if isinstance(b, VReg):
+            if b.ebits != a.ebits:
+                raise MachineError(
+                    f"element width mismatch: {b.ebits} vs {a.ebits}"
+                )
+            b_data, b_reg = b.data, b
+        else:
+            b_data, b_reg = np.int64(b), None
+        if self.tracer is None:
+            # ``_issue`` inlined for the untraced common case: identical
+            # state evolution (stall attribution, clock, counters) with
+            # no call or tuple overhead.
+            ready = a.ready
+            blocker = a
+            if b_reg is not None and b_reg.ready > ready:
+                ready, blocker = b_reg.ready, b_reg
+            if pred is not None and pred.ready > ready:
+                ready, blocker = pred.ready, pred
+            clock = self.clock
+            if ready > clock:
+                self._stall[blocker.category] += ready - clock
+                clock = ready
+            clock += 1
+            self.clock = clock
+            complete = clock + self._lat_arith
+            if complete > self._max_complete:
+                self._max_complete = complete
+            self._instructions["vector"] += 1
+            self._busy["vector"] += 1
+        else:
+            complete = self._issue(
+                "vector", 1, self._lat_arith, deps=(a, b_reg, pred)
+            )
         result = fn(a.data, b_data)
         if pred is not None:
             result = np.where(pred.data, result, a.data)
-        return VReg(result, a.ebits, complete)
+        return VReg._wrap(result, a.ebits, complete)
 
     def add(self, a: VReg, b, pred: Pred | None = None) -> VReg:
         return self.binop("add", a, b, pred)
@@ -371,38 +433,50 @@ class VectorMachine:
         """Per-lane bit reversal (SVE ``RBIT``); 64-bit lanes only."""
         if a.ebits != 64:
             raise MachineError("rbit is modelled for 64-bit lanes only")
-        complete = self._issue("vector", 1, self.system.lat_vector_arith, deps=(a, pred))
-        vals = a.data.astype(np.uint64)
-        as_bytes = vals.view(np.uint8).reshape(-1, 8)
+        complete = self._issue("vector", 1, self._lat_arith, deps=(a, pred))
+        # Bit-reinterpret (no copies): lanes -> bytes, reverse byte order,
+        # LUT-reverse each byte's bits, reinterpret back as int64 lanes.
+        as_bytes = a.data.view(np.uint8).reshape(-1, 8)
         reversed_bytes = _BYTE_REVERSE_LUT[as_bytes[:, ::-1]]
-        result = np.ascontiguousarray(reversed_bytes).view(np.uint64).reshape(-1)
-        result = result.astype(np.int64)
+        result = reversed_bytes.view(np.int64).reshape(-1)
         if pred is not None:
             result = np.where(pred.data, result, a.data)
-        return VReg(result, a.ebits, complete)
+        return VReg._wrap(result, a.ebits, complete)
 
     def clz(self, a: VReg, pred: Pred | None = None) -> VReg:
         """Per-lane count of leading zeros (SVE ``CLZ``); clz(0) == width."""
-        complete = self._issue("vector", 1, self.system.lat_vector_arith, deps=(a, pred))
+        complete = self._issue("vector", 1, self._lat_arith, deps=(a, pred))
         width = a.ebits
-        vals = a.data.astype(np.uint64)
-        result = np.full(len(vals), width, dtype=np.int64)
-        nonzero = vals != 0
-        if nonzero.any():
-            # floor(log2(v)) is exact for uint64 < 2^53 via float64; handle
-            # the high range with a pre-shift.
-            high = vals >> np.uint64(32)
-            top = np.where(high != 0, high, vals & np.uint64(0xFFFFFFFF))
-            bits = np.zeros(len(vals), dtype=np.int64)
-            bits[nonzero] = np.floor(np.log2(top[nonzero].astype(np.float64))).astype(np.int64)
-            bits[nonzero & (high != 0)] += 32
-            result[nonzero] = width - 1 - bits[nonzero]
+        n = len(a.data)
+        if n <= 16:
+            # Short vectors: Python's arbitrary-precision bit_length is
+            # exact and beats the numpy temporaries below.
+            wmask = (1 << width) - 1
+            result = np.array(
+                [width - (v & wmask).bit_length() for v in a.data.tolist()],
+                dtype=np.int64,
+            )
+        else:
+            vals = a.data.astype(np.uint64)
+            result = np.full(n, width, dtype=np.int64)
+            nonzero = vals != 0
+            if nonzero.any():
+                # floor(log2(v)) is exact for uint64 < 2^53 via float64;
+                # handle the high range with a pre-shift.
+                high = vals >> np.uint64(32)
+                top = np.where(high != 0, high, vals & np.uint64(0xFFFFFFFF))
+                bits = np.zeros(n, dtype=np.int64)
+                bits[nonzero] = np.floor(
+                    np.log2(top[nonzero].astype(np.float64))
+                ).astype(np.int64)
+                bits[nonzero & (high != 0)] += 32
+                result[nonzero] = width - 1 - bits[nonzero]
         if pred is not None:
             result = np.where(pred.data, result, a.data)
-        return VReg(result, a.ebits, complete)
+        return VReg._wrap(result, a.ebits, complete)
 
     def abs(self, a: VReg, pred: Pred | None = None) -> VReg:
-        complete = self._issue("vector", 1, self.system.lat_vector_arith, deps=(a, pred))
+        complete = self._issue("vector", 1, self._lat_arith, deps=(a, pred))
         result = np.abs(a.data)
         if pred is not None:
             result = np.where(pred.data, result, a.data)
@@ -415,7 +489,7 @@ class VectorMachine:
         complete = self._issue(
             "vector", 1, self.system.lat_vector_arith, deps=(a, b, pred)
         )
-        return VReg(np.where(pred.data, a.data, b.data), a.ebits, complete)
+        return VReg._wrap(np.where(pred.data, a.data, b.data), a.ebits, complete)
 
     # ------------------------------------------------------------------
     # Compares / predicates
@@ -426,14 +500,42 @@ class VectorMachine:
             fn = _CMPOPS[op]
         except KeyError:
             raise MachineError(f"unknown compare: {op!r}")
-        b_data, b_reg = self._coerce(b, a.ebits)
-        complete = self._issue(
-            "vector", 1, self.system.lat_predicate, deps=(a, b_reg, pred)
-        )
+        # ``_coerce`` inlined (hot path, same as ``binop``).
+        if isinstance(b, VReg):
+            if b.ebits != a.ebits:
+                raise MachineError(
+                    f"element width mismatch: {b.ebits} vs {a.ebits}"
+                )
+            b_data, b_reg = b.data, b
+        else:
+            b_data, b_reg = np.int64(b), None
+        if self.tracer is None:
+            # ``_issue`` inlined (untraced common case; see ``binop``).
+            ready = a.ready
+            blocker = a
+            if b_reg is not None and b_reg.ready > ready:
+                ready, blocker = b_reg.ready, b_reg
+            if pred is not None and pred.ready > ready:
+                ready, blocker = pred.ready, pred
+            clock = self.clock
+            if ready > clock:
+                self._stall[blocker.category] += ready - clock
+                clock = ready
+            clock += 1
+            self.clock = clock
+            complete = clock + self._lat_pred
+            if complete > self._max_complete:
+                self._max_complete = complete
+            self._instructions["vector"] += 1
+            self._busy["vector"] += 1
+        else:
+            complete = self._issue(
+                "vector", 1, self._lat_pred, deps=(a, b_reg, pred)
+            )
         result = fn(a.data, b_data)
         if pred is not None:
             result = result & pred.data
-        return Pred(result, a.ebits, complete)
+        return Pred._wrap(result, a.ebits, complete)
 
     def ptrue(self, ebits: int = 32) -> Pred:
         complete = self._issue("control", 1, self.system.lat_predicate)
@@ -447,21 +549,23 @@ class VectorMachine:
         """Lanes ``[0, min(lanes, end-start))`` active (SVE ``WHILELT``)."""
         complete = self._issue("control", 1, self.system.lat_predicate)
         n = self.lanes(ebits)
-        count = np.clip(end - start, 0, n)
-        data = np.arange(n) < count
-        return Pred(data, ebits, complete)
+        count = min(max(end - start, 0), n)
+        base = self._lane_arange.get(n)
+        if base is None:
+            base = self._lane_arange[n] = np.arange(n)
+        return Pred._wrap(base < count, ebits, complete)
 
     def pand(self, a: Pred, b: Pred) -> Pred:
         complete = self._issue("control", 1, self.system.lat_predicate, deps=(a, b))
-        return Pred(a.data & b.data, a.ebits, complete)
+        return Pred._wrap(a.data & b.data, a.ebits, complete)
 
     def por(self, a: Pred, b: Pred) -> Pred:
         complete = self._issue("control", 1, self.system.lat_predicate, deps=(a, b))
-        return Pred(a.data | b.data, a.ebits, complete)
+        return Pred._wrap(a.data | b.data, a.ebits, complete)
 
     def pnot(self, a: Pred) -> Pred:
         complete = self._issue("control", 1, self.system.lat_predicate, deps=(a,))
-        return Pred(~a.data, a.ebits, complete)
+        return Pred._wrap(~a.data, a.ebits, complete)
 
     # --- serialising (vector -> scalar) operations ---------------------
     def _serialize(self, complete: int) -> None:
@@ -542,20 +646,35 @@ class VectorMachine:
     ) -> VReg:
         """Unit-stride vector load of ``lanes(ebits)`` consecutive elements."""
         n = self.lanes(ebits)
-        idx = np.arange(start, start + n)
-        active = pred.data if pred is not None else np.ones(n, dtype=bool)
-        live = idx[active & (idx >= 0) & (idx < len(buf.data))]
-        vals = np.zeros(n, dtype=np.int64)
-        in_range = active & (idx >= 0) & (idx < len(buf.data))
-        vals[in_range] = buf.data[idx[in_range]]
-        sid = stream_id if stream_id is not None else hash(buf.name) & 0xFFFF
-        if live.size:
-            nbytes = (int(live.max()) - int(live.min()) + 1) * buf.elem_bytes
-            latency = self.mem.access(buf.addr_of(int(live.min())), nbytes, sid)
+        if (
+            self.use_batched_memory
+            and pred is None
+            and start >= 0
+            and start + n <= len(buf.data)
+        ):
+            # Fully in-range, all lanes active: a straight slice copy,
+            # no index/mask machinery (contiguous leg of the batched
+            # fast path; the legacy walk below is the bench reference).
+            vals = buf.data[start : start + n].copy()
+            lo_live, span = start, n
+        else:
+            idx = np.arange(start, start + n)
+            active = pred.data if pred is not None else np.ones(n, dtype=bool)
+            in_range = active & (idx >= 0) & (idx < len(buf.data))
+            live = idx[in_range]
+            vals = np.zeros(n, dtype=np.int64)
+            vals[in_range] = buf.data[live]
+            if live.size:
+                lo_live = int(live.min())
+                span = int(live.max()) - lo_live + 1
+            else:
+                lo_live = span = 0
+        sid = stream_id if stream_id is not None else buf.default_sid
+        if span:
+            nbytes = span * buf.elem_bytes
+            latency = self.mem.access(buf.addr_of(lo_live), nbytes, sid)
             if buf.track_forwarding and self._store_visible:
-                latency += self._forwarding_stall(
-                    buf.addr_of(int(live.min())), nbytes
-                )
+                latency += self._forwarding_stall(buf.addr_of(lo_live), nbytes)
         else:
             latency = self.system.l1d.load_to_use
         latency += self.system.lat_vector_load_extra
@@ -572,18 +691,35 @@ class VectorMachine:
     ) -> None:
         """Unit-stride vector store."""
         n = len(value.data)
-        idx = np.arange(start, start + n)
-        active = pred.data if pred is not None else np.ones(n, dtype=bool)
-        in_range = active & (idx >= 0) & (idx < len(buf.data))
-        if np.any(active & ~in_range & (idx >= len(buf.data))):
-            raise MachineError(
-                f"store out of range on buffer {buf.name!r}"
-            )
-        buf.data[idx[in_range]] = value.data[in_range]
-        sid = stream_id if stream_id is not None else hash(buf.name) & 0xFFFF
-        if in_range.any():
-            lo = int(idx[in_range].min())
-            nbytes = (int(idx[in_range].max()) - lo + 1) * buf.elem_bytes
+        if (
+            self.use_batched_memory
+            and pred is None
+            and start >= 0
+            and start + n <= len(buf.data)
+        ):
+            # Fully in-range, all lanes active: a straight slice write
+            # (contiguous leg of the batched fast path).
+            buf.data[start : start + n] = value.data
+            lo, span = start, n
+        else:
+            idx = np.arange(start, start + n)
+            active = pred.data if pred is not None else np.ones(n, dtype=bool)
+            in_range = active & (idx >= 0) & (idx < len(buf.data))
+            if np.any(active & ~in_range & (idx >= len(buf.data))):
+                raise MachineError(
+                    f"store out of range on buffer {buf.name!r}"
+                )
+            live = idx[in_range]
+            buf.data[live] = value.data[in_range]
+            if live.size:
+                lo = int(live.min())
+                span = int(live.max()) - lo + 1
+            else:
+                lo = span = 0
+        buf.mark_dirty()
+        sid = stream_id if stream_id is not None else buf.default_sid
+        if span:
+            nbytes = span * buf.elem_bytes
             self.mem.access(buf.addr_of(lo), nbytes, sid)
             if buf.track_forwarding:
                 self._record_store(buf.addr_of(lo), nbytes)
@@ -603,35 +739,94 @@ class VectorMachine:
         after issue, even on all-L1 hits.
         """
         n = len(idx.data)
-        active = pred.data if pred is not None else np.ones(n, dtype=bool)
-        indices = idx.data[active]
-        buf.check_range(indices)
-        vals = np.zeros(n, dtype=np.int64)
-        vals[active] = buf.data[indices]
-        sid = stream_id if stream_id is not None else hash(buf.name) & 0xFFFF
-        worst = 0
-        for i in indices:
-            worst = max(
-                worst, self.mem.access(buf.addr_of(int(i)), buf.elem_bytes, sid)
-            )
-        extra = max(0, worst - self.system.l1d.load_to_use)
-        occupancy = self._indexed_occupancy(int(active.sum()))
+        if pred is None and self.use_batched_memory:
+            # All lanes active: skip the mask materialisation and the
+            # masked scatter of values (measurably hot under gather-
+            # dominated kernels; values are unchanged).  The fancy index
+            # enforces the upper bound; negatives (which numpy would
+            # wrap) take one explicit reduction.
+            indices = idx.data
+            if n and int(indices.min()) < 0:
+                buf.check_range(indices)  # raises with the precise message
+            try:
+                vals = buf.data[indices]
+            except IndexError:
+                buf.check_range(indices)
+                raise
+            n_active = n
+        else:
+            active = pred.data if pred is not None else np.ones(n, dtype=bool)
+            indices = idx.data[active]
+            buf.check_range(indices)
+            vals = np.zeros(n, dtype=np.int64)
+            vals[active] = buf.data[indices]
+            n_active = int(active.sum())
+        sid = stream_id if stream_id is not None else buf.default_sid
+        worst = self._indexed_memory(buf, indices, buf.elem_bytes, sid)
+        extra = max(0, worst - self._l1_ltu)
+        occupancy = self._indexed_occupancy(n_active)
         latency = self._indexed_latency(occupancy, extra)
         complete = self._issue("memory", occupancy, latency, deps=(idx, pred))
         return VReg(vals, idx.ebits, complete, category="memory")
 
+    def _indexed_memory(self, buf, indices, size_bytes: int, sid: int) -> int:
+        """One demand access per active lane; returns the worst lane's
+        load-to-use latency.
+
+        On the batched path (:attr:`use_batched_memory`) every lane
+        address is computed with numpy and issued as a single
+        :meth:`~repro.memory.hierarchy.MemoryHierarchy.access_batch`
+        call, mirrored into the tracer as one ``membatch`` event.  The
+        legacy per-lane walk is kept for cross-checks and ``repro
+        bench``; both produce bit-identical statistics and latencies.
+        """
+        if not self.use_batched_memory:
+            worst = 0
+            for i in indices:
+                worst = max(
+                    worst, self.mem.access(buf.addr_of(int(i)), size_bytes, sid)
+                )
+            return worst
+        m = len(indices)
+        if not m:
+            return 0
+        if m == 1:
+            # A one-element batch is a plain demand access (the batch
+            # engine's stride hand-off degenerates to `observe`).
+            worst = self.mem.access(
+                buf.base + int(indices[0]) * buf.elem_bytes, size_bytes, sid
+            )
+        else:
+            if buf.elem_bytes == 1:
+                addrs = buf.base + indices
+            else:
+                addrs = buf.base + indices * buf.elem_bytes
+            worst = self.mem.access_batch_max(addrs, size_bytes, sid)
+        if self.tracer is not None:
+            self.tracer.record(
+                "membatch",
+                "memory",
+                self.clock,
+                latency=worst,
+                lanes=m,
+            )
+        return worst
+
     def _indexed_occupancy(self, active: int) -> int:
         """Issue occupancy of an indexed memory op: per-element AGU
         serialisation (a full gather occupies ~lat_gather_base cycles)."""
-        per = self.system.gather_element_occupancy
-        return max(1, int(round(per * active)))
+        try:
+            return self._occ_lut[active]
+        except IndexError:
+            per = self.system.gather_element_occupancy
+            return max(1, int(round(per * active)))
 
     def _indexed_latency(self, occupancy: int, extra: int) -> int:
         """Completion latency beyond issue: the full gather takes at
         least ``lat_gather_base`` cycles even on all-L1 hits, plus any
         exposed miss latency."""
-        floor = self.system.l1d.load_to_use
-        return max(floor, self.system.lat_gather_base - occupancy + floor) + extra
+        floor = self._l1_ltu
+        return max(floor, self._lat_gather_base - occupancy + floor) + extra
 
     def gather64(
         self,
@@ -652,29 +847,51 @@ class VectorMachine:
         if idx.ebits != 64:
             raise MachineError("gather64 expects 64-bit lane indices")
         n = len(idx.data)
-        active = pred.data if pred is not None else np.ones(n, dtype=bool)
-        indices = idx.data[active]
-        if indices.size:
-            lo, hi = int(indices.min()), int(indices.max())
-            if lo < 0 or hi >= len(buf.data):
-                raise MachineError(
-                    f"gather64 index out of range on {buf.name!r}: [{lo}, {hi}]"
-                )
-        vals = np.zeros(n, dtype=np.int64)
-        shifts = np.arange(8, dtype=np.uint64) * np.uint64(8)
-        for lane in np.flatnonzero(active):
-            start = int(idx.data[lane])
-            window = buf.data[start : start + 8].astype(np.uint64)
-            packed = np.bitwise_or.reduce(
-                (window & np.uint64(0xFF)) << shifts[: len(window)]
-            ) if len(window) else np.uint64(0)
-            vals[lane] = np.int64(packed)
-        sid = stream_id if stream_id is not None else hash(buf.name) & 0xFFFF
-        worst = 0
-        for i in indices:
-            worst = max(worst, self.mem.access(buf.addr_of(int(i)), 8, sid))
-        extra = max(0, worst - self.system.l1d.load_to_use)
-        occupancy = self._indexed_occupancy(int(active.sum()))
+        if pred is None:
+            active = None
+            indices = idx.data
+        else:
+            active = pred.data
+            indices = idx.data[active]
+        n_active = int(indices.size)
+        if self.use_batched_memory:
+            # All windows come from the buffer's precomputed packed-
+            # window table: one fancy index per gather instead of a
+            # per-lane packing loop.  The upper bound is enforced by the
+            # fancy index itself; only negatives (which numpy would wrap)
+            # need an explicit reduction.
+            if n_active and int(indices.min()) < 0:
+                _raise_gather64_range(buf, indices)
+            try:
+                if active is None:
+                    vals = buf.packed_windows()[indices]
+                else:
+                    vals = np.zeros(n, dtype=np.int64)
+                    if n_active:
+                        vals[active] = buf.packed_windows()[indices]
+            except IndexError:
+                _raise_gather64_range(buf, indices)
+        else:
+            # Legacy per-lane packing walk (kept, with the serial memory
+            # walk, as the old-vs-new benchmark reference).
+            if n_active:
+                lo, hi = int(indices.min()), int(indices.max())
+                if lo < 0 or hi >= len(buf.data):
+                    _raise_gather64_range(buf, indices)
+            mask = np.ones(n, dtype=bool) if active is None else active
+            vals = np.zeros(n, dtype=np.int64)
+            shifts = np.arange(8, dtype=np.uint64) * np.uint64(8)
+            for lane in np.flatnonzero(mask):
+                start = int(idx.data[lane])
+                window = buf.data[start : start + 8].astype(np.uint64)
+                packed = np.bitwise_or.reduce(
+                    (window & np.uint64(0xFF)) << shifts[: len(window)]
+                ) if len(window) else np.uint64(0)
+                vals[lane] = np.int64(packed)
+        sid = stream_id if stream_id is not None else buf.default_sid
+        worst = self._indexed_memory(buf, indices, 8, sid)
+        extra = max(0, worst - self._l1_ltu)
+        occupancy = self._indexed_occupancy(n_active)
         latency = self._indexed_latency(occupancy, extra)
         complete = self._issue("memory", occupancy, latency, deps=(idx, pred))
         return VReg(vals, 64, complete, category="memory")
@@ -689,14 +906,23 @@ class VectorMachine:
     ) -> None:
         """Indexed vector store."""
         n = len(idx.data)
-        active = pred.data if pred is not None else np.ones(n, dtype=bool)
-        indices = idx.data[active]
-        buf.check_range(indices)
-        buf.data[indices] = value.data[active]
-        sid = stream_id if stream_id is not None else hash(buf.name) & 0xFFFF
-        for i in indices:
-            self.mem.access(buf.addr_of(int(i)), buf.elem_bytes, sid)
-        occupancy = self._indexed_occupancy(int(active.sum()))
+        if pred is None and self.use_batched_memory:
+            # All lanes active: skip the mask machinery (mirrors the
+            # ``gather`` fast path).
+            indices = idx.data
+            buf.check_range(indices)
+            buf.data[indices] = value.data
+            n_active = n
+        else:
+            active = pred.data if pred is not None else np.ones(n, dtype=bool)
+            indices = idx.data[active]
+            buf.check_range(indices)
+            buf.data[indices] = value.data[active]
+            n_active = int(active.sum())
+        buf.mark_dirty()
+        sid = stream_id if stream_id is not None else buf.default_sid
+        self._indexed_memory(buf, indices, buf.elem_bytes, sid)
+        occupancy = self._indexed_occupancy(n_active)
         self._issue("memory", occupancy, 2, deps=(idx, value, pred))
 
     def _record_store(self, addr: int, nbytes: int) -> None:

@@ -32,6 +32,23 @@ class VReg:
         self.ready = ready
         self.category = category
 
+    @classmethod
+    def _wrap(
+        cls,
+        data: np.ndarray,
+        ebits: int,
+        ready: int,
+        category: str = "vector",
+    ) -> "VReg":
+        """Wrap an array known to already be ``int64`` (hot-path
+        constructor: skips the ``np.asarray`` dtype check)."""
+        self = object.__new__(cls)
+        self.data = data
+        self.ebits = ebits
+        self.ready = ready
+        self.category = category
+        return self
+
     def __len__(self) -> int:
         return len(self.data)
 
@@ -59,6 +76,23 @@ class Pred:
         self.ready = ready
         self.category = category
 
+    @classmethod
+    def _wrap(
+        cls,
+        data: np.ndarray,
+        ebits: int,
+        ready: int,
+        category: str = "vector",
+    ) -> "Pred":
+        """Wrap an array known to already be boolean (hot-path
+        constructor: skips the ``np.asarray`` dtype check)."""
+        self = object.__new__(cls)
+        self.data = data
+        self.ebits = ebits
+        self.ready = ready
+        self.category = category
+        return self
+
     def __len__(self) -> int:
         return len(self.data)
 
@@ -80,7 +114,10 @@ class SimBuffer:
     ``base + i * elem_bytes``.  Functional contents are an ``int64`` array.
     """
 
-    __slots__ = ("name", "data", "base", "elem_bytes", "track_forwarding")
+    __slots__ = (
+        "name", "data", "base", "elem_bytes", "track_forwarding",
+        "default_sid", "_win64",
+    )
 
     def __init__(
         self, name: str, data: np.ndarray, base: int, elem_bytes: int
@@ -96,6 +133,11 @@ class SimBuffer:
         #: ``SystemConfig.store_to_load_visible``).  Enabled for rolling
         #: DP state, where the hazard is the dominant effect (Fig. 7).
         self.track_forwarding = False
+        #: Prefetch stream id used when the caller passes none: derived
+        #: from the buffer name so repeated runs train the same streams.
+        self.default_sid = hash(name) & 0xFFFF
+        #: Lazily built ``packed_windows`` cache; invalidated by writes.
+        self._win64 = None
 
     def __len__(self) -> int:
         return len(self.data)
@@ -112,6 +154,29 @@ class SimBuffer:
     @property
     def size_bytes(self) -> int:
         return len(self.data) * self.elem_bytes
+
+    def mark_dirty(self) -> None:
+        """Invalidate caches derived from ``data``; every code path that
+        writes ``data`` (simulated stores/scatters, direct DP-table
+        writes) must call this."""
+        self._win64 = None
+
+    def packed_windows(self) -> np.ndarray:
+        """Little-endian 8-byte windows at every index (``gather64``).
+
+        ``packed_windows()[i]`` equals ``data[i .. i+8)`` packed
+        little-endian with the low byte of each element, zero-padded past
+        the buffer end — exactly what a per-lane ``gather64`` packing
+        loop computes.  Built lazily over the whole buffer in eight
+        vectorized passes; writes invalidate it via :meth:`mark_dirty`.
+        """
+        if self._win64 is None:
+            low = self.data.astype(np.uint64) & np.uint64(0xFF)
+            packed = low.copy()
+            for k in range(1, 8):
+                packed[:-k] |= low[k:] << np.uint64(8 * k)
+            self._win64 = packed.view(np.int64)
+        return self._win64
 
     def check_range(self, indices: np.ndarray) -> None:
         """Raise on out-of-bounds simulated access."""

@@ -23,12 +23,13 @@ from dataclasses import dataclass
 from repro.errors import MachineError
 
 #: Version of the event/summary record layout (bump on shape changes).
-TRACE_SCHEMA_VERSION = 1
+TRACE_SCHEMA_VERSION = 2
 
 #: Event kinds emitted by the machine.
 KIND_ISSUE = "issue"
 KIND_SERIALIZE = "serialize"
 KIND_BLOCK = "block"
+KIND_MEMBATCH = "membatch"
 
 
 @dataclass(frozen=True)
@@ -49,6 +50,7 @@ class TraceEvent:
     complete: int = 0
     stall: int = 0
     stall_category: "str | None" = None
+    lanes: int = 0
 
     def to_record(self) -> dict:
         """Flat JSON-ready dict (schema ``TRACE_SCHEMA_VERSION``)."""
@@ -61,6 +63,7 @@ class TraceEvent:
             "complete": self.complete,
             "stall": self.stall,
             "stall_category": self.stall_category,
+            "lanes": self.lanes,
         }
 
 
@@ -94,6 +97,11 @@ class MachineTracer:
         self.instructions_by_category: Counter = Counter()
         self.busy_by_category: Counter = Counter()
         self.stall_by_category: Counter = Counter()
+        #: Batched memory transactions mirrored from the machine's
+        #: gather/scatter fast path (one per access_batch call).
+        self.membatch_events = 0
+        #: Total lanes carried by those transactions.
+        self.membatch_lanes = 0
         #: category -> Counter of power-of-two latency buckets (issue ->
         #: result-ready cycles, occupancy included).
         self.latency_histograms: "dict[str, Counter]" = {}
@@ -112,9 +120,11 @@ class MachineTracer:
         stall: int = 0,
         stall_category: "str | None" = None,
         instructions: int = 0,
+        lanes: int = 0,
     ) -> None:
         """Record one event; ``instructions`` is the bulk count carried
-        by a ``block`` event (an ``issue`` event always counts one)."""
+        by a ``block`` event (an ``issue`` event always counts one) and
+        ``lanes`` the element count of a ``membatch`` transaction."""
         event = TraceEvent(
             kind=kind,
             category=category,
@@ -124,12 +134,20 @@ class MachineTracer:
             complete=complete,
             stall=stall,
             stall_category=stall_category,
+            lanes=lanes,
         )
         if self._ring[self._next] is not None:
             self.dropped += 1
         self._ring[self._next] = event
         self._next = (self._next + 1) % self.capacity
         self.events_seen += 1
+        if kind == KIND_MEMBATCH:
+            # Mirror of a batched gather/scatter memory transaction: the
+            # issuing instruction still records its own issue event, so
+            # per-category totals keep reconciling with ``snapshot()``.
+            self.membatch_events += 1
+            self.membatch_lanes += lanes
+            return
         if kind == KIND_ISSUE:
             self.instructions_by_category[category] += 1
             self.busy_by_category[category] += occupancy
@@ -167,6 +185,8 @@ class MachineTracer:
             "instructions_by_category": dict(self.instructions_by_category),
             "busy_by_category": dict(self.busy_by_category),
             "stall_by_category": dict(self.stall_by_category),
+            "membatch_events": self.membatch_events,
+            "membatch_lanes": self.membatch_lanes,
             "latency_histograms": {
                 cat: self.histogram(cat) for cat in sorted(self.latency_histograms)
             },
@@ -185,3 +205,5 @@ class MachineTracer:
         self.busy_by_category.clear()
         self.stall_by_category.clear()
         self.latency_histograms.clear()
+        self.membatch_events = 0
+        self.membatch_lanes = 0

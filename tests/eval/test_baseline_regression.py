@@ -1,0 +1,47 @@
+"""Zero-drift regression against the committed fig4 baseline.
+
+The batched memory fast path must not move a single statistic: a fresh
+``repro fig4`` record is compared against
+``results/baselines/fig4_scale005.json`` at the default (zero)
+tolerances.  Runs in a subprocess with ``PYTHONHASHSEED=0`` because
+buffer-name-derived prefetch stream ids must match the ones the
+baseline was recorded with.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+BASELINE = REPO / "results" / "baselines" / "fig4_scale005.json"
+
+
+def run_repro(args, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["PYTHONHASHSEED"] = "0"
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.slow
+def test_fig4_record_matches_baseline_bit_for_bit(tmp_path):
+    assert BASELINE.exists(), "committed baseline missing"
+    record = tmp_path / "fig4_now.json"
+    gen = run_repro(
+        ["fig4", "--scale", "0.05", "--no-cache", "--emit-json", str(record)],
+        tmp_path,
+    )
+    assert gen.returncode == 0, gen.stderr
+    cmp_ = run_repro(["compare", str(BASELINE), str(record)], tmp_path)
+    assert cmp_.returncode == 0, cmp_.stdout + cmp_.stderr
+    assert cmp_.stdout.startswith("OK")

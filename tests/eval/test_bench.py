@@ -1,0 +1,88 @@
+"""Tests for the membatch micro-benchmark harness (``repro bench``)."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.eval import bench
+
+
+@pytest.fixture(scope="module")
+def quick_report(tmp_path_factory):
+    """One quick run of the two fastest workloads, shared by the module."""
+    out = tmp_path_factory.mktemp("bench") / "report.json"
+    return bench.run_bench(
+        quick=True, out=out, only=["stride_sweep", "random_gather"]
+    )
+
+
+class TestRunBench:
+    def test_report_shape(self, quick_report):
+        assert quick_report["quick"] is True
+        assert set(quick_report["workloads"]) == {"stride_sweep", "random_gather"}
+        for cell in quick_report["workloads"].values():
+            assert set(cell) >= {
+                "reps", "serial_s", "batched_s", "speedup", "stats_identical",
+            }
+            assert cell["serial_s"] >= 0 and cell["batched_s"] >= 0
+
+    def test_both_paths_bit_identical(self, quick_report):
+        for name, cell in quick_report["workloads"].items():
+            assert cell["stats_identical"], name
+
+    def test_report_written_to_disk(self, quick_report):
+        on_disk = json.loads(open(quick_report["path"]).read())
+        assert on_disk["workloads"].keys() == quick_report["workloads"].keys()
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ReproError, match="unknown bench workload"):
+            bench.run_bench(quick=True, out=None, only=["nope"])
+
+    def test_out_none_skips_write(self):
+        report = bench.run_bench(quick=True, out=None, only=["random_gather"])
+        assert "path" not in report
+
+
+class TestCheckReport:
+    def fake(self, identical=True, speedup=2.0):
+        return {
+            "workloads": {
+                "stride_sweep": {
+                    "reps": 1,
+                    "serial_s": 0.2,
+                    "batched_s": round(0.2 / speedup, 4),
+                    "speedup": speedup,
+                    "stats_identical": True,
+                },
+                "random_gather": {
+                    "reps": 1,
+                    "serial_s": 0.1,
+                    "batched_s": 0.05,
+                    "speedup": 2.0,
+                    "stats_identical": identical,
+                },
+            }
+        }
+
+    def test_clean_report_passes(self):
+        assert bench.check_report(self.fake()) == []
+
+    def test_stats_divergence_fails(self):
+        failures = bench.check_report(self.fake(identical=False))
+        assert any("diverged" in f for f in failures)
+
+    def test_gated_regression_fails(self):
+        failures = bench.check_report(self.fake(speedup=0.9))
+        assert any("slower than serial" in f for f in failures)
+
+    def test_real_quick_report_passes_gate(self, quick_report):
+        assert bench.check_report(quick_report) == []
+
+
+class TestRender:
+    def test_render_mentions_every_workload(self, quick_report):
+        text = bench.render_report(quick_report)
+        for name in quick_report["workloads"]:
+            assert name in text
+        assert "identical" in text

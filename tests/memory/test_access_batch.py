@@ -1,0 +1,140 @@
+"""Property-style equivalence tests for the batched demand path.
+
+``MemoryHierarchy.access_batch`` must be *bit-identical* to looping
+``access``/``access_line`` element by element: same ``MemoryStats``,
+same per-request latency sequence, same subsequent behaviour (LRU order
+and prefetcher streams carry forward identically).  These tests drive
+both paths with the same randomized address streams — mixed strides,
+duplicates, multi-line spans, multiple stream ids, interleaved batches —
+on two fresh hierarchies and demand equality everywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import CacheConfig, SystemConfig
+from repro.errors import MemoryModelError
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+def tiny_system(prefetch=True):
+    return SystemConfig(
+        l1d=CacheConfig(size_bytes=1024, ways=2, load_to_use=4, prefetcher=prefetch),
+        l2=CacheConfig(size_bytes=8192, ways=4, load_to_use=37, prefetcher=prefetch),
+    )
+
+
+def serial_access(mem, addrs, size, sid):
+    return [mem.access(int(a), size, sid) for a in addrs]
+
+
+def random_stream(rng, n, max_addr=64 * 1024):
+    """A mixed stream: strided runs, random jumps, and duplicates."""
+    out = []
+    addr = int(rng.integers(0, max_addr))
+    while len(out) < n:
+        kind = rng.integers(0, 4)
+        if kind == 0:  # strided run (forms confident prefetch streams)
+            stride = int(rng.choice([-128, -8, 1, 4, 8, 32, 64, 96, 256]))
+            run = int(rng.integers(2, 12))
+            for _ in range(run):
+                out.append(addr)
+                addr = max(0, addr + stride) % max_addr
+        elif kind == 1:  # duplicates (run-length collapse fodder)
+            out.extend([addr] * int(rng.integers(2, 8)))
+        elif kind == 2:  # same-line jitter
+            base = addr & ~63
+            out.extend(base + int(o) for o in rng.integers(0, 64, 3))
+        else:  # random jump
+            addr = int(rng.integers(0, max_addr))
+            out.append(addr)
+    return np.asarray(out[:n], dtype=np.int64)
+
+
+class TestAccessBatchEquivalence:
+    @pytest.mark.parametrize("prefetch", [True, False])
+    @pytest.mark.parametrize("size", [1, 4, 8, 64, 100])
+    def test_random_streams_match_serial_access(self, prefetch, size):
+        rng = np.random.default_rng(2024 + size)
+        for trial in range(8):
+            addrs = random_stream(rng, int(rng.integers(1, 400)))
+            serial = MemoryHierarchy(tiny_system(prefetch))
+            batched = MemoryHierarchy(tiny_system(prefetch))
+            want = serial_access(serial, addrs, size, sid := 7)
+            got = batched.access_batch(addrs, size, sid)
+            assert got.tolist() == want
+            assert batched.stats() == serial.stats()
+
+    def test_multiple_stream_ids_interleaved_batches(self):
+        rng = np.random.default_rng(99)
+        serial = MemoryHierarchy(tiny_system())
+        batched = MemoryHierarchy(tiny_system())
+        for round_ in range(12):
+            sid = int(rng.integers(0, 3))
+            size = int(rng.choice([1, 4, 8, 72]))
+            addrs = random_stream(rng, int(rng.integers(1, 120)))
+            want = serial_access(serial, addrs, size, sid)
+            got = batched.access_batch(addrs, size, sid)
+            assert got.tolist() == want, f"round {round_}"
+            assert batched.stats() == serial.stats(), f"round {round_}"
+
+    def test_batch_then_serial_behaviour_carries_forward(self):
+        """State after a batch must equal state after the serial loop."""
+        rng = np.random.default_rng(5)
+        addrs = random_stream(rng, 300)
+        tail = random_stream(rng, 100)
+        serial = MemoryHierarchy(tiny_system())
+        batched = MemoryHierarchy(tiny_system())
+        serial_access(serial, addrs, 8, 3)
+        batched.access_batch(addrs, 8, 3)
+        # Continue both on the *serial* API: LRU order, prefetcher
+        # stream state, and L2 contents must all have matched.
+        assert serial_access(batched, tail, 8, 3) == serial_access(serial, tail, 8, 3)
+        assert batched.stats() == serial.stats()
+
+    def test_unit_stride_collapses_but_counts_identically(self):
+        addrs = np.arange(0, 4096, dtype=np.int64)  # byte-by-byte walk
+        serial = MemoryHierarchy(tiny_system())
+        batched = MemoryHierarchy(tiny_system())
+        want = serial_access(serial, addrs, 1, 1)
+        got = batched.access_batch(addrs, 1, 1)
+        assert got.tolist() == want
+        assert batched.stats() == serial.stats()
+
+    def test_empty_batch_is_a_no_op(self):
+        mem = MemoryHierarchy(tiny_system())
+        before = mem.stats()
+        out = mem.access_batch(np.empty(0, dtype=np.int64), 8, 1)
+        assert out.size == 0
+        assert mem.stats() == before
+
+    def test_bad_size_rejected(self):
+        mem = MemoryHierarchy(tiny_system())
+        with pytest.raises(MemoryModelError):
+            mem.access_batch(np.array([0]), 0, 1)
+
+
+class TestAccessLineBatch:
+    def test_matches_access_line_loop(self):
+        rng = np.random.default_rng(17)
+        lines = (random_stream(rng, 500) & ~63).astype(np.int64)
+        serial = MemoryHierarchy(tiny_system())
+        batched = MemoryHierarchy(tiny_system())
+        want = [serial.access_line(int(a), 2) for a in lines]
+        got = batched.access_line_batch(lines, 2)
+        assert got.tolist() == want
+        assert batched.stats() == serial.stats()
+
+    def test_unaligned_rejected(self):
+        mem = MemoryHierarchy(tiny_system())
+        with pytest.raises(MemoryModelError):
+            mem.access_line_batch(np.array([64, 65], dtype=np.int64))
+
+    def test_touch_matches_serial_reference(self):
+        serial = MemoryHierarchy(tiny_system())
+        batched = MemoryHierarchy(tiny_system())
+        # Reference: the documented semantics of touch as a line loop.
+        for line_addr in range(0, 1001, 64):
+            serial.access_line(line_addr, 4)
+        batched.touch(0, 1001, 4)
+        assert batched.stats() == serial.stats()

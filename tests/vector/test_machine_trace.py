@@ -87,6 +87,7 @@ class TestTracerCore:
             "complete": 8,
             "stall": 2,
             "stall_category": "memory",
+            "lanes": 0,
         }
 
 
