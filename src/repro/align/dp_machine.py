@@ -39,6 +39,7 @@ from repro.config import QZ_ESIZE_2BIT, QZ_ESIZE_8BIT, QZ_ESIZE_64BIT
 from repro.errors import AlignmentError
 from repro.genomics.generator import SequencePair
 from repro.vector.machine import VectorMachine
+from repro.vector.program import REPLAY_METER, ReplaySession, capture
 from repro.vector.register import Pred, VReg
 from repro.vector.stats import MachineStats
 
@@ -266,7 +267,20 @@ class DpEngine:
     # ------------------------------------------------------------------
     def _chunk_kernel(self, d: int, i0: int, count: int) -> None:
         """Instruction-level kernel for one 16-cell chunk of diagonal d."""
-        m = self.machine
+        self._chunk_body(self.machine, d, i0, count)
+        self._tb_account(count)
+
+    def _tb_account(self, count: int) -> None:
+        if self.traceback_table:
+            self.machine.mem.access(
+                self._tb_base + self._tb_written, count, stream_id=909
+            )
+            self._tb_written += count
+
+    def _chunk_body(self, m, d, i0, count) -> None:
+        """The chunk's straight-line vector ops (replay-capturable:
+        ``m`` may be a :class:`repro.vector.program.Recorder` and
+        ``d``/``i0``/``count`` symbolic scalars)."""
         st = self.state
         pen = self.pen
         act = m.whilelt(0, count)
@@ -299,9 +313,38 @@ class DpEngine:
         st.write(m, "e", i0, e_d, act)
         st.write(m, "f", i0, f_d, act)
         st.write(m, "h", i0, h_d, act)
-        if self.traceback_table:
-            m.mem.access(self._tb_base + self._tb_written, count, stream_id=909)
-            self._tb_written += count
+
+    def _chunk_replay(self, d: int, i0: int, count: int, programs: dict) -> None:
+        """Capture-or-replay one chunk kernel.
+
+        The rolling state buffers rotate with period 6 (H x3, E/F x2),
+        so the chunk body re-binds the same buffer objects whenever
+        ``d`` repeats mod 6: one captured program per phase covers every
+        diagonal, with (d, i0, count) threaded through as symbolic
+        scalar parameters.
+        """
+        phase = d % 6
+        if phase in programs:
+            prog = programs[phase]
+            if prog is None:
+                self._chunk_body(self.machine, d, i0, count)
+                REPLAY_METER.interpreted_blocks += 1
+            else:
+                out = prog.replay(self.machine, (), (d, i0, count))
+                if out is None:
+                    # Program declined (an external register was still
+                    # in flight at block entry): interpret this chunk.
+                    self._chunk_body(self.machine, d, i0, count)
+                    REPLAY_METER.interpreted_blocks += 1
+                    REPLAY_METER.interpreted_instructions += prog.n_ops
+        else:
+            _outs, prog = capture(
+                self.machine,
+                lambda rm, dd, ii, cc: (self._chunk_body(rm, dd, ii, cc), ())[1],
+                (), (d, i0, count),
+            )
+            programs[phase] = prog
+        self._tb_account(count)
 
     # ------------------------------------------------------------------
     def _set_boundaries(self, d: int) -> None:
@@ -354,6 +397,11 @@ class DpEngine:
     def _run_exact(self) -> int | None:
         m = self.machine
         st = self.state
+        # The QBUFFER-resident state backend ring-addresses with a
+        # modulo, which the symbolic capture cannot express; it falls
+        # back to interpretation (and is an ablation-only mode anyway).
+        use_replay = ReplaySession.enabled(m) and self.qz_mode != "state"
+        programs: dict = {}
         self._set_boundaries(0)
         for d in range(1, self.m + self.n + 1):
             st.rotate()
@@ -361,7 +409,10 @@ class DpEngine:
             ilo, ihi = _diag_range(d, self.m, self.n, self.band)
             m.scalar(3)
             for i0 in range(ilo, ihi + 1, 16):
-                self._chunk_kernel(d, i0, min(16, ihi - i0 + 1))
+                if use_replay:
+                    self._chunk_replay(d, i0, min(16, ihi - i0 + 1), programs)
+                else:
+                    self._chunk_kernel(d, i0, min(16, ihi - i0 + 1))
             self._poison_band_edges(ilo, ihi)
         final = st.peek("h", 0, self.m)
         if final >= _INF:

@@ -35,6 +35,7 @@ from repro.errors import QuetzalError
 from repro.genomics.sequence import Sequence
 from repro.quetzal.accelerator import QuetzalUnit
 from repro.vector.machine import VectorMachine
+from repro.vector.program import ReplaySession
 from repro.vector.register import Pred, VReg
 
 _COUNT_SHIFT = {2: 1, 8: 3}
@@ -48,6 +49,7 @@ def qz_window_step(
 ) -> None:
     """One iteration of the software-count window loop (QZ style)."""
     m = machine
+    qz = m.quetzal  # the recorder's proxy during capture; same unit otherwise
     inb = st.inb
     shift = _COUNT_SHIFT[qz.element_bits]
     a = qz.qzload(st.v, 0, pred=inb, window=True)
@@ -69,6 +71,7 @@ def qz_count_step(
 ) -> None:
     """One iteration of the count-ALU loop (QZ+C style)."""
     m = machine
+    qz = m.quetzal  # the recorder's proxy during capture; same unit otherwise
     inb = st.inb
     counts = qz.qzmhm("count", st.v, st.h, pred=inb)
     c = m.min(counts, m.sub(consts.mvec, st.v, pred=inb), pred=inb)
@@ -85,6 +88,7 @@ def qz_window_rev_step(
 ) -> None:
     """One iteration of the backward software-count loop (BiWFA, QZ)."""
     m = machine
+    qz = m.quetzal  # the recorder's proxy during capture; same unit otherwise
     inb = st.inb
     bits = qz.element_bits
     shift = _COUNT_SHIFT[bits]
@@ -111,6 +115,7 @@ def qz_rcount_step(
 ) -> None:
     """One iteration of the backward count-ALU loop (BiWFA, QZ+C)."""
     m = machine
+    qz = m.quetzal  # the recorder's proxy during capture; same unit otherwise
     inb = st.inb
     vi = m.sub(consts.mtop, st.v, pred=inb)
     hi = m.sub(consts.ntop, st.h, pred=inb)
@@ -147,6 +152,18 @@ def _standalone(step):
         if consts is None:
             consts = ExtendConsts(machine, m_len, n_len, 64 // qz.element_bits)
         st = enter_extend(machine, consts, v, h, active)
+        if iter_hook is None and ReplaySession.enabled(machine):
+            key = (id(machine), step)
+            session = consts.replay.get(key)
+            if session is None:
+                session = consts.replay[key] = ReplaySession(
+                    machine,
+                    lambda mm, ss: step(mm, qz, consts, ss),
+                    name=step.__name__,
+                )
+            while machine.ptest_spec(st.inb):
+                session.step(st)
+            return st.v, st.h
         while machine.ptest_spec(st.inb):
             step(machine, qz, consts, st)
             if iter_hook is not None:

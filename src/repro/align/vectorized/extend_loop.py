@@ -38,6 +38,7 @@ from repro.cache import CALIBRATION
 from repro.config import SystemConfig
 from repro.errors import MachineError
 from repro.vector.machine import VectorMachine
+from repro.vector.program import ReplaySession
 from repro.vector.register import Pred, SimBuffer, VReg
 from repro.vector.stats import MachineStats
 
@@ -48,7 +49,10 @@ VEC_WINDOW = 8
 class ExtendConsts:
     """Loop-invariant broadcast registers, hoisted once per pair."""
 
-    __slots__ = ("m_len", "n_len", "window", "mvec", "nvec", "mtop", "ntop", "wtop")
+    __slots__ = (
+        "m_len", "n_len", "window", "mvec", "nvec", "mtop", "ntop", "wtop",
+        "replay",
+    )
 
     def __init__(
         self, machine: VectorMachine, m_len: int, n_len: int, window: int
@@ -61,6 +65,10 @@ class ExtendConsts:
         self.mtop = machine.dup(m_len - 1, ebits=64)
         self.ntop = machine.dup(n_len - 1, ebits=64)
         self.wtop = machine.dup(window - 1, ebits=64)
+        #: Replay sessions per (machine, buffers) using these constants
+        #: (see :mod:`repro.vector.program`); the captured programs bake
+        #: the broadcast registers above, so the cache lives here.
+        self.replay = {}
 
 
 class ChunkState:
@@ -149,6 +157,21 @@ def vec_extend(
     if consts is None:
         consts = ExtendConsts(machine, m_len, n_len, VEC_WINDOW)
     st = enter_extend(machine, consts, v, h, active)
+    if iter_hook is None and ReplaySession.enabled(machine):
+        # Capture the loop body once per (machine, buffers) and replay
+        # it; the ``ptest_spec`` loop branch stays interpreted — it is
+        # the guard point where the data-dependent exit splits the trace.
+        key = (id(machine), id(pbuf), id(tbuf))
+        session = consts.replay.get(key)
+        if session is None:
+            session = consts.replay[key] = ReplaySession(
+                machine,
+                lambda mm, ss: vec_step(mm, pbuf, tbuf, consts, ss),
+                name="vec-extend",
+            )
+        while machine.ptest_spec(st.inb):
+            session.step(st)
+        return st.v, st.h
     while machine.ptest_spec(st.inb):
         vec_step(machine, pbuf, tbuf, consts, st)
         if iter_hook is not None:
@@ -549,9 +572,26 @@ def extend_chunks(
     m_len, n_len = consts.m_len, consts.n_len
     if not fast:
         states = enter_extend_many(machine, consts, chunks)
-        run_interleaved(
-            machine, states, lambda mm, st: kernel.step(mm, consts, st)
-        )
+        if ReplaySession.enabled(machine):
+            # All chunks share one captured body (they run the same
+            # straight-line step); the session lives on the kernel so
+            # successive columns/waves of one pair keep replaying it.
+            cached = getattr(kernel, "_replay_session", None)
+            if (
+                cached is None
+                or cached[0] is not machine
+                or cached[1] is not consts
+            ):
+                session = ReplaySession(
+                    machine,
+                    lambda mm, ss: kernel.step(mm, consts, ss),
+                    name=type(kernel).__name__,
+                )
+                kernel._replay_session = cached = (machine, consts, session)
+            step_fn = lambda mm, ss: cached[2].step(ss)  # noqa: E731
+        else:
+            step_fn = lambda mm, ss: kernel.step(mm, consts, ss)  # noqa: E731
+        run_interleaved(machine, states, step_fn)
         out = []
         for st, (v, h, valid) in zip(states, chunks):
             out.append((st.h, st.h.data - h.data))

@@ -21,6 +21,7 @@ from repro.align.vectorized.wfa_vec import FAST_LENGTH_THRESHOLD
 from repro.errors import AlignmentError
 from repro.genomics.generator import SequencePair
 from repro.vector.machine import VectorMachine
+from repro.vector.program import REPLAY_METER, ReplaySession, capture
 
 _uid = itertools.count()
 
@@ -38,19 +39,50 @@ def run_snake(
     consts = kernel.consts(m, n, n_text)
     cost_model = kernel.cost_model(m) if fast else None
     lanes = m.lanes(64)
+    k0s = list(range(-threshold, threshold + 1, lanes))
+
+    def column_setup(mm, col):
+        """Per-column chunk construction; ``col`` may be symbolic."""
+        vcol = mm.dup(col, ebits=64)
+        outs = [vcol]
+        for k0 in k0s:
+            count = min(lanes, threshold - k0 + 1)
+            act = mm.whilelt(0, count, ebits=64)
+            kvec = mm.iota(64, start=k0)
+            h = mm.add(kvec, col, pred=act)
+            valid = mm.cmp("ge", h, 0, pred=act)
+            outs += [h, valid]
+        return tuple(outs)
+
+    # The setup block is a straight-line function of the scalar ``col``,
+    # so it captures once per pair and replays for every later column
+    # (the data-dependent ``col += best`` advance stays interpreted).
+    setup_prog = None
     col = 0
     edits = 0
     rejected = False
     while col < n:
-        vcol = m.dup(col, ebits=64)
+        if ReplaySession.enabled(m):
+            if setup_prog is None:
+                outs, setup_prog = capture(m, column_setup, (), (col,))
+                if setup_prog is None:
+                    setup_prog = False  # unrecordable: interpret from now on
+            elif setup_prog is False:
+                outs = column_setup(m, col)
+                REPLAY_METER.interpreted_blocks += 1
+            else:
+                outs = setup_prog.replay(m, (), (col,))
+                if outs is None:
+                    outs = column_setup(m, col)
+                    REPLAY_METER.interpreted_blocks += 1
+                    REPLAY_METER.interpreted_instructions += setup_prog.n_ops
+        else:
+            outs = column_setup(m, col)
+        vcol = outs[0]
         chunks = []
         metas = []
-        for k0 in range(-threshold, threshold + 1, lanes):
-            count = min(lanes, threshold - k0 + 1)
-            act = m.whilelt(0, count, ebits=64)
-            kvec = m.iota(64, start=k0)
-            h = m.add(kvec, col, pred=act)
-            valid = m.cmp("ge", h, 0, pred=act)
+        for i in range(len(k0s)):
+            h, valid = outs[1 + 2 * i], outs[2 + 2 * i]
             chunks.append((vcol, h, valid))
             metas.append((h, valid))
         results = extend_chunks(m, kernel, consts, chunks, fast, cost_model)

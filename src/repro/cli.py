@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import os
 import sys
 import time
 from pathlib import Path
@@ -38,6 +39,18 @@ from repro.eval import records, timing
 from repro.eval.compare import Tolerances, compare_records, render_drifts
 from repro.eval.parallel import default_jobs
 from repro.eval.reporting import render_table
+from repro.vector.machine import VectorMachine
+
+
+def _disable_replay() -> None:
+    """Turn the recorded-program replay engine off for this process.
+
+    The environment variable makes the choice stick for worker
+    processes (``repro.vector.machine`` reads it at import time), the
+    class attribute covers machines built in this process.
+    """
+    os.environ["REPRO_NO_REPLAY"] = "1"
+    VectorMachine.use_replay = False
 
 #: Experiment id -> (callable, title, kwargs-name for scaling or None).
 EXPERIMENTS = {
@@ -104,6 +117,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the table rows as CSV; with 'all', PATH is a "
         "directory of <experiment>.csv",
+    )
+    parser.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="interpret every vector op instead of replaying recorded "
+        "programs (results are bit-identical either way)",
     )
     return parser
 
@@ -173,13 +192,28 @@ def build_bench_parser() -> argparse.ArgumentParser:
         action="append",
         default=None,
         help="run a subset (repeatable); choose from "
-        "stride_sweep, random_gather, wfa_extend, fig4_cell",
+        "stride_sweep, random_gather, wfa_extend, fig4_cell, "
+        "replay_extend, replay_ss",
     )
     parser.add_argument(
         "--check",
         action="store_true",
-        help="exit 1 if statistics diverge or the batched path is "
-        "slower than serial on the stride-sweep workload",
+        help="exit 1 if statistics diverge or a gated workload "
+        "(stride_sweep and the replay workloads) regressed",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="N",
+        type=int,
+        default=None,
+        help="instead of timing, run each workload once under cProfile "
+        "and print the top N functions by cumulative time",
+    )
+    parser.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="disable the replay engine for the default execution paths "
+        "(the replay_* workloads still toggle it per leg)",
     )
     return parser
 
@@ -187,6 +221,11 @@ def build_bench_parser() -> argparse.ArgumentParser:
 def bench_main(argv: "list[str]") -> int:
     """``python -m repro bench [--quick] [--only W] [--check] [--out P]``."""
     args = build_bench_parser().parse_args(argv)
+    if args.no_replay:
+        _disable_replay()
+    if args.profile is not None:
+        print(bench.profile_bench(top=args.profile, quick=args.quick, only=args.only))
+        return 0
     report = bench.run_bench(quick=args.quick, out=args.out, only=args.only)
     print(bench.render_report(report))
     if args.check:
@@ -300,6 +339,8 @@ def main(argv: "list[str] | None" = None) -> int:
     configure_from_env(default_disk=not args.no_cache)
     if args.no_cache:
         CALIBRATION.disable_disk()
+    if args.no_replay:
+        _disable_replay()
     if args.experiment == "all":
         for name in EXPERIMENTS:
             print(

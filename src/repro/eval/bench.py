@@ -25,6 +25,19 @@ Workloads:
     ``run_implementation``.  Dataset synthesis happens outside the
     timed region — the cell measures alignment work, not the
     generator.
+``replay_extend``
+    The WFA extend inner loop again, but comparing the interpreted
+    step-by-step execution against the recorded-program replay engine
+    (``repro.vector.program``); both legs keep batched memory on.
+``replay_ss``
+    End-to-end Fig. 4 SS cell with replay off vs on — the same
+    bit-identity contract, measured through ``run_implementation``.
+
+The membatch workloads compare ``use_batched_memory`` off vs on (replay
+pinned off on both legs so it cannot blur the comparison); the replay
+workloads compare ``use_replay`` off vs on with batched memory pinned
+on.  In every cell ``serial_s`` is the slow leg and ``batched_s`` the
+fast leg, whatever the toggled dimension.
 """
 
 from __future__ import annotations
@@ -55,21 +68,48 @@ _SCALES = {
     "random_gather": (600, 90),
     "wfa_extend": (40, 8),
     "fig4_cell": (24, 4),
+    "replay_extend": (40, 8),
+    "replay_ss": (24, 4),
+}
+
+#: Workload name -> toggled dimension ("membatch" unless listed).
+_DIMENSIONS = {
+    "replay_extend": "replay",
+    "replay_ss": "replay",
+}
+
+#: dimension -> ((slow-leg label, batched, replay), (fast-leg label, ...)).
+_LEGS = {
+    "membatch": (("serial", False, False), ("batched", True, False)),
+    "replay": (("serial", True, False), ("batched", True, True)),
 }
 
 
-class _BatchedPath:
-    """Context manager pinning the class-wide batched-memory default."""
+class _PathPin:
+    """Context manager pinning the class-wide execution-path defaults."""
 
-    def __init__(self, enabled: bool) -> None:
-        self.enabled = enabled
+    def __init__(self, batched: bool, replay: bool) -> None:
+        self.batched = batched
+        self.replay = replay
 
     def __enter__(self) -> None:
-        self._saved = VectorMachine.use_batched_memory
-        VectorMachine.use_batched_memory = self.enabled
+        self._saved = (
+            VectorMachine.use_batched_memory,
+            VectorMachine.use_replay,
+        )
+        VectorMachine.use_batched_memory = self.batched
+        VectorMachine.use_replay = self.replay
 
     def __exit__(self, *exc) -> None:
-        VectorMachine.use_batched_memory = self._saved
+        VectorMachine.use_batched_memory = self._saved[0]
+        VectorMachine.use_replay = self._saved[1]
+
+
+class _BatchedPath(_PathPin):
+    """Pin only batched memory (replay off so it cannot blur timing)."""
+
+    def __init__(self, enabled: bool) -> None:
+        super().__init__(enabled, False)
 
 
 # ----------------------------------------------------------------------
@@ -129,6 +169,33 @@ def _wfa_extend(reps: int):
     return machine.snapshot()
 
 
+def _replay_extend(reps: int):
+    # Steady-state variant of the extend micro: long exact runs with a
+    # small lane stagger, so the loop spends most iterations with every
+    # lane active — the common case for WFA extends over near-identical
+    # sequences, and the case the recorded-program fast path targets.
+    machine = make_machine(SystemConfig())
+    rng = np.random.default_rng(7)
+    length = 4096
+    pattern = rng.integers(0, 4, length).astype(np.int64)
+    text = pattern.copy()
+    text[::251] = (text[::251] + 1) % 4
+    pbuf = machine.new_buffer("bench_p", pattern, elem_bytes=1)
+    tbuf = machine.new_buffer("bench_t", text, elem_bytes=1)
+    consts = ExtendConsts(machine, length, length, 8)
+    lanes = machine.lanes(64)
+    for rep in range(reps):
+        starts = (rep * 53) % 1024 + 3 * np.arange(lanes)
+        v = machine.from_values(starts, 64)
+        h = machine.from_values(starts, 64)
+        vec_extend(
+            machine, pbuf, tbuf, v, h, machine.ptrue(64),
+            length, length, consts=consts,
+        )
+    machine.barrier()
+    return machine.snapshot()
+
+
 _FIG4_DATASETS: dict = {}
 
 
@@ -145,41 +212,61 @@ def _fig4_cell(reps: int):
     return result.stats()
 
 
+_SS_DATASETS: dict = {}
+
+
+def _replay_ss(reps: int):
+    dataset = _SS_DATASETS.get(reps)
+    if dataset is None:
+        dataset = _SS_DATASETS[reps] = build_dataset(
+            "250bp_1", num_pairs=reps, seed=4321
+        )
+    impl = SsVec(threshold=dataset.spec.edit_threshold)
+    result = run_implementation(impl, dataset.pairs)
+    return result.stats()
+
+
 _WORKLOADS = {
     "stride_sweep": _stride_sweep,
     "random_gather": _random_gather,
     "wfa_extend": _wfa_extend,
     "fig4_cell": _fig4_cell,
+    # The replay workloads run the same kernels with the toggled
+    # dimension flipped to interpreted vs recorded-program execution.
+    "replay_extend": _replay_extend,
+    "replay_ss": _replay_ss,
 }
 
 
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
-def _measure(workload, reps: int, rounds: int = 3):
-    """Time one workload on both paths; returns the comparison dict.
+def _measure(workload, reps: int, rounds: int = 3, dimension: str = "membatch"):
+    """Time one workload on both legs; returns the comparison dict.
 
-    Both paths are warmed first, then timed in alternating rounds
-    (serial, batched, serial, ...) keeping the best time per path —
+    Both legs are warmed first, then timed in alternating rounds
+    (serial, batched, serial, ...) keeping the best time per leg —
     interleaving cancels slow machine-load drift that would otherwise
-    bias whichever path ran last, and the minimum is the least
-    noise-contaminated sample.
+    bias whichever leg ran last, and the minimum is the least
+    noise-contaminated sample.  ``dimension`` picks which toggle the
+    legs differ in (batched memory, or the replay engine).
     """
-    legs = (("serial", False), ("batched", True))
-    for _, enabled in legs:
-        with _BatchedPath(enabled):
+    legs = _LEGS[dimension]
+    for _, batched, replay in legs:
+        with _PathPin(batched, replay):
             workload(max(1, reps // 8))  # warm code paths and caches
     timings = {}
     stats = {}
     for _ in range(rounds):
-        for label, enabled in legs:
-            with _BatchedPath(enabled):
+        for label, batched, replay in legs:
+            with _PathPin(batched, replay):
                 start = time.perf_counter()
                 stats[label] = workload(reps)
                 elapsed = time.perf_counter() - start
             if label not in timings or elapsed < timings[label]:
                 timings[label] = elapsed
     return {
+        "dimension": dimension,
         "serial_s": round(timings["serial"], 4),
         "batched_s": round(timings["batched"], 4),
         "speedup": round(timings["serial"] / max(timings["batched"], 1e-9), 3),
@@ -221,7 +308,13 @@ def run_bench(
     }
     for name in names:
         reps = _SCALES[name][1 if quick else 0]
-        report["workloads"][name] = {"reps": reps, **_measure(_WORKLOADS[name], reps)}
+        report["workloads"][name] = {
+            "reps": reps,
+            **_measure(
+                _WORKLOADS[name], reps,
+                dimension=_DIMENSIONS.get(name, "membatch"),
+            ),
+        }
     if out is not None:
         path = Path(out)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -231,20 +324,31 @@ def run_bench(
 
 
 def check_report(report: dict, gate: str = "stride_sweep") -> "list[str]":
-    """CI gate: failures if stats diverge or the gated workload regressed."""
+    """CI gate: failures if stats diverge or a gated workload regressed.
+
+    Every replay-dimension workload in the report is gated on speedup in
+    addition to ``gate`` — the replay engine must never make a routed
+    loop slower than interpreting it.
+    """
     failures = []
     for name, cell in report["workloads"].items():
         if not cell["stats_identical"]:
             failures.append(
                 f"{name}: batched path diverged from serial statistics"
             )
-    gated = report["workloads"].get(gate)
-    if gated is not None and gated["speedup"] < 1.0:
-        failures.append(
-            f"{gate}: batched path slower than serial "
-            f"({gated['batched_s']}s vs {gated['serial_s']}s, "
-            f"speedup {gated['speedup']}x)"
-        )
+    gated_names = [gate] + sorted(
+        name
+        for name, cell in report["workloads"].items()
+        if cell.get("dimension") == "replay" and name != gate
+    )
+    for name in gated_names:
+        cell = report["workloads"].get(name)
+        if cell is not None and cell["speedup"] < 1.0:
+            failures.append(
+                f"{name}: batched path slower than serial "
+                f"({cell['batched_s']}s vs {cell['serial_s']}s, "
+                f"speedup {cell['speedup']}x)"
+            )
     return failures
 
 
@@ -257,11 +361,47 @@ def render_report(report: dict) -> str:
         f"{'speedup':>8}  stats",
     ]
     for name, cell in report["workloads"].items():
+        tag = " (replay)" if cell.get("dimension") == "replay" else ""
         lines.append(
             f"{name:<16} {cell['reps']:>5} {cell['serial_s']:>8.3f}s "
             f"{cell['batched_s']:>8.3f}s {cell['speedup']:>7.2f}x  "
-            f"{'identical' if cell['stats_identical'] else 'DIVERGED'}"
+            f"{'identical' if cell['stats_identical'] else 'DIVERGED'}{tag}"
         )
     if "path" in report:
         lines.append(f"[wrote {report['path']}]")
     return "\n".join(lines)
+
+
+def profile_bench(
+    top: int = 20, quick: bool = True, only: "list[str] | None" = None
+) -> str:
+    """Run each workload once under cProfile; return the top-N report.
+
+    Workloads execute a single rep-scaled pass on the default execution
+    paths (batched memory and replay both on) — the point is to see
+    where simulator time goes, not to compare legs.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    names = list(_WORKLOADS) if not only else list(only)
+    unknown = [n for n in names if n not in _WORKLOADS]
+    if unknown:
+        raise ReproError(
+            f"unknown bench workload(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(_WORKLOADS)}"
+        )
+    chunks = []
+    for name in names:
+        reps = _SCALES[name][1 if quick else 0]
+        profiler = cProfile.Profile()
+        with _PathPin(True, True):
+            profiler.enable()
+            _WORKLOADS[name](reps)
+            profiler.disable()
+        sink = io.StringIO()
+        stats = pstats.Stats(profiler, stream=sink)
+        stats.sort_stats("cumulative").print_stats(top)
+        chunks.append(f"== {name} ({reps} reps) ==\n{sink.getvalue().rstrip()}")
+    return "\n\n".join(chunks)

@@ -2,10 +2,13 @@
 
 Every ``--verbose`` CLI run (and any caller using :func:`measure`) gets a
 small profile per experiment: wall time, the worker fan-out used by the
-parallel engine, and the calibration-cache traffic
+parallel engine, the calibration-cache traffic
 (:data:`repro.cache.CALIBRATION` hits/misses) attributable to that
-experiment.  The point is a stable baseline for future perf work — the
-numbers land in one place instead of being re-derived ad hoc.
+experiment, and the replay-engine effectiveness (replayed vs interpreted
+instruction counts and the fused-block hit rate from
+:data:`repro.vector.program.REPLAY_METER`).  The point is a stable
+baseline for future perf work — the numbers land in one place instead of
+being re-derived ad hoc.
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.cache import CALIBRATION
+from repro.vector.program import REPLAY_METER
 
 
 @dataclass
@@ -27,17 +31,33 @@ class ExperimentTiming:
     units: int = 0
     workers: int = 0
     cache: "dict[str, int]" = field(default_factory=dict)
+    replay: "dict[str, int]" = field(default_factory=dict)
+
+    @property
+    def replay_hit_rate(self) -> float:
+        """Fraction of fused blocks replayed (vs interpreted/captured)."""
+        r = self.replay or {}
+        total = (
+            r.get("replayed_blocks", 0)
+            + r.get("interpreted_blocks", 0)
+            + r.get("captures", 0)
+        )
+        return r.get("replayed_blocks", 0) / total if total else 0.0
 
     def summary(self) -> str:
         """One-line report, appended to the table footer under --verbose."""
         cache = self.cache or {}
         hits = cache.get("memory_hits", 0) + cache.get("disk_hits", 0)
+        replay = self.replay or {}
         return (
             f"{self.name}: {self.seconds:.1f}s | jobs={self.jobs} "
             f"workers={self.workers} units={self.units} | "
             f"calibration cache: {hits} hits "
             f"({cache.get('disk_hits', 0)} from disk), "
-            f"{cache.get('misses', 0)} misses"
+            f"{cache.get('misses', 0)} misses | "
+            f"replay: {replay.get('replayed_instructions', 0)} instr "
+            f"replayed, {replay.get('interpreted_instructions', 0)} "
+            f"interpreted, {self.replay_hit_rate:.0%} block hit rate"
         )
 
 
@@ -52,11 +72,12 @@ def measure(name: str, jobs: int = 1):
     """Measure one experiment; yields the record being filled.
 
     Nested measurements are supported (each sees its own cache-counter
-    window); the parallel engine reports its fan-out to the innermost
-    active record via :func:`note_parallel`.
+    and replay-meter window); the parallel engine reports its fan-out to
+    the innermost active record via :func:`note_parallel`.
     """
     record = ExperimentTiming(name=name, jobs=jobs)
     before = CALIBRATION.counters.copy()
+    replay_before = REPLAY_METER.snapshot()
     _ACTIVE.append(record)
     start = time.perf_counter()
     try:
@@ -70,6 +91,7 @@ def measure(name: str, jobs: int = 1):
             "misses": delta.misses,
             "stores": delta.stores,
         }
+        record.replay = REPLAY_METER.delta(replay_before)
         _ACTIVE.pop()
         HISTORY.append(record)
 
@@ -100,6 +122,9 @@ def render_report(records: "list[ExperimentTiming] | None" = None) -> str:
             + r.cache.get("disk_hits", 0),
             "calib_disk_hits": r.cache.get("disk_hits", 0),
             "calib_misses": r.cache.get("misses", 0),
+            "replay_instr": r.replay.get("replayed_instructions", 0),
+            "interp_instr": r.replay.get("interpreted_instructions", 0),
+            "replay_hit_rate": round(r.replay_hit_rate, 3),
         }
         for r in records
     ]

@@ -148,17 +148,16 @@ class QuetzalUnit:
     # ------------------------------------------------------------------
     # Reading / computing
     # ------------------------------------------------------------------
-    def _read(
-        self, idx: VReg, sel: int, pred: Pred | None, windows: bool
-    ) -> tuple[np.ndarray, int, np.ndarray]:
-        """Returns (values, occupancy_cycles, active_mask).
+    def _read_raw(
+        self, indices: np.ndarray, sel: int, windows: bool
+    ) -> tuple[np.ndarray, int]:
+        """Functional QBUFFER read + port occupancy for already-masked
+        lane indices (shared by :meth:`_read` and the replay engine).
 
         Port conflicts are a structural hazard: ``r`` concurrent requests
         occupy the read ports for ``ceil(r / read_ports)`` cycles; the
         +1 slicing stage is completion latency charged by the caller.
         """
-        active = pred.data if pred is not None else np.ones(len(idx.data), dtype=bool)
-        indices = idx.data[active]
         self.ctrl.check_indices(indices, sel)
         raw, _latency = self.qbuf[sel].read_vector(
             indices, self.element_bits, windows=windows
@@ -172,6 +171,14 @@ class QuetzalUnit:
             per_word = 64 // self.element_bits
             requests = len(np.unique(indices // per_word)) if len(indices) else 0
         occupancy = -(-max(1, requests) // self.config.read_ports)
+        return raw, occupancy
+
+    def _read(
+        self, idx: VReg, sel: int, pred: Pred | None, windows: bool
+    ) -> tuple[np.ndarray, int, np.ndarray]:
+        """Returns (values, occupancy_cycles, active_mask)."""
+        active = pred.data if pred is not None else np.ones(len(idx.data), dtype=bool)
+        raw, occupancy = self._read_raw(idx.data[active], sel, windows)
         vals = np.zeros(len(idx.data), dtype=np.uint64)
         vals[active] = raw
         return vals, occupancy, active
@@ -237,21 +244,31 @@ class QuetzalUnit:
         """Reverse count: consecutive matches scanning downward from the
         indexed elements (BiWFA backward wavefronts; see count ALU docs).
         """
-        from repro.quetzal.count_alu import count_matches_word_reverse
-
         if not self.config.count_alu:
             raise QuetzalError(f"configuration {self.config.name} has no count ALU")
-        bits = self.element_bits
-        per_word = 64 // bits
         active = (
             pred.data if pred is not None else np.ones(len(idx0.data), dtype=bool)
         )
-        self.ctrl.check_indices(idx0.data[active], 0)
-        self.ctrl.check_indices(idx1.data[active], 1)
-        result = np.zeros(len(idx0.data), dtype=np.int64)
+        result, occupancy = self._rcount_raw(idx0.data, idx1.data, active)
+        complete = self.machine._issue(
+            "qbuffer", occupancy, 2, deps=(idx0, idx1, pred)
+        )
+        return VReg(result, idx0.ebits, complete, category="qbuffer")
+
+    def _rcount_raw(
+        self, idx0_data: np.ndarray, idx1_data: np.ndarray, active: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """Functional reverse-count + occupancy (shared with replay)."""
+        from repro.quetzal.count_alu import count_matches_word_reverse
+
+        bits = self.element_bits
+        per_word = 64 // bits
+        self.ctrl.check_indices(idx0_data[active], 0)
+        self.ctrl.check_indices(idx1_data[active], 1)
+        result = np.zeros(len(idx0_data), dtype=np.int64)
         requests = 0
         for lane in np.flatnonzero(active):
-            i0, i1 = int(idx0.data[lane]), int(idx1.data[lane])
+            i0, i1 = int(idx0_data[lane]), int(idx1_data[lane])
             w0 = max(0, i0 - (per_word - 1))
             w1 = max(0, i1 - (per_word - 1))
             rel = min(i0 - w0, i1 - w1)
@@ -262,10 +279,7 @@ class QuetzalUnit:
         self.qbuf[0].reads += 1
         self.qbuf[1].reads += 1
         occupancy = -(-max(1, requests) // self.config.read_ports)
-        complete = self.machine._issue(
-            "qbuffer", occupancy, 2, deps=(idx0, idx1, pred)
-        )
-        return VReg(result, idx0.ebits, complete, category="qbuffer")
+        return result, occupancy
 
     def qzmm(
         self, op: str, val: VReg, idx: VReg, sel: int, pred: Pred | None = None

@@ -18,6 +18,7 @@ algorithms (Section VII-A3).
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 
 import numpy as np
@@ -63,6 +64,77 @@ def _byte_reverse_lut() -> np.ndarray:
 
 _BYTE_REVERSE_LUT = _byte_reverse_lut()
 
+
+def _rbit_values(data: np.ndarray) -> np.ndarray:
+    """Functional 64-bit per-lane bit reversal (shared with replay).
+
+    Bit-reinterpret (no copies): lanes -> bytes, reverse byte order,
+    LUT-reverse each byte's bits, reinterpret back as int64 lanes.
+    """
+    as_bytes = data.view(np.uint8).reshape(-1, 8)
+    reversed_bytes = _BYTE_REVERSE_LUT[as_bytes[:, ::-1]]
+    return reversed_bytes.view(np.int64).reshape(-1)
+
+
+def _clz_values(data: np.ndarray, width: int) -> np.ndarray:
+    """Functional per-lane count-leading-zeros (shared with replay);
+    ``clz(0) == width``."""
+    n = len(data)
+    if n <= 16:
+        # Short vectors: Python's arbitrary-precision bit_length is
+        # exact and beats the numpy temporaries below.
+        wmask = (1 << width) - 1
+        return np.array(
+            [width - (v & wmask).bit_length() for v in data.tolist()],
+            dtype=np.int64,
+        )
+    vals = data.astype(np.uint64)
+    result = np.full(n, width, dtype=np.int64)
+    nonzero = vals != 0
+    if nonzero.any():
+        # floor(log2(v)) is exact for uint64 < 2^53 via float64;
+        # handle the high range with a pre-shift.
+        high = vals >> np.uint64(32)
+        top = np.where(high != 0, high, vals & np.uint64(0xFFFFFFFF))
+        bits = np.zeros(n, dtype=np.int64)
+        bits[nonzero] = np.floor(
+            np.log2(top[nonzero].astype(np.float64))
+        ).astype(np.int64)
+        bits[nonzero & (high != 0)] += 32
+        result[nonzero] = width - 1 - bits[nonzero]
+    return result
+
+def _ctz_values(data: np.ndarray) -> np.ndarray:
+    """Per-lane count of trailing zeros over 64-bit lanes; ``ctz(0) == 64``.
+
+    Exactly ``_clz_values(_rbit_values(x), 64)`` — the replay compiler
+    fuses that pair into one kernel when the bit-reversed intermediate
+    register is dead.
+    """
+    n = len(data)
+    if n <= 16:
+        # ``v & -v`` isolates the lowest set bit; exact for negative
+        # Python ints (infinite two's-complement).
+        return np.array(
+            [(v & -v).bit_length() - 1 if v else 64 for v in data.tolist()],
+            dtype=np.int64,
+        )
+    vals = data.view(np.uint64) if data.dtype == np.int64 else data.astype(np.uint64)
+    low = vals & (np.uint64(0) - vals)
+    result = np.full(n, 64, dtype=np.int64)
+    nonzero = low != 0
+    if nonzero.any():
+        high = low >> np.uint64(32)
+        bits = np.zeros(n, dtype=np.int64)
+        top = np.where(high != 0, high, low & np.uint64(0xFFFFFFFF))
+        bits[nonzero] = np.floor(
+            np.log2(top[nonzero].astype(np.float64))
+        ).astype(np.int64)
+        bits[nonzero & (high != 0)] += 32
+        result[nonzero] = bits[nonzero]
+    return result
+
+
 #: (gather_element_occupancy, max_lanes) -> occupancy-by-lane-count table,
 #: shared across machines (see ``VectorMachine._indexed_occupancy``).
 _OCC_LUTS: dict = {}
@@ -86,6 +158,14 @@ class VectorMachine:
     #: is kept for cross-checks.  Class-wide default; instances may
     #: override.
     use_batched_memory = True
+
+    #: Allow hot loops to capture their straight-line bodies once and
+    #: replay them as fused programs (see :mod:`repro.vector.program`).
+    #: Replay is bit-identical in statistics, clock and stall
+    #: attribution (enforced by tests and ``repro bench --check``);
+    #: disable with ``--no-replay`` or ``REPRO_NO_REPLAY=1`` (the env
+    #: var also reaches spawned worker processes).
+    use_replay = os.environ.get("REPRO_NO_REPLAY", "") not in ("1", "true", "yes")
 
     def __init__(
         self,
@@ -434,11 +514,7 @@ class VectorMachine:
         if a.ebits != 64:
             raise MachineError("rbit is modelled for 64-bit lanes only")
         complete = self._issue("vector", 1, self._lat_arith, deps=(a, pred))
-        # Bit-reinterpret (no copies): lanes -> bytes, reverse byte order,
-        # LUT-reverse each byte's bits, reinterpret back as int64 lanes.
-        as_bytes = a.data.view(np.uint8).reshape(-1, 8)
-        reversed_bytes = _BYTE_REVERSE_LUT[as_bytes[:, ::-1]]
-        result = reversed_bytes.view(np.int64).reshape(-1)
+        result = _rbit_values(a.data)
         if pred is not None:
             result = np.where(pred.data, result, a.data)
         return VReg._wrap(result, a.ebits, complete)
@@ -446,31 +522,7 @@ class VectorMachine:
     def clz(self, a: VReg, pred: Pred | None = None) -> VReg:
         """Per-lane count of leading zeros (SVE ``CLZ``); clz(0) == width."""
         complete = self._issue("vector", 1, self._lat_arith, deps=(a, pred))
-        width = a.ebits
-        n = len(a.data)
-        if n <= 16:
-            # Short vectors: Python's arbitrary-precision bit_length is
-            # exact and beats the numpy temporaries below.
-            wmask = (1 << width) - 1
-            result = np.array(
-                [width - (v & wmask).bit_length() for v in a.data.tolist()],
-                dtype=np.int64,
-            )
-        else:
-            vals = a.data.astype(np.uint64)
-            result = np.full(n, width, dtype=np.int64)
-            nonzero = vals != 0
-            if nonzero.any():
-                # floor(log2(v)) is exact for uint64 < 2^53 via float64;
-                # handle the high range with a pre-shift.
-                high = vals >> np.uint64(32)
-                top = np.where(high != 0, high, vals & np.uint64(0xFFFFFFFF))
-                bits = np.zeros(n, dtype=np.int64)
-                bits[nonzero] = np.floor(
-                    np.log2(top[nonzero].astype(np.float64))
-                ).astype(np.int64)
-                bits[nonzero & (high != 0)] += 32
-                result[nonzero] = width - 1 - bits[nonzero]
+        result = _clz_values(a.data, a.ebits)
         if pred is not None:
             result = np.where(pred.data, result, a.data)
         return VReg._wrap(result, a.ebits, complete)

@@ -86,3 +86,40 @@ class TestRender:
         for name in quick_report["workloads"]:
             assert name in text
         assert "identical" in text
+
+
+class TestReplayWorkloads:
+    @pytest.fixture(scope="class")
+    def replay_report(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("bench") / "replay.json"
+        return bench.run_bench(
+            quick=True, out=out, only=["replay_extend", "replay_ss"]
+        )
+
+    def test_replay_cells_present_and_identical(self, replay_report):
+        cells = replay_report["workloads"]
+        assert set(cells) == {"replay_extend", "replay_ss"}
+        for name, cell in cells.items():
+            assert cell["dimension"] == "replay", name
+            assert cell["stats_identical"], name
+            assert cell["serial_s"] > 0 and cell["batched_s"] > 0
+
+    def test_replay_report_passes_gate(self, replay_report):
+        # Quick mode exempts the speedup floor but still enforces the
+        # bit-identity requirement on the replayed leg.
+        bench.check_report(replay_report)
+
+    def test_render_tags_replay_dimension(self, replay_report):
+        text = bench.render_report(replay_report)
+        assert "replay_extend" in text and "(replay)" in text
+
+
+class TestProfileBench:
+    def test_profile_smoke(self):
+        text = bench.profile_bench(top=5, quick=True, only=["random_gather"])
+        assert "cumulative" in text  # cProfile table header
+        assert "random_gather" in text
+
+    def test_profile_unknown_workload_rejected(self):
+        with pytest.raises(ReproError, match="unknown bench workload"):
+            bench.profile_bench(top=5, quick=True, only=["nope"])

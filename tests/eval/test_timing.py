@@ -56,3 +56,42 @@ class TestRendering:
 
     def test_render_report_empty(self):
         assert "no timing records" in timing.render_report([])
+
+
+class TestReplayWindow:
+    def test_measure_captures_replay_meter_delta(self):
+        from repro.vector.program import REPLAY_METER
+
+        with timing.measure("replay-window") as record:
+            REPLAY_METER.captures += 1
+            REPLAY_METER.replayed_blocks += 3
+            REPLAY_METER.replayed_instructions += 27
+        assert record.replay["captures"] == 1
+        assert record.replay["replayed_blocks"] == 3
+        assert record.replay["replayed_instructions"] == 27
+        assert record.replay_hit_rate == 3 / 4
+
+    def test_replay_window_on_real_run(self):
+        from repro.align.vectorized import WfaVec
+        from repro.eval.runner import make_machine
+        from repro.genomics.generator import ReadPairGenerator
+
+        pair = ReadPairGenerator(length=200, seed=5).pair()
+        with timing.measure("replay-real") as record:
+            WfaVec().run_pair(make_machine(), pair)
+        assert record.replay["captures"] >= 1
+        assert record.replay["replayed_instructions"] > 0
+        assert 0.0 < record.replay_hit_rate <= 1.0
+
+    def test_summary_and_report_mention_replay(self):
+        with timing.measure("replay-summary") as record:
+            pass
+        assert "replay:" in record.summary()
+        assert "block hit rate" in record.summary()
+        text = timing.render_report([record])
+        assert "replay_instr" in text and "replay_hit_rate" in text
+
+    def test_hit_rate_zero_when_idle(self):
+        with timing.measure("replay-idle") as record:
+            pass
+        assert record.replay_hit_rate == 0.0
