@@ -179,6 +179,18 @@ class CalibrationCache:
 CALIBRATION = CalibrationCache()
 
 
+def cache_root() -> Path:
+    """The cache directory currently in effect.
+
+    Resolves even when the calibration disk layer is disabled — other
+    persistent state (the run journals of :mod:`repro.eval.supervise`)
+    lives under the same root regardless.
+    """
+    if CALIBRATION.directory is not None:
+        return CALIBRATION.directory
+    return Path(os.environ.get(_ENV_DIR) or DEFAULT_CACHE_DIR)
+
+
 def configure_from_env(default_disk: bool = False) -> None:
     """Apply ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` to the shared cache.
 

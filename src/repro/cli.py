@@ -35,7 +35,7 @@ from repro.cache import CALIBRATION, configure_from_env
 from repro.errors import ReproError
 from repro.eval import bench
 from repro.eval import experiments as ex
-from repro.eval import records, timing
+from repro.eval import records, supervise, timing
 from repro.eval.compare import Tolerances, compare_records, render_drifts
 from repro.eval.parallel import default_jobs
 from repro.eval.reporting import render_table
@@ -124,7 +124,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="interpret every vector op instead of replaying recorded "
         "programs (results are bit-identical either way)",
     )
+    add_supervise_arguments(parser)
     return parser
+
+
+def add_supervise_arguments(parser: argparse.ArgumentParser) -> None:
+    """Fault-tolerance flags shared by experiment runs and ``run``."""
+    group = parser.add_argument_group("supervision (fault tolerance)")
+    group.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run units under the fault-tolerant supervisor: journal "
+        "completed units under .repro_cache/runs/<run-id>/, retry "
+        "crashed/hung workers, degrade to serial if the pool keeps dying",
+    )
+    group.add_argument(
+        "--run-id",
+        metavar="ID",
+        default=None,
+        help="name this run's checkpoint directory (implies --supervise; "
+        "default: a generated timestamp id)",
+    )
+    group.add_argument(
+        "--resume",
+        metavar="RUN_ID",
+        default=None,
+        help="resume an interrupted run: restore completed units from "
+        "its journal and compute only the rest (implies --supervise)",
+    )
+    group.add_argument(
+        "--fault-plan",
+        metavar="SPEC",
+        default=None,
+        help="deterministic fault injection, e.g. '2:kill@0,5:hang' "
+        "(ORDINAL:ACTION[@ATTEMPT]; actions: kill, hang, raise; "
+        "default: $REPRO_FAULT_PLAN; implies --supervise)",
+    )
+    group.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="per-unit worker timeout under supervision (default 300)",
+    )
+    group.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retry budget per unit under supervision (default 2)",
+    )
+
+
+def supervise_config_from_args(args) -> "supervise.SuperviseConfig | None":
+    """Build the supervisor policy, or None when supervision is off.
+
+    Supervision activates when any supervision flag is given or
+    ``REPRO_SUPERVISE=1`` is set; a fault plan on the command line or in
+    ``REPRO_FAULT_PLAN`` activates it too (there is nothing to inject
+    faults into otherwise).
+    """
+    fault_spec = args.fault_plan or os.environ.get(supervise.FAULT_PLAN_ENV)
+    wanted = (
+        args.supervise
+        or args.run_id is not None
+        or args.resume is not None
+        or fault_spec is not None
+        or os.environ.get("REPRO_SUPERVISE", "") not in ("", "0", "false")
+    )
+    if not wanted:
+        return None
+    if args.resume is not None and args.run_id is not None:
+        raise ReproError("--resume and --run-id are mutually exclusive")
+    run_id = args.resume or args.run_id or supervise.generate_run_id()
+    return supervise.SuperviseConfig(
+        run_id=run_id,
+        resume=args.resume is not None,
+        timeout=args.timeout,
+        retries=args.retries,
+        fault_plan=supervise.FaultPlan.parse(fault_spec),
+    )
 
 
 def build_compare_parser() -> argparse.ArgumentParser:
@@ -309,6 +388,148 @@ def run_experiment(
     return out
 
 
+def build_run_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro run",
+        description="Resume an interrupted supervised run from its journal "
+        "(the experiment, scale and emit targets are read from the run's "
+        "recorded metadata).",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="RUN_ID",
+        required=True,
+        help="run id to resume (a directory under .repro_cache/runs/)",
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None,
+        help="override the recorded worker count",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="override the recorded dataset scale (normally unwise: "
+        "changed units will not match the journal and are recomputed)",
+    )
+    parser.add_argument(
+        "--emit-json", metavar="PATH", default=None,
+        help="override the recorded JSON emit target",
+    )
+    parser.add_argument(
+        "--emit-csv", metavar="PATH", default=None,
+        help="override the recorded CSV emit target",
+    )
+    parser.add_argument("--verbose", "-v", action="store_true")
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--no-replay", action="store_true")
+    parser.add_argument(
+        "--fault-plan", metavar="SPEC", default=None,
+        help="inject faults into the resumed run too (testing only)",
+    )
+    parser.add_argument("--timeout", type=float, default=300.0, metavar="SECONDS")
+    parser.add_argument("--retries", type=int, default=2, metavar="N")
+    return parser
+
+
+def run_main(argv: "list[str]") -> int:
+    """``python -m repro run --resume RUN_ID`` — finish an interrupted run."""
+    args = build_run_parser().parse_args(argv)
+    configure_from_env(default_disk=not args.no_cache)
+    if args.no_cache:
+        CALIBRATION.disable_disk()
+    if args.no_replay:
+        _disable_replay()
+    meta = supervise.read_meta(args.resume)
+    experiment = meta.get("experiment")
+    if experiment != "all" and experiment not in EXPERIMENTS:
+        raise ReproError(
+            f"run {args.resume!r} records unknown experiment {experiment!r}"
+        )
+    fault_spec = args.fault_plan or os.environ.get(supervise.FAULT_PLAN_ENV)
+    config = supervise.SuperviseConfig(
+        run_id=args.resume,
+        resume=True,
+        timeout=args.timeout,
+        retries=args.retries,
+        fault_plan=supervise.FaultPlan.parse(fault_spec),
+    )
+    scale = args.scale if args.scale is not None else meta.get("scale", 1.0)
+    jobs = args.jobs if args.jobs is not None else int(meta.get("jobs", 1))
+    emit_json = args.emit_json if args.emit_json is not None else meta.get("emit_json")
+    emit_csv = args.emit_csv if args.emit_csv is not None else meta.get("emit_csv")
+    return _run_supervised(
+        config,
+        experiment,
+        scale=scale,
+        jobs=jobs,
+        verbose=args.verbose,
+        emit_json=emit_json,
+        emit_csv=emit_csv,
+    )
+
+
+def _run_experiments(
+    experiment: str,
+    scale: float,
+    jobs: int,
+    verbose: bool,
+    emit_json: "str | None",
+    emit_csv: "str | None",
+) -> None:
+    """Run one experiment id (or 'all') and print the rendered tables."""
+    if experiment == "all":
+        for name in EXPERIMENTS:
+            print(
+                run_experiment(
+                    name, scale, jobs=jobs, verbose=verbose,
+                    emit_json=emit_json, emit_csv=emit_csv, multi=True,
+                )
+            )
+            print()
+        if verbose:
+            print(timing.render_report())
+        return
+    print(
+        run_experiment(
+            experiment, scale, jobs=jobs, verbose=verbose,
+            emit_json=emit_json, emit_csv=emit_csv,
+        )
+    )
+
+
+def _run_supervised(
+    config: "supervise.SuperviseConfig",
+    experiment: str,
+    scale: float,
+    jobs: int,
+    verbose: bool,
+    emit_json: "str | None",
+    emit_csv: "str | None",
+) -> int:
+    """Run experiments under a supervisor; one run id spans them all."""
+    with supervise.activate(config) as supervisor:
+        supervisor.write_meta(
+            {
+                "experiment": experiment,
+                "scale": scale,
+                "jobs": jobs,
+                "emit_json": emit_json,
+                "emit_csv": emit_csv,
+            }
+        )
+        try:
+            _run_experiments(experiment, scale, jobs, verbose, emit_json, emit_csv)
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            print(
+                f"[run {config.run_id}: completed units are journaled under "
+                f"{supervisor.directory}]",
+                file=sys.stderr,
+            )
+            return 3
+    print(f"[{supervisor.report.summary()}]")
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv[:1] == ["compare"]:
@@ -323,6 +544,12 @@ def main(argv: "list[str] | None" = None) -> int:
         except ReproError as exc:
             print(str(exc), file=sys.stderr)
             return 2
+    if argv[:1] == ["run"]:
+        try:
+            return run_main(argv[1:])
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, (_, title, _) in EXPERIMENTS.items():
@@ -330,50 +557,38 @@ def main(argv: "list[str] | None" = None) -> int:
         return 0
     try:
         jobs = args.jobs if args.jobs is not None else default_jobs()
+        supervise_cfg = supervise_config_from_args(args)
     except ReproError as exc:
         print(str(exc), file=sys.stderr)
         return 2
     if jobs < 1:
         print(f"--jobs must be positive: {jobs}", file=sys.stderr)
         return 2
-    configure_from_env(default_disk=not args.no_cache)
-    if args.no_cache:
-        CALIBRATION.disable_disk()
-    if args.no_replay:
-        _disable_replay()
-    if args.experiment == "all":
-        for name in EXPERIMENTS:
-            print(
-                run_experiment(
-                    name,
-                    args.scale,
-                    jobs=jobs,
-                    verbose=args.verbose,
-                    emit_json=args.emit_json,
-                    emit_csv=args.emit_csv,
-                    multi=True,
-                )
-            )
-            print()
-        if args.verbose:
-            print(timing.render_report())
-        return 0
-    if args.experiment not in EXPERIMENTS:
+    if args.experiment != "all" and args.experiment not in EXPERIMENTS:
         print(
             f"unknown experiment {args.experiment!r}; "
             f"choose from {', '.join(EXPERIMENTS)}",
             file=sys.stderr,
         )
         return 2
-    print(
-        run_experiment(
+    configure_from_env(default_disk=not args.no_cache)
+    if args.no_cache:
+        CALIBRATION.disable_disk()
+    if args.no_replay:
+        _disable_replay()
+    if supervise_cfg is not None:
+        return _run_supervised(
+            supervise_cfg,
             args.experiment,
-            args.scale,
+            scale=args.scale,
             jobs=jobs,
             verbose=args.verbose,
             emit_json=args.emit_json,
             emit_csv=args.emit_csv,
         )
+    _run_experiments(
+        args.experiment, args.scale, jobs, args.verbose,
+        args.emit_json, args.emit_csv,
     )
     return 0
 

@@ -35,3 +35,16 @@ class AlignmentError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset cannot be constructed or parsed."""
+
+
+class SupervisionError(ReproError):
+    """A supervised run could not complete (units failed permanently)."""
+
+
+class FaultAbort(SupervisionError):
+    """An injected kill/hang fault aborted an in-process supervised run.
+
+    Raised instead of actually killing the interpreter when there is no
+    worker process to sacrifice; completed units stay journaled, so the
+    run is resumable — exactly like a real mid-sweep crash.
+    """

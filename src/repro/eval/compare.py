@@ -113,7 +113,20 @@ def compare_machines(
         base, cur = base_machines[name], cur_machines[name]
         for path, tol_name in _RELATIVE_METRICS:
             b, c = _dig(base, path), _dig(cur, path)
-            if b is None or c is None:
+            if b is None:
+                # Metric absent from the baseline: tolerated, so new
+                # metrics can be introduced without regenerating every
+                # committed baseline.
+                continue
+            if c is None:
+                # Baseline lists a metric the candidate lacks: that is a
+                # gate failure, never a silent pass.
+                drifts.append(
+                    Drift(
+                        name, "/".join(path) + ":missing-in-current",
+                        float(b), float("nan"), float("inf"), 0.0,
+                    )
+                )
                 continue
             delta = _relative_delta(float(b), float(c))
             allowed = getattr(tol, tol_name)
@@ -123,7 +136,16 @@ def compare_machines(
                 )
         for path, tol_name in _ABSOLUTE_METRICS:
             b, c = _dig(base, path), _dig(cur, path)
-            if b is None or c is None:
+            if b is None:
+                continue
+            if c is None:
+                drifts.append(
+                    Drift(
+                        name, "/".join(path) + ":missing-in-current",
+                        float(b), float("nan"), float("inf"), 0.0,
+                        kind="absolute",
+                    )
+                )
                 continue
             delta = float(c) - float(b)
             allowed = getattr(tol, tol_name)

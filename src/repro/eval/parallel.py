@@ -123,9 +123,19 @@ def evaluate_units(
     ``jobs<=1`` (or a single unit) runs inline — byte-for-byte the
     legacy serial path.  Otherwise a process pool evaluates units
     concurrently; completion order never leaks into the output.
+
+    When a supervisor is active (:mod:`repro.eval.supervise` — CLI
+    ``--supervise``/``--resume``/``--fault-plan``), execution is
+    delegated to it: same results, same order, but with checkpointing,
+    per-unit timeout/retry, and crash recovery layered underneath.
     """
+    from repro.eval import supervise
+
     units = list(units)
     jobs = max(1, int(jobs))
+    supervisor = supervise.active()
+    if supervisor is not None:
+        return supervisor.evaluate(units, jobs=jobs)
     if jobs == 1 or len(units) <= 1:
         timing.note_parallel(units=len(units), workers=1)
         results = []

@@ -32,6 +32,9 @@ SCHEMA_VERSION = 1
 #: The ``kind`` tag stamped on every emitted record.
 RECORD_KIND = "repro.result"
 
+#: The ``kind`` tag of supervised-run reports (``repro.eval.supervise``).
+RUN_REPORT_KIND = "repro.run_report"
+
 
 # ----------------------------------------------------------------------
 # Record construction
@@ -97,6 +100,29 @@ def experiment_record(
         "rows": [dict(r) for r in rows],
         "machines": machines or {},
         "trace": trace,
+    }
+
+
+def run_report_record(report) -> dict:
+    """Emit-ready record for a supervised run's :class:`RunReport`.
+
+    Shares the result-record envelope (schema version, kind, version) so
+    the same tooling can route both; the body is the per-unit
+    supervision outcome plus run-level aggregates.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": RUN_REPORT_KIND,
+        "version": __version__,
+        "run_id": report.run_id,
+        "degraded": report.degraded,
+        "wall_seconds": report.wall_seconds,
+        "units_total": len(report.units),
+        "units_restored": report.restored,
+        "units_computed": report.computed,
+        "units_failed": report.failed,
+        "total_retries": report.total_retries,
+        "units": [u.to_record() for u in report.units],
     }
 
 

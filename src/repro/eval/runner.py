@@ -102,7 +102,10 @@ def run_implementation(
     both route through :mod:`repro.eval.parallel`, whose shard plan is
     independent of the worker count — any ``jobs`` value over the same
     ``shard_size`` produces bit-identical results, and the default
-    ``shard_size=None`` reproduces this serial path exactly.
+    ``shard_size=None`` reproduces this serial path exactly.  When a
+    supervisor is active (:mod:`repro.eval.supervise`), the same units
+    additionally gain journaling, timeout/retry, and crash recovery —
+    still bit-identical.
     """
     system = system or SystemConfig()
     if jobs > 1 or shard_size is not None:

@@ -32,6 +32,9 @@ class ExperimentTiming:
     workers: int = 0
     cache: "dict[str, int]" = field(default_factory=dict)
     replay: "dict[str, int]" = field(default_factory=dict)
+    #: Supervisor counters (restored units, retries, degradation), only
+    #: populated when the run executes under ``repro.eval.supervise``.
+    supervise: "dict[str, int]" = field(default_factory=dict)
 
     @property
     def replay_hit_rate(self) -> float:
@@ -58,6 +61,13 @@ class ExperimentTiming:
             f"replay: {replay.get('replayed_instructions', 0)} instr "
             f"replayed, {replay.get('interpreted_instructions', 0)} "
             f"interpreted, {self.replay_hit_rate:.0%} block hit rate"
+            + (
+                f" | supervise: {self.supervise.get('restored', 0)} restored, "
+                f"{self.supervise.get('retries', 0)} retries"
+                + (" (degraded)" if self.supervise.get("degraded") else "")
+                if self.supervise
+                else ""
+            )
         )
 
 
@@ -102,6 +112,18 @@ def note_parallel(units: int, workers: int) -> None:
         record = _ACTIVE[-1]
         record.units += units
         record.workers = max(record.workers, workers)
+
+
+def note_supervise(restored: int, retries: int, degraded: bool) -> None:
+    """Called by the supervisor: record recovery activity on the active
+    measure (cumulative totals for the supervisor's run so far)."""
+    if _ACTIVE:
+        record = _ACTIVE[-1]
+        record.supervise = {
+            "restored": restored,
+            "retries": retries,
+            "degraded": int(degraded),
+        }
 
 
 def render_report(records: "list[ExperimentTiming] | None" = None) -> str:

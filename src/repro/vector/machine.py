@@ -167,6 +167,15 @@ class VectorMachine:
     #: var also reaches spawned worker processes).
     use_replay = os.environ.get("REPRO_NO_REPLAY", "") not in ("1", "true", "yes")
 
+    #: Attach an event tracer to every machine at construction
+    #: (``REPRO_TRACE=1``).  Tracing is observability only — statistics,
+    #: clock and results are bit-identical with it on or off (enforced
+    #: by the conformance grid) — and the env var reaches worker
+    #: processes, so whole sweeps can be traced.  Class-wide default;
+    #: instances may override before construction via subclassing or
+    #: after via ``attach_tracer``/``detach_tracer``.
+    auto_trace = os.environ.get("REPRO_TRACE", "") not in ("", "0", "false")
+
     def __init__(
         self,
         system: SystemConfig | None = None,
@@ -209,6 +218,8 @@ class VectorMachine:
         self._lat_pred = self.system.lat_predicate
         self._l1_ltu = self.system.l1d.load_to_use
         self._lat_gather_base = self.system.lat_gather_base
+        if self.auto_trace:
+            self.attach_tracer()
 
     # ------------------------------------------------------------------
     # Tracing

@@ -104,6 +104,44 @@ class TestCompareRecords:
         drifts = compare_records(base, cur)
         assert [d.metric for d in drifts] == ["missing-in-baseline"]
 
+    def test_metric_missing_from_candidate_fails_gate(self):
+        """Regression: a baseline metric absent from the candidate used
+        to be skipped silently, letting ``repro compare`` exit 0."""
+        base = make_record(rows=[])
+        cur = make_record(rows=[])
+        del cur["machines"]["cell"]["mem"]["dram_bytes"]
+        drifts = compare_records(base, cur)
+        assert [d.metric for d in drifts] == [
+            "mem/dram_bytes:missing-in-current"
+        ]
+        assert drifts[0].delta == float("inf")
+
+    def test_absolute_metric_missing_from_candidate_fails_gate(self):
+        base = make_record(rows=[])
+        cur = make_record(rows=[])
+        del cur["machines"]["cell"]["mem"]["l1"]["prefetch_accuracy"]
+        drifts = compare_records(base, cur)
+        assert [d.metric for d in drifts] == [
+            "mem/l1/prefetch_accuracy:missing-in-current"
+        ]
+        assert drifts[0].kind == "absolute"
+
+    def test_metric_missing_from_baseline_tolerated(self):
+        """New metrics may appear without regenerating old baselines."""
+        base = make_record(rows=[])
+        cur = make_record(rows=[])
+        del base["machines"]["cell"]["mem"]["l1"]["prefetch_accuracy"]
+        del base["machines"]["cell"]["cycles"]
+        assert compare_records(base, cur) == []
+
+    def test_row_key_missing_from_candidate_fails_gate(self):
+        base = make_record(rows=[{"impl": "wfa", "cycles": 1000}])
+        cur = make_record(rows=[{"impl": "wfa"}])
+        drifts = compare_records(base, cur)
+        assert [(d.location, d.metric) for d in drifts] == [
+            ("rows[0]", "cycles")
+        ]
+
     def test_experiment_mismatch_raises(self):
         with pytest.raises(ReproError, match="different experiments"):
             compare_records(make_record(name="fig4"), make_record(name="fig5"))

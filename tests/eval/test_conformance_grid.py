@@ -1,0 +1,117 @@
+"""Cross-configuration conformance grid.
+
+Every execution-mode toggle grown since the seed — the batched
+memory-hierarchy fast path, the recorded-program replay engine, the
+event tracer, and process-pool fan-out — promises bit-identical
+results.  This suite enforces the promise as a full cross-product: for
+each implementation family (WFA extension, SneakySnake filtering, and
+the QUETZAL-accelerated DP kernel), every cell of
+
+    {use_batched_memory} x {use_replay} x {trace on/off} x {jobs 1/2}
+
+must reproduce the all-off serial baseline exactly — same per-pair
+cycle counts, same merged machine statistics (cache hits, prefetch
+accuracy, DRAM traffic, ...), same alignment outputs.
+
+All cells (including the baseline) run ``shard_size=1`` so the shard
+plan — the unit of determinism — is common to every jobs value; fresh
+machines per pair make the serial and pooled walks directly
+comparable.  ``jobs=2`` cells need the fork start method so that the
+monkeypatched class toggles reach the workers; they are skipped where
+only spawn exists.
+"""
+
+import itertools
+import multiprocessing
+
+import pytest
+
+from repro.align.quetzal_impl import KswQz
+from repro.align.vectorized import SsVec, WfaVec
+from repro.eval import records
+from repro.eval.runner import run_implementation
+from repro.genomics.generator import ErrorProfile, ReadPairGenerator
+from repro.vector.machine import VectorMachine
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+IMPLS = {"wfa-vec": WfaVec, "ss-vec": SsVec, "ksw-qz": KswQz}
+
+#: (use_batched_memory, use_replay, trace, jobs) — the full grid.
+GRID = list(itertools.product((False, True), (False, True), (False, True), (1, 2)))
+BASELINE = (False, False, False, 1)
+
+
+def pairs(n=2, length=64, seed=11):
+    gen = ReadPairGenerator(length, ErrorProfile(0.02, 0.005, 0.005), seed=seed)
+    return tuple(gen.pairs(n))
+
+
+def signature(result):
+    """Everything a cell must reproduce, in comparable form."""
+    return (
+        [p.cycles for p in result.pair_results],
+        [p.instructions for p in result.pair_results],
+        records.machine_record(result.stats()),
+        result.outputs,
+    )
+
+
+def run_cell(impl_cls, batch, use_batched_memory, use_replay, trace, jobs):
+    """One grid cell on fresh machines, with the toggles as class state.
+
+    Class attributes (not instance state) are what worker processes
+    inherit under fork, so this exercises exactly the production
+    propagation path; ``auto_trace`` mirrors the ``REPRO_TRACE``
+    environment knob.
+    """
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(VectorMachine, "use_batched_memory", use_batched_memory)
+        mp.setattr(VectorMachine, "use_replay", use_replay)
+        mp.setattr(VectorMachine, "auto_trace", trace)
+        return signature(
+            run_implementation(impl_cls(), batch, jobs=jobs, shard_size=1)
+        )
+
+
+_baselines: dict = {}
+_batches: dict = {}
+
+
+def baseline_for(name):
+    """All-off serial reference signature, computed once per family."""
+    if name not in _baselines:
+        _batches[name] = pairs()
+        _baselines[name] = run_cell(IMPLS[name], _batches[name], *BASELINE)
+    return _baselines[name]
+
+
+def cell_id(cell):
+    return (
+        f"{'batched' if cell[0] else 'serialmem'}-"
+        f"{'replay' if cell[1] else 'interp'}-"
+        f"{'trace' if cell[2] else 'notrace'}-j{cell[3]}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(IMPLS))
+@pytest.mark.parametrize("cell", GRID, ids=cell_id)
+def test_cell_matches_baseline(name, cell):
+    batched, replay, trace, jobs = cell
+    if jobs > 1 and not HAS_FORK:
+        pytest.skip("pooled cells need the fork start method")
+    expected = baseline_for(name)
+    got = run_cell(IMPLS[name], _batches[name], batched, replay, trace, jobs)
+    assert got[0] == expected[0], "per-pair cycle counts diverged"
+    assert got[1] == expected[1], "per-pair instruction counts diverged"
+    assert got[2] == expected[2], "machine statistics diverged"
+    assert got[3] == expected[3], "alignment outputs diverged"
+
+
+@pytest.mark.parametrize("name", sorted(IMPLS))
+def test_baseline_is_nontrivial(name):
+    """The reference itself must do real work, or the grid proves nothing."""
+    sig = baseline_for(name)
+    assert all(c > 0 for c in sig[0])
+    assert sig[2]["cycles"] > 0
+    assert sig[2]["mem"]["requests"] > 0

@@ -1,0 +1,428 @@
+"""Tests for the fault-tolerant supervised executor (repro.eval.supervise)."""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.align.vectorized import WfaVec
+from repro.cache import CALIBRATION
+from repro.errors import FaultAbort, ReproError, SupervisionError
+from repro.eval import records, supervise
+from repro.eval.parallel import WorkUnit, evaluate_units
+from repro.eval.runner import run_implementation
+from repro.eval.supervise import (
+    FaultPlan,
+    RunJournal,
+    SuperviseConfig,
+    Supervisor,
+    unit_fingerprint,
+)
+from repro.genomics.generator import ErrorProfile, ReadPairGenerator
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def pairs(n=2, length=60, seed=7):
+    gen = ReadPairGenerator(length, ErrorProfile(0.02, 0.005, 0.005), seed=seed)
+    return tuple(gen.pairs(n))
+
+
+def units(n=3, length=60):
+    return [
+        WorkUnit(key=("cell", i), impl=WfaVec(), pairs=pairs(1, length, seed=i))
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def run_root(tmp_path, monkeypatch):
+    """Point the runs directory (and nothing else) at a temp location."""
+    monkeypatch.setattr(CALIBRATION, "directory", None)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path / "runs"
+
+
+def make_config(run_id="t", **kw):
+    kw.setdefault("timeout", 60.0)
+    kw.setdefault("backoff", 0.01)
+    return SuperviseConfig(run_id=run_id, **kw)
+
+
+def result_signature(result):
+    """Everything that must survive journaling/restoration bit-for-bit."""
+    return (
+        [p.cycles for p in result.pair_results],
+        records.machine_record(result.stats()),
+        result.outputs,
+    )
+
+
+class TestFaultPlan:
+    def test_parse_roundtrip(self):
+        plan = FaultPlan.parse(" 2:kill@0, 5:hang ,1:raise ")
+        assert plan.to_spec() == "2:kill@0,5:hang,1:raise"
+
+    def test_lookup_attempt_qualifier(self):
+        plan = FaultPlan.parse("3:kill@1")
+        assert plan.lookup(3, 0) is None
+        assert plan.lookup(3, 1) == "kill"
+        assert plan.lookup(4, 1) is None
+
+    def test_lookup_unqualified_matches_every_attempt(self):
+        plan = FaultPlan.parse("3:hang")
+        assert plan.lookup(3, 0) == "hang"
+        assert plan.lookup(3, 5) == "hang"
+
+    def test_empty_spec_is_no_plan(self):
+        assert FaultPlan.parse(None) is None
+        assert FaultPlan.parse("  ") is None
+
+    @pytest.mark.parametrize("spec", ["1", "x:kill", "1:explode", "-1:kill", "1:kill@-2"])
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ReproError):
+            FaultPlan.parse(spec)
+
+
+class TestSuperviseConfig:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"run_id": "a/b"},
+            {"run_id": ".."},
+            {"run_id": ""},
+            {"run_id": "ok", "timeout": 0},
+            {"run_id": "ok", "retries": -1},
+            {"run_id": "ok", "backoff": -0.1},
+            {"run_id": "ok", "degrade_after": 0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kw):
+        with pytest.raises(ReproError):
+            SuperviseConfig(**kw)
+
+
+class TestUnitFingerprint:
+    def test_stable_across_equivalent_units(self):
+        a = WorkUnit(key="k", impl=WfaVec(), pairs=pairs(2))
+        b = WorkUnit(key="k", impl=WfaVec(), pairs=pairs(2))
+        assert unit_fingerprint(a) == unit_fingerprint(b)
+
+    def test_sensitive_to_key_impl_and_data(self):
+        base = WorkUnit(key="k", impl=WfaVec(), pairs=pairs(2))
+        fp = unit_fingerprint(base)
+        assert fp != unit_fingerprint(
+            WorkUnit(key="other", impl=WfaVec(), pairs=pairs(2))
+        )
+        assert fp != unit_fingerprint(
+            WorkUnit(key="k", impl=WfaVec(traceback=False), pairs=pairs(2))
+        )
+        assert fp != unit_fingerprint(
+            WorkUnit(key="k", impl=WfaVec(), pairs=pairs(2, seed=99))
+        )
+        assert fp != unit_fingerprint(
+            WorkUnit(key="k", impl=WfaVec(), pairs=pairs(2), shard_index=1)
+        )
+
+
+class TestJournal:
+    def test_record_and_load_roundtrip(self, run_root):
+        unit = units(1)[0]
+        result = run_implementation(unit.impl, unit.pairs)
+        journal = RunJournal(run_root / "r1")
+        fp = unit_fingerprint(unit)
+        journal.record(fp, result)
+        restored = RunJournal(run_root / "r1").load()
+        assert set(restored) == {fp}
+        assert result_signature(restored[fp]) == result_signature(result)
+
+    def test_duplicate_records_written_once(self, run_root):
+        unit = units(1)[0]
+        result = run_implementation(unit.impl, unit.pairs)
+        journal = RunJournal(run_root / "r1")
+        fp = unit_fingerprint(unit)
+        journal.record(fp, result)
+        journal.record(fp, result)
+        lines = (run_root / "r1" / "journal.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+
+    def test_missing_journal_loads_empty(self, run_root):
+        assert RunJournal(run_root / "nope").load() == {}
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            pytest.param(lambda line: line[: len(line) // 2], id="truncated"),
+            pytest.param(lambda line: "not json at all", id="garbage"),
+            pytest.param(lambda line: "[1, 2, 3]", id="wrong-type"),
+            pytest.param(
+                lambda line: json.dumps(
+                    {**json.loads(line), "crc": 123456789}
+                ),
+                id="bad-crc",
+            ),
+            pytest.param(
+                lambda line: json.dumps(
+                    {**json.loads(line), "payload": "!!!notbase64!!!"}
+                ),
+                id="bad-base64",
+            ),
+            pytest.param(
+                lambda line: json.dumps({**json.loads(line), "v": 999}),
+                id="future-version",
+            ),
+            pytest.param(
+                lambda line: json.dumps(
+                    {k: v for k, v in json.loads(line).items() if k != "unit"}
+                ),
+                id="missing-fingerprint",
+            ),
+        ],
+    )
+    def test_damaged_entries_skipped_with_warning(self, run_root, corrupt):
+        """Satellite: corruption is warned about and recomputed, never
+        silently reused."""
+        batch = units(2)
+        journal = RunJournal(run_root / "r1")
+        fps = []
+        for unit in batch:
+            fp = unit_fingerprint(unit)
+            fps.append(fp)
+            journal.record(fp, run_implementation(unit.impl, unit.pairs))
+        path = run_root / "r1" / "journal.jsonl"
+        lines = path.read_text().splitlines()
+        lines[1] = corrupt(lines[1])
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.warns(RuntimeWarning, match="recomputed"):
+            restored = RunJournal(run_root / "r1").load()
+        assert set(restored) == {fps[0]}  # damaged entry dropped
+
+    def test_corrupt_entry_recomputed_end_to_end(self, run_root):
+        """A resumed run with a damaged journal recomputes the damaged
+        unit and still matches the uninterrupted results exactly."""
+        batch = units(3)
+        reference = evaluate_units(batch, jobs=1)
+        with supervise.activate(make_config("r1")) as sup:
+            sup.evaluate(batch, jobs=1)
+        path = run_root / "r1" / "journal.jsonl"
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2][:40]  # truncate the last entry
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.warns(RuntimeWarning, match="recomputed"):
+            with supervise.activate(make_config("r1", resume=True)) as sup:
+                resumed = sup.evaluate(batch, jobs=1)
+        report = sup.report
+        assert [u.outcome for u in report.units] == ["restored", "restored", "ok"]
+        for got, want in zip(resumed, reference):
+            assert result_signature(got) == result_signature(want)
+
+
+class TestSerialSupervision:
+    def test_results_identical_to_plain_engine(self, run_root):
+        batch = units(3)
+        plain = evaluate_units(batch, jobs=1)
+        with supervise.activate(make_config()) as sup:
+            supervised = evaluate_units(batch, jobs=1)
+        assert sup.report.computed == 3
+        for got, want in zip(supervised, plain):
+            assert result_signature(got) == result_signature(want)
+
+    def test_resume_restores_and_skips_recompute(self, run_root):
+        batch = units(3)
+        with supervise.activate(make_config("r1")) as sup:
+            first = sup.evaluate(batch, jobs=1)
+        with supervise.activate(make_config("r1", resume=True)) as sup:
+            second = sup.evaluate(batch, jobs=1)
+        assert [u.outcome for u in sup.report.units] == ["restored"] * 3
+        for got, want in zip(second, first):
+            assert result_signature(got) == result_signature(want)
+
+    def test_restored_units_feed_stats_capture(self, run_root):
+        batch = units(2)
+        with records.capture() as direct:
+            with supervise.activate(make_config("r1")) as sup:
+                sup.evaluate(batch, jobs=1)
+        with records.capture() as resumed:
+            with supervise.activate(make_config("r1", resume=True)) as sup:
+                sup.evaluate(batch, jobs=1)
+        assert resumed.machine_records() == direct.machine_records()
+
+    def test_raise_fault_retries_then_succeeds(self, run_root):
+        cfg = make_config(fault_plan=FaultPlan.parse("1:raise@0"), retries=2)
+        batch = units(3)
+        plain = evaluate_units(batch, jobs=1)
+        with supervise.activate(cfg) as sup:
+            supervised = sup.evaluate(batch, jobs=1)
+        unit1 = sup.report.units[1]
+        assert unit1.outcome == "ok"
+        assert unit1.attempts == 2
+        assert unit1.classifications == ["exception:InjectedFault: injected exception fault"]
+        for got, want in zip(supervised, plain):
+            assert result_signature(got) == result_signature(want)
+
+    def test_raise_fault_exhausts_retries(self, run_root):
+        cfg = make_config(fault_plan=FaultPlan.parse("0:raise"), retries=1)
+        with supervise.activate(cfg) as sup:
+            with pytest.raises(SupervisionError, match="failed permanently"):
+                sup.evaluate(units(2), jobs=1)
+        report = sup.report
+        assert report.units[0].outcome == "failed"
+        assert report.units[0].attempts == 2
+        # The other unit still completed and is journaled for resume.
+        assert report.units[1].outcome == "ok"
+
+    def test_kill_fault_aborts_in_process_but_keeps_journal(self, run_root):
+        batch = units(3)
+        cfg = make_config("r1", fault_plan=FaultPlan.parse("1:kill"))
+        with pytest.raises(FaultAbort):
+            with supervise.activate(cfg) as sup:
+                sup.evaluate(batch, jobs=1)
+        # Unit 0 completed before the abort: resume restores it.
+        with supervise.activate(make_config("r1", resume=True)) as sup:
+            sup.evaluate(batch, jobs=1)
+        assert [u.outcome for u in sup.report.units] == ["restored", "ok", "ok"]
+
+    def test_ordinals_span_evaluate_calls(self, run_root):
+        """Fault ordinals address units across the whole run, not per call."""
+        cfg = make_config(fault_plan=FaultPlan.parse("2:raise@0"), retries=1)
+        first, second = units(2), units(2, length=70)
+        with supervise.activate(cfg) as sup:
+            sup.evaluate(first, jobs=1)
+            sup.evaluate(second, jobs=1)
+        report = sup.report
+        assert [u.ordinal for u in report.units] == [0, 1, 2, 3]
+        assert report.units[2].retries == 1
+        assert report.total_retries == 1
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="needs the fork start method")
+class TestPoolSupervision:
+    def test_pool_results_identical_to_plain_engine(self, run_root):
+        batch = units(4)
+        plain = evaluate_units(batch, jobs=1)
+        with supervise.activate(make_config()) as sup:
+            supervised = evaluate_units(batch, jobs=2)
+        assert sup.report.computed == 4
+        for got, want in zip(supervised, plain):
+            assert result_signature(got) == result_signature(want)
+
+    def test_worker_kill_classified_and_retried(self, run_root):
+        cfg = make_config(fault_plan=FaultPlan.parse("1:kill@0"), retries=2)
+        batch = units(3)
+        plain = evaluate_units(batch, jobs=1)
+        with supervise.activate(cfg) as sup:
+            supervised = sup.evaluate(batch, jobs=2)
+        unit1 = sup.report.units[1]
+        assert unit1.outcome == "ok"
+        assert unit1.classifications == ["signal:SIGKILL"]
+        assert unit1.retries == 1
+        for got, want in zip(supervised, plain):
+            assert result_signature(got) == result_signature(want)
+
+    def test_worker_exception_classified_and_retried(self, run_root):
+        cfg = make_config(fault_plan=FaultPlan.parse("0:raise@0"), retries=1)
+        with supervise.activate(cfg) as sup:
+            sup.evaluate(units(2), jobs=2)
+        unit0 = sup.report.units[0]
+        assert unit0.outcome == "ok"
+        assert unit0.classifications[0].startswith("exception:InjectedFault")
+
+    def test_hung_worker_times_out_and_retries(self, run_root):
+        cfg = make_config(
+            fault_plan=FaultPlan.parse("0:hang@0"), retries=1, timeout=1.0
+        )
+        batch = units(2)
+        plain = evaluate_units(batch, jobs=1)
+        with supervise.activate(cfg) as sup:
+            supervised = sup.evaluate(batch, jobs=2)
+        unit0 = sup.report.units[0]
+        assert unit0.outcome == "ok"
+        assert unit0.classifications == ["timeout"]
+        for got, want in zip(supervised, plain):
+            assert result_signature(got) == result_signature(want)
+
+    def test_permanent_kill_fails_but_others_are_journaled(self, run_root):
+        cfg = make_config("r1", fault_plan=FaultPlan.parse("1:kill"), retries=1)
+        batch = units(3)
+        with supervise.activate(cfg) as sup:
+            with pytest.raises(SupervisionError, match="resume"):
+                sup.evaluate(batch, jobs=2)
+        assert sup.report.units[1].outcome == "failed"
+        assert sup.report.units[1].classifications == ["signal:SIGKILL"] * 2
+        # Resume without the fault plan completes from the journal.
+        plain = evaluate_units(batch, jobs=1)
+        with supervise.activate(make_config("r1", resume=True)) as sup:
+            resumed = sup.evaluate(batch, jobs=2)
+        outcomes = [u.outcome for u in sup.report.units]
+        assert outcomes.count("restored") == 2 and outcomes.count("ok") == 1
+        for got, want in zip(resumed, plain):
+            assert result_signature(got) == result_signature(want)
+
+    def test_dying_pool_degrades_to_serial(self, run_root):
+        # Every first attempt is killed and the retry backoff is huge, so
+        # the pool hits the consecutive-failure threshold before any
+        # retry can land; the serial fallback then finishes everything.
+        batch = units(4)
+        plain = evaluate_units(batch, jobs=1)
+        cfg = make_config(
+            fault_plan=FaultPlan.parse("0:kill@0,1:kill@0,2:kill@0,3:kill@0"),
+            retries=2,
+            backoff=30.0,
+            degrade_after=2,
+        )
+        with pytest.warns(RuntimeWarning, match="degrading"):
+            with supervise.activate(cfg) as sup:
+                supervised = sup.evaluate(batch, jobs=2)
+        assert sup.degraded
+        assert sup.report.degraded
+        assert sup.report.computed == 4
+        for got, want in zip(supervised, plain):
+            assert result_signature(got) == result_signature(want)
+
+
+class TestReportAndMeta:
+    def test_report_written_on_activate_exit(self, run_root):
+        with supervise.activate(make_config("r1")) as sup:
+            sup.evaluate(units(2), jobs=1)
+        record = json.loads((run_root / "r1" / "report.json").read_text())
+        assert record["kind"] == records.RUN_REPORT_KIND
+        assert record["schema_version"] == records.SCHEMA_VERSION
+        assert record["units_computed"] == 2
+        assert record["units_failed"] == 0
+        assert len(record["units"]) == 2
+        assert record["wall_seconds"] > 0
+
+    def test_report_written_even_on_failure(self, run_root):
+        cfg = make_config("r1", fault_plan=FaultPlan.parse("0:raise"), retries=0)
+        with pytest.raises(SupervisionError):
+            with supervise.activate(cfg) as sup:
+                sup.evaluate(units(1), jobs=1)
+        record = json.loads((run_root / "r1" / "report.json").read_text())
+        assert record["units_failed"] == 1
+        assert record["units"][0]["classifications"]
+
+    def test_meta_roundtrip(self, run_root):
+        with supervise.activate(make_config("r1")) as sup:
+            sup.write_meta({"experiment": "fig3", "scale": 0.05, "jobs": 2})
+        meta = supervise.read_meta("r1")
+        assert meta["experiment"] == "fig3"
+        assert meta["run_id"] == "r1"
+
+    def test_read_meta_unknown_run(self, run_root):
+        with pytest.raises(ReproError, match="no such run"):
+            supervise.read_meta("never-ran")
+
+    def test_resume_requires_journal(self, run_root):
+        with pytest.raises(ReproError, match="journal disabled"):
+            Supervisor(make_config(resume=True, journal=False))
+
+    def test_summary_mentions_recovery(self, run_root):
+        with supervise.activate(make_config("r1")) as sup:
+            sup.evaluate(units(1), jobs=1)
+        assert "1 units" in sup.report.summary() or "units" in sup.report.summary()
+
+    def test_generate_run_id_is_pathsafe_and_unique(self):
+        a, b = supervise.generate_run_id(), supervise.generate_run_id()
+        assert a != b
+        assert "/" not in a
+        SuperviseConfig(run_id=a)  # validates

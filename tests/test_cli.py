@@ -4,14 +4,17 @@ import json
 
 import pytest
 
+from repro.cache import CALIBRATION
 from repro.cli import (
     EXPERIMENTS,
     build_compare_parser,
     build_parser,
+    build_run_parser,
     main,
     run_experiment,
+    supervise_config_from_args,
 )
-from repro.eval import records
+from repro.eval import records, supervise
 
 
 class TestParser:
@@ -162,6 +165,123 @@ class TestEmitAndCompare:
         rc = main(["compare", str(tmp_path / "a.json"), str(tmp_path / "b.json")])
         assert rc == 2
         assert "no such result file" in capsys.readouterr().err
+
+
+class TestSuperviseFlags:
+    def parse(self, *extra):
+        return build_parser().parse_args(["fig3", *extra])
+
+    def test_defaults_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SUPERVISE", raising=False)
+        monkeypatch.delenv(supervise.FAULT_PLAN_ENV, raising=False)
+        assert supervise_config_from_args(self.parse()) is None
+
+    def test_supervise_flag_activates(self, monkeypatch):
+        monkeypatch.delenv(supervise.FAULT_PLAN_ENV, raising=False)
+        cfg = supervise_config_from_args(self.parse("--supervise"))
+        assert cfg is not None
+        assert cfg.resume is False
+        assert cfg.fault_plan is None
+
+    def test_run_id_and_policy_flags(self, monkeypatch):
+        monkeypatch.delenv(supervise.FAULT_PLAN_ENV, raising=False)
+        cfg = supervise_config_from_args(
+            self.parse(
+                "--run-id", "myrun", "--timeout", "7", "--retries", "5",
+                "--fault-plan", "1:kill@0",
+            )
+        )
+        assert cfg.run_id == "myrun"
+        assert cfg.timeout == 7.0
+        assert cfg.retries == 5
+        assert cfg.fault_plan.lookup(1, 0) == "kill"
+
+    def test_resume_implies_resume_config(self, monkeypatch):
+        monkeypatch.delenv(supervise.FAULT_PLAN_ENV, raising=False)
+        cfg = supervise_config_from_args(self.parse("--resume", "old"))
+        assert cfg.run_id == "old"
+        assert cfg.resume is True
+
+    def test_resume_and_run_id_conflict(self, monkeypatch):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="mutually exclusive"):
+            supervise_config_from_args(
+                self.parse("--resume", "a", "--run-id", "b")
+            )
+
+    def test_fault_plan_env_activates(self, monkeypatch):
+        monkeypatch.setenv(supervise.FAULT_PLAN_ENV, "0:raise@0")
+        cfg = supervise_config_from_args(self.parse())
+        assert cfg is not None
+        assert cfg.fault_plan.lookup(0, 0) == "raise"
+
+    def test_run_parser_requires_resume(self):
+        with pytest.raises(SystemExit):
+            build_run_parser().parse_args([])
+        args = build_run_parser().parse_args(["--resume", "x", "-j", "4"])
+        assert args.resume == "x" and args.jobs == 4
+
+
+class TestSupervisedEndToEnd:
+    @pytest.fixture
+    def run_root(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(CALIBRATION, "directory", None)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv(supervise.FAULT_PLAN_ENV, raising=False)
+        monkeypatch.delenv("REPRO_SUPERVISE", raising=False)
+        return tmp_path / "runs"
+
+    def test_supervised_run_emits_identical_record(
+        self, run_root, tmp_path, capsys
+    ):
+        plain = tmp_path / "plain.json"
+        supervised = tmp_path / "supervised.json"
+        assert main(
+            ["fig4", "--scale", "0.05", "--no-cache",
+             "--emit-json", str(plain)]
+        ) == 0
+        assert main(
+            ["fig4", "--scale", "0.05", "--no-cache", "--run-id", "sup",
+             "--emit-json", str(supervised)]
+        ) == 0
+        assert plain.read_bytes() == supervised.read_bytes()
+        out = capsys.readouterr().out
+        assert "run sup" in out
+        assert (run_root / "sup" / "report.json").exists()
+        assert (run_root / "sup" / "meta.json").exists()
+        assert (run_root / "sup" / "journal.jsonl").exists()
+
+    def test_interrupt_and_resume_via_run_subcommand(
+        self, run_root, tmp_path, capsys
+    ):
+        reference = tmp_path / "ref.json"
+        resumed = tmp_path / "resumed.json"
+        assert main(
+            ["fig4", "--scale", "0.05", "--no-cache",
+             "--emit-json", str(reference)]
+        ) == 0
+        # Interrupt: unit 0 is killed in-process (simulating a dead
+        # operator process); completed state stays journaled.
+        rc = main(
+            ["fig4", "--scale", "0.05", "--no-cache", "--run-id", "broken",
+             "--retries", "0", "--fault-plan", "1:kill",
+             "--emit-json", str(tmp_path / "broken.json")]
+        )
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "journaled" in err
+        # Resume re-reads experiment/scale/emit target from meta.json.
+        assert main(
+            ["run", "--resume", "broken", "--emit-json", str(resumed)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "restored" in out
+        assert reference.read_bytes() == resumed.read_bytes()
+
+    def test_run_subcommand_unknown_id(self, run_root, capsys):
+        assert main(["run", "--resume", "never-existed"]) == 2
+        assert "no such run" in capsys.readouterr().err
 
 
 class TestBenchCommand:
