@@ -27,7 +27,6 @@ reference and the DP-table traffic is accounted as a streaming pattern.
 
 from __future__ import annotations
 
-import itertools
 
 import numpy as np
 
@@ -43,7 +42,6 @@ from repro.vector.program import REPLAY_METER, ReplaySession, capture
 from repro.vector.register import Pred, VReg
 from repro.vector.stats import MachineStats
 
-_uid = itertools.count()
 _INF = 1 << 28
 
 #: Beyond this many DP cells the fast path replaces instruction-level runs.
@@ -221,7 +219,9 @@ class DpEngine:
             else (self.m + self.n) * (min(band, max(self.m, self.n)) + 1)
         )
         self.fast = fast if fast is not None else cells > FAST_CELL_THRESHOLD
-        self.uid = next(_uid)
+        # Machine-local numbering: fleet execution interleaves many
+        # machines, each of which must see the solo-run name sequence.
+        self.uid = machine.name_uid("dp")
         self.qz_mode: str | None = None
         if use_quetzal:
             if machine.quetzal is None:
@@ -378,6 +378,12 @@ class DpEngine:
 
     # ------------------------------------------------------------------
     def run(self) -> int | None:
+        from repro.vector.fleet import drive_serial
+
+        return drive_serial(self.run_gen())
+
+    def run_gen(self):
+        """Generator form of :meth:`run` yielding fleet step requests."""
         m = self.machine
         self._stage()
         if self.band < self.m + self.n and abs(self.n - self.m) > self.band:
@@ -385,7 +391,7 @@ class DpEngine:
             return None
         if self.fast:
             return self._run_fast()
-        return self._run_exact()
+        return (yield from self._run_exact_gen())
 
     def _score(self) -> int | None:
         if self.band < self.m + self.n:
@@ -395,6 +401,13 @@ class DpEngine:
         return nw_gotoh_global(self.pair.pattern, self.pair.text, self.pen)
 
     def _run_exact(self) -> int | None:
+        from repro.vector.fleet import drive_serial
+
+        return drive_serial(self._run_exact_gen())
+
+    def _run_exact_gen(self):
+        from repro.vector.fleet import program_step
+
         m = self.machine
         st = self.state
         # The QBUFFER-resident state backend ring-addresses with a
@@ -409,10 +422,29 @@ class DpEngine:
             ilo, ihi = _diag_range(d, self.m, self.n, self.band)
             m.scalar(3)
             for i0 in range(ilo, ihi + 1, 16):
-                if use_replay:
-                    self._chunk_replay(d, i0, min(16, ihi - i0 + 1), programs)
+                count = min(16, ihi - i0 + 1)
+                if not use_replay:
+                    self._chunk_kernel(d, i0, count)
+                    continue
+                prog = programs.get(d % 6)
+                if prog is None:
+                    # First sighting of this phase (capture) or a broken
+                    # capture: stay serial for this chunk.
+                    self._chunk_replay(d, i0, count, programs)
                 else:
-                    self._chunk_kernel(d, i0, min(16, ihi - i0 + 1))
+                    # Fleet-fusable: the captured phase program can run
+                    # across pairs in one batch.  The fused path replays
+                    # the block itself; only the traceback-table write
+                    # remains to account per pair (``accept``).
+                    yield program_step(
+                        m,
+                        prog,
+                        (d, i0, count),
+                        run=lambda d=d, i0=i0, count=count: self._chunk_replay(
+                            d, i0, count, programs
+                        ),
+                        accept=lambda outs, count=count: self._tb_account(count),
+                    )
             self._poison_band_edges(ilo, ihi)
         final = st.peek("h", 0, self.m)
         if final >= _INF:
@@ -546,7 +578,7 @@ class KswVec(Implementation):
             return self.band
         return default_band(pair, self.band_frac)
 
-    def run_pair(self, machine: VectorMachine, pair: SequencePair) -> PairResult:
+    def run_pair_gen(self, machine: VectorMachine, pair: SequencePair):
         before = machine.snapshot()
         if len(pair.pattern) == 0 or len(pair.text) == 0:
             machine.scalar(4)
@@ -555,7 +587,7 @@ class KswVec(Implementation):
             machine, pair, band=self._band_for(pair), penalties=self.pen,
             use_quetzal=self.style in ("qz", "qzc"), fast=self.fast,
         )
-        score = engine.run()
+        score = yield from engine.run_gen()
         return self._wrap(machine, before, score)
 
 
@@ -571,7 +603,7 @@ class ParasailNwVec(Implementation):
         self.pen = penalties or Penalties()
         self.fast = fast
 
-    def run_pair(self, machine: VectorMachine, pair: SequencePair) -> PairResult:
+    def run_pair_gen(self, machine: VectorMachine, pair: SequencePair):
         before = machine.snapshot()
         if len(pair.pattern) == 0 or len(pair.text) == 0:
             machine.scalar(4)
@@ -580,5 +612,5 @@ class ParasailNwVec(Implementation):
             machine, pair, band=None, penalties=self.pen,
             use_quetzal=self.style in ("qz", "qzc"), fast=self.fast,
         )
-        score = engine.run()
+        score = yield from engine.run_gen()
         return self._wrap(machine, before, score)

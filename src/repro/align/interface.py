@@ -12,7 +12,7 @@ styles x datasets uniformly:
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+from abc import ABC
 from dataclasses import dataclass
 from typing import Any
 
@@ -56,9 +56,32 @@ class Implementation(ABC):
     def requires_count_alu(self) -> bool:
         return self.style == "qzc"
 
-    @abstractmethod
     def run_pair(self, machine: VectorMachine, pair: SequencePair) -> PairResult:
-        """Simulate one pair; returns its timing delta and functional output."""
+        """Simulate one pair; returns its timing delta and functional output.
+
+        Implementations override either this method (fully serial) or
+        :meth:`run_pair_gen` (fleet-capable); the default of each
+        delegates to the other, so overriding one is enough.
+        """
+        from repro.vector.fleet import drive_serial
+
+        return drive_serial(self.run_pair_gen(machine, pair))
+
+    def run_pair_gen(self, machine: VectorMachine, pair: SequencePair):
+        """Generator form of :meth:`run_pair` for the fleet executor.
+
+        Yields :class:`~repro.vector.fleet.FleetStep` requests at
+        fusable block boundaries and returns the :class:`PairResult`.
+        The default never yields: the whole pair runs serially the
+        moment the fleet driver first advances the fiber, which is
+        always correct — just unbatched.
+        """
+        if type(self).run_pair is Implementation.run_pair:
+            raise NotImplementedError(
+                f"{type(self).__name__} must override run_pair or run_pair_gen"
+            )
+        return self.run_pair(machine, pair)
+        yield  # pragma: no cover - marks this as a generator function
 
     def _wrap(
         self, machine: VectorMachine, before: MachineStats, output: Any

@@ -14,23 +14,19 @@ this simplification.
 
 from __future__ import annotations
 
-import itertools
-
 from repro.align.interface import Implementation, PairResult
 from repro.align.vectorized.extend_loop import VecExtendKernel
 from repro.align.vectorized.wfa_vec import FAST_LENGTH_THRESHOLD
 from repro.align.vectorized.wavefront_machine import (
     INV_THRESH,
     MachineWavefront,
-    extend_wave_with_kernel,
+    extend_wave_with_kernel_gen,
     init_root_wave,
     next_machine_wave,
 )
 from repro.errors import AlignmentError
 from repro.genomics.generator import SequencePair
 from repro.vector.machine import VectorMachine
-
-_uid = itertools.count()
 
 
 def account_overlap_scan(
@@ -77,7 +73,7 @@ class BiwfaVec(Implementation):
         self.fast = fast
         self.max_score = max_score
 
-    def run_pair(self, machine: VectorMachine, pair: SequencePair) -> PairResult:
+    def run_pair_gen(self, machine: VectorMachine, pair: SequencePair):
         before = machine.snapshot()
         m_len, n_len = len(pair.pattern), len(pair.text)
         if m_len == 0 or n_len == 0:
@@ -86,7 +82,7 @@ class BiwfaVec(Implementation):
         fast = self.fast if self.fast is not None else (
             pair.max_length > FAST_LENGTH_THRESHOLD
         )
-        uid = next(_uid)
+        uid = machine.name_uid("bi")
         p_codes = pair.pattern.codes
         t_codes = pair.text.codes
         pbuf = machine.new_buffer(f"bi_p{uid}", p_codes, elem_bytes=1)
@@ -99,31 +95,31 @@ class BiwfaVec(Implementation):
         cost_model = fwd_kernel.cost_model(machine) if fast else None
         z = n_len - m_len
 
-        def extend_fwd(wave: MachineWavefront) -> None:
-            extend_wave_with_kernel(
+        def extend_fwd(wave: MachineWavefront):
+            return extend_wave_with_kernel_gen(
                 machine, wave, fwd_kernel, consts, fast, cost_model
             )
 
-        def extend_bwd(wave: MachineWavefront) -> None:
-            extend_wave_with_kernel(
+        def extend_bwd(wave: MachineWavefront):
+            return extend_wave_with_kernel_gen(
                 machine, wave, bwd_kernel, consts, fast, cost_model
             )
 
         fwd = init_root_wave(machine)
-        extend_fwd(fwd)
+        yield from extend_fwd(fwd)
         bwd = init_root_wave(machine)
-        extend_bwd(bwd)
+        yield from extend_bwd(bwd)
         s_f = s_b = 0
         while not account_overlap_scan(machine, fwd, bwd, n_len, z):
             if self.max_score is not None and s_f + s_b >= self.max_score:
                 raise AlignmentError("BiWFA exceeded max_score")
             if s_f <= s_b:
                 fwd = next_machine_wave(machine, fwd, m_len, n_len)
-                extend_fwd(fwd)
+                yield from extend_fwd(fwd)
                 s_f += 1
             else:
                 bwd = next_machine_wave(machine, bwd, m_len, n_len)
-                extend_bwd(bwd)
+                yield from extend_bwd(bwd)
                 s_b += 1
         machine.scalar(8)  # breakpoint extraction bookkeeping
         return self._wrap(machine, before, s_f + s_b)

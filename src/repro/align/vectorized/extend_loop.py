@@ -37,6 +37,7 @@ import numpy as np
 from repro.cache import CALIBRATION
 from repro.config import SystemConfig
 from repro.errors import MachineError
+from repro.vector.fleet import FleetStep, drive_serial, session_step
 from repro.vector.machine import VectorMachine
 from repro.vector.program import ReplaySession
 from repro.vector.register import Pred, SimBuffer, VReg
@@ -179,15 +180,14 @@ def vec_extend(
     return st.v, st.h
 
 
-def run_interleaved(machine: VectorMachine, chunks: list, step_fn) -> None:
-    """Round-robin one iteration of every live chunk (software pipelining).
+def interleave_requests(machine: VectorMachine, chunks: list, request_fn):
+    """Generator core of :func:`run_interleaved` for the fleet driver.
 
-    ``chunks`` holds :class:`ChunkState` objects after :func:`enter_extend`;
-    ``step_fn(machine, state)`` emits one loop-body iteration.  Each round
-    issues every live chunk's body back-to-back, so the scoreboard hides
-    one chunk's latency chain under the others'; the round loop branches
-    once per round on a combined live predicate (one ``POR`` per chunk +
-    a single predicted test), so only the final wave exit mispredicts.
+    Yields one :class:`~repro.vector.fleet.FleetStep` per live chunk per
+    round.  The driver *executes* the request before resuming the
+    generator, so the ``POR``/``ptest`` guard sequence after each
+    ``yield`` sees the post-step ``inb`` — per-machine op order is
+    exactly the inline loop's.
     """
     combined = None
     live = []
@@ -200,10 +200,31 @@ def run_interleaved(machine: VectorMachine, chunks: list, step_fn) -> None:
     while live:
         combined = None
         for st in live:
-            step_fn(machine, st)
+            yield request_fn(st)
             combined = st.inb if combined is None else machine.por(combined, st.inb)
         machine.ptest_spec(combined)
         live = [c for c in live if c.alive]
+
+
+def run_interleaved(machine: VectorMachine, chunks: list, step_fn) -> None:
+    """Round-robin one iteration of every live chunk (software pipelining).
+
+    ``chunks`` holds :class:`ChunkState` objects after :func:`enter_extend`;
+    ``step_fn(machine, state)`` emits one loop-body iteration.  Each round
+    issues every live chunk's body back-to-back, so the scoreboard hides
+    one chunk's latency chain under the others'; the round loop branches
+    once per round on a combined live predicate (one ``POR`` per chunk +
+    a single predicted test), so only the final wave exit mispredicts.
+    """
+    drive_serial(
+        interleave_requests(
+            machine,
+            chunks,
+            lambda st: FleetStep(
+                machine, lambda st=st: step_fn(machine, st)
+            ),
+        )
+    )
 
 
 # ----------------------------------------------------------------------
@@ -565,7 +586,30 @@ def extend_chunks(
 
     Slow mode interleaves every chunk's loop (software pipelining);
     fast mode derives iteration counts from run lengths and replays the
-    measured wave bound.
+    measured wave bound.  This is the inline driver over
+    :func:`extend_chunks_gen` — the fleet scheduler drives the same
+    generator across pairs.
+    """
+    return drive_serial(
+        extend_chunks_gen(machine, kernel, consts, chunks, fast, cost_model)
+    )
+
+
+def extend_chunks_gen(
+    machine: VectorMachine,
+    kernel: ExtendKernel,
+    consts: ExtendConsts,
+    chunks: list[tuple[VReg, VReg, Pred]],
+    fast: bool,
+    cost_model: LoopCostModel | None = None,
+):
+    """Generator form of :func:`extend_chunks` yielding fleet requests.
+
+    Each loop-body iteration is yielded as a
+    :class:`~repro.vector.fleet.FleetStep` so the fleet scheduler can fuse
+    it with the matching iteration of other pairs; the fast path never
+    yields.  Returns the same per-chunk ``(h', runs)`` list (via
+    ``StopIteration.value`` / ``yield from``).
     """
     if not chunks:
         return []
@@ -588,10 +632,13 @@ def extend_chunks(
                     name=type(kernel).__name__,
                 )
                 kernel._replay_session = cached = (machine, consts, session)
-            step_fn = lambda mm, ss: cached[2].step(ss)  # noqa: E731
+            session = cached[2]
+            request_fn = lambda ss: session_step(session, ss)  # noqa: E731
         else:
-            step_fn = lambda mm, ss: kernel.step(mm, consts, ss)  # noqa: E731
-        run_interleaved(machine, states, step_fn)
+            request_fn = lambda ss: FleetStep(  # noqa: E731
+                machine, lambda ss=ss: kernel.step(machine, consts, ss)
+            )
+        yield from interleave_requests(machine, states, request_fn)
         out = []
         for st, (v, h, valid) in zip(states, chunks):
             out.append((st.h, st.h.data - h.data))

@@ -8,22 +8,19 @@ a serialising horizontal-max picks the snake's next segment.
 
 from __future__ import annotations
 
-import itertools
-
 from repro.align.interface import Implementation, PairResult
 from repro.align.sneakysnake import SneakySnakeResult
 from repro.align.vectorized.extend_loop import (
     ExtendKernel,
     VecExtendKernel,
-    extend_chunks,
+    extend_chunks_gen,
 )
 from repro.align.vectorized.wfa_vec import FAST_LENGTH_THRESHOLD
 from repro.errors import AlignmentError
 from repro.genomics.generator import SequencePair
+from repro.vector.fleet import drive_serial, program_step
 from repro.vector.machine import VectorMachine
 from repro.vector.program import REPLAY_METER, ReplaySession, capture
-
-_uid = itertools.count()
 
 
 def run_snake(
@@ -35,6 +32,20 @@ def run_snake(
     fast: bool,
 ) -> SneakySnakeResult:
     """The greedy snake loop over diagonal chunks (shared by all styles)."""
+    return drive_serial(
+        run_snake_gen(machine, kernel, n, n_text, threshold, fast)
+    )
+
+
+def run_snake_gen(
+    machine: VectorMachine,
+    kernel: ExtendKernel,
+    n: int,
+    n_text: int,
+    threshold: int,
+    fast: bool,
+):
+    """Generator form of :func:`run_snake` yielding fleet step requests."""
     m = machine
     consts = kernel.consts(m, n, n_text)
     cost_model = kernel.cost_model(m) if fast else None
@@ -71,11 +82,26 @@ def run_snake(
                 outs = column_setup(m, col)
                 REPLAY_METER.interpreted_blocks += 1
             else:
-                outs = setup_prog.replay(m, (), (col,))
-                if outs is None:
-                    outs = column_setup(m, col)
-                    REPLAY_METER.interpreted_blocks += 1
-                    REPLAY_METER.interpreted_instructions += setup_prog.n_ops
+                # Fleet-fusable: the captured column-setup program runs
+                # across pairs in one batch when fibers line up.
+                holder = {}
+
+                def run_setup(col=col, holder=holder):
+                    outs = setup_prog.replay(m, (), (col,))
+                    if outs is None:
+                        outs = column_setup(m, col)
+                        REPLAY_METER.interpreted_blocks += 1
+                        REPLAY_METER.interpreted_instructions += setup_prog.n_ops
+                    holder["outs"] = outs
+
+                yield program_step(
+                    m,
+                    setup_prog,
+                    (col,),
+                    run=run_setup,
+                    accept=lambda o, holder=holder: holder.__setitem__("outs", o),
+                )
+                outs = holder["outs"]
         else:
             outs = column_setup(m, col)
         vcol = outs[0]
@@ -85,7 +111,9 @@ def run_snake(
             h, valid = outs[1 + 2 * i], outs[2 + 2 * i]
             chunks.append((vcol, h, valid))
             metas.append((h, valid))
-        results = extend_chunks(m, kernel, consts, chunks, fast, cost_model)
+        results = yield from extend_chunks_gen(
+            m, kernel, consts, chunks, fast, cost_model
+        )
         best = 0
         for (h, valid), (h2, _runs) in zip(metas, results):
             cnt = m.sub(h2, h)
@@ -132,7 +160,7 @@ class SsVec(Implementation):
             return self.threshold
         return max(1, int(len(pair.pattern) * self.threshold_frac))
 
-    def run_pair(self, machine: VectorMachine, pair: SequencePair) -> PairResult:
+    def run_pair_gen(self, machine: VectorMachine, pair: SequencePair):
         before = machine.snapshot()
         m = machine
         n = len(pair.pattern)
@@ -144,9 +172,11 @@ class SsVec(Implementation):
         fast = self.fast if self.fast is not None else (
             pair.max_length > FAST_LENGTH_THRESHOLD
         )
-        uid = next(_uid)
+        uid = m.name_uid("ss")
         pbuf = m.new_buffer(f"ss_p{uid}", pair.pattern.codes, elem_bytes=1)
         tbuf = m.new_buffer(f"ss_t{uid}", pair.text.codes, elem_bytes=1)
         kernel = VecExtendKernel(pbuf, tbuf)
-        result = run_snake(m, kernel, n, len(pair.text), threshold, fast)
+        result = yield from run_snake_gen(
+            m, kernel, n, len(pair.text), threshold, fast
+        )
         return self._wrap(m, before, result)

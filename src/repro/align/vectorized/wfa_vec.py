@@ -9,21 +9,17 @@ ones.
 
 from __future__ import annotations
 
-import itertools
-
 from repro.align.interface import Implementation, PairResult
 from repro.align.vectorized.extend_loop import VecExtendKernel
 from repro.align.vectorized.wavefront_machine import (
     MachineWavefront,
     account_traceback,
-    extend_wave_with_kernel,
-    run_wavefront_loop,
+    extend_wave_with_kernel_gen,
+    run_wavefront_loop_gen,
 )
 from repro.genomics.generator import SequencePair
 from repro.vector.machine import VectorMachine
 from repro.vector.register import SimBuffer
-
-_uid = itertools.count()
 
 #: Above this read length the fast timing path replaces per-window loops.
 FAST_LENGTH_THRESHOLD = 1200
@@ -33,7 +29,7 @@ def make_sequence_buffers(
     machine: VectorMachine, pair: SequencePair
 ) -> tuple[SimBuffer, SimBuffer]:
     """Stage the pair's alphabet codes as byte buffers in simulated memory."""
-    uid = next(_uid)
+    uid = machine.name_uid("seq")
     pbuf = machine.new_buffer(f"pat{uid}", pair.pattern.codes, elem_bytes=1)
     tbuf = machine.new_buffer(f"txt{uid}", pair.text.codes, elem_bytes=1)
     return pbuf, tbuf
@@ -60,7 +56,7 @@ class WfaVec(Implementation):
             return self.fast
         return pair.max_length > FAST_LENGTH_THRESHOLD
 
-    def run_pair(self, machine: VectorMachine, pair: SequencePair) -> PairResult:
+    def run_pair_gen(self, machine: VectorMachine, pair: SequencePair):
         before = machine.snapshot()
         m_len, n_len = len(pair.pattern), len(pair.text)
         if m_len == 0 or n_len == 0:
@@ -72,11 +68,13 @@ class WfaVec(Implementation):
         consts = kernel.consts(machine, m_len, n_len)
         cost_model = kernel.cost_model(machine) if fast else None
 
-        def extend(mach: VectorMachine, wave: MachineWavefront) -> None:
-            extend_wave_with_kernel(mach, wave, kernel, consts, fast, cost_model)
+        def extend_gen(mach: VectorMachine, wave: MachineWavefront):
+            return extend_wave_with_kernel_gen(
+                mach, wave, kernel, consts, fast, cost_model
+            )
 
-        distance, waves = run_wavefront_loop(
-            machine, m_len, n_len, extend, max_score=self.max_score
+        distance, waves = yield from run_wavefront_loop_gen(
+            machine, m_len, n_len, extend_gen, max_score=self.max_score
         )
         if self.traceback:
             account_traceback(machine, waves, distance)

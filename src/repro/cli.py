@@ -52,6 +52,21 @@ def _disable_replay() -> None:
     os.environ["REPRO_NO_REPLAY"] = "1"
     VectorMachine.use_replay = False
 
+
+def _set_fleet(width: "int | None") -> None:
+    """Pin the fleet width for this process and its workers.
+
+    Like :func:`_disable_replay`: the environment variable reaches
+    worker processes (read at ``repro.vector.machine`` import), the
+    class attribute covers machines built here.
+    """
+    if width is None:
+        return
+    if width < 0:
+        raise ReproError(f"--fleet must be >= 0: {width}")
+    os.environ["REPRO_FLEET"] = str(width)
+    VectorMachine.use_fleet = width
+
 #: Experiment id -> (callable, title, kwargs-name for scaling or None).
 EXPERIMENTS = {
     "tab1": (ex.table1_system, "Table I: simulated system", None),
@@ -123,6 +138,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="interpret every vector op instead of replaying recorded "
         "programs (results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--fleet",
+        type=int,
+        default=None,
+        metavar="N",
+        help="advance N read-pairs in lockstep through the fleet "
+        "executor, fusing identical replay blocks across pairs "
+        "(default: $REPRO_FLEET, else off; per-pair results are "
+        "bit-identical at every width)",
     )
     add_supervise_arguments(parser)
     return parser
@@ -272,13 +297,29 @@ def build_bench_parser() -> argparse.ArgumentParser:
         default=None,
         help="run a subset (repeatable); choose from "
         "stride_sweep, random_gather, wfa_extend, fig4_cell, "
-        "replay_extend, replay_ss",
+        "replay_extend, replay_ss, fleet_extend, fleet_fig4",
     )
     parser.add_argument(
         "--check",
         action="store_true",
         help="exit 1 if statistics diverge or a gated workload "
-        "(stride_sweep and the replay workloads) regressed",
+        "(stride_sweep, the replay workloads, fleet_extend) regressed",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="also gate speedups against a committed report "
+        "(results/BENCH_*.json): exit 1 on a shared workload more than "
+        "--tolerance below its committed speedup",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        metavar="FRAC",
+        help="allowed relative speedup regression for --baseline "
+        "(default 0.10)",
     )
     parser.add_argument(
         "--profile",
@@ -307,12 +348,19 @@ def bench_main(argv: "list[str]") -> int:
         return 0
     report = bench.run_bench(quick=args.quick, out=args.out, only=args.only)
     print(bench.render_report(report))
+    failures = []
     if args.check:
-        failures = bench.check_report(report)
-        for failure in failures:
-            print(f"BENCH FAIL: {failure}", file=sys.stderr)
-        return 1 if failures else 0
-    return 0
+        failures.extend(bench.check_report(report))
+    if args.baseline is not None:
+        import json
+
+        baseline = json.loads(Path(args.baseline).read_text())
+        failures.extend(
+            bench.check_regression(report, baseline, tolerance=args.tolerance)
+        )
+    for failure in failures:
+        print(f"BENCH FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def compare_main(argv: "list[str]") -> int:
@@ -421,6 +469,7 @@ def build_run_parser() -> argparse.ArgumentParser:
     parser.add_argument("--verbose", "-v", action="store_true")
     parser.add_argument("--no-cache", action="store_true")
     parser.add_argument("--no-replay", action="store_true")
+    parser.add_argument("--fleet", type=int, default=None, metavar="N")
     parser.add_argument(
         "--fault-plan", metavar="SPEC", default=None,
         help="inject faults into the resumed run too (testing only)",
@@ -438,6 +487,7 @@ def run_main(argv: "list[str]") -> int:
         CALIBRATION.disable_disk()
     if args.no_replay:
         _disable_replay()
+    _set_fleet(args.fleet)
     meta = supervise.read_meta(args.resume)
     experiment = meta.get("experiment")
     if experiment != "all" and experiment not in EXPERIMENTS:
@@ -576,6 +626,7 @@ def main(argv: "list[str] | None" = None) -> int:
         CALIBRATION.disable_disk()
     if args.no_replay:
         _disable_replay()
+    _set_fleet(args.fleet)
     if supervise_cfg is not None:
         return _run_supervised(
             supervise_cfg,

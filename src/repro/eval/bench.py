@@ -32,12 +32,23 @@ Workloads:
 ``replay_ss``
     End-to-end Fig. 4 SS cell with replay off vs on — the same
     bit-identity contract, measured through ``run_implementation``.
+``fleet_extend``
+    The steady-state extend loop on 64 independent read-pairs, each on
+    its own fresh machine at the 2048-bit (32-lane) vector width —
+    per-pair serial fibers vs the fleet executor fusing all pairs'
+    identical replay blocks per step (:mod:`repro.vector.fleet`).
+``fleet_fig4``
+    End to end: the Fig. 4 SS cell through ``run_implementation`` with
+    ``fleet=1`` (one pair at a time, fresh machine per pair) vs
+    ``fleet=64`` — the ``--fleet N == --fleet 1`` CLI contract,
+    measured per pair.
 
 The membatch workloads compare ``use_batched_memory`` off vs on (replay
 pinned off on both legs so it cannot blur the comparison); the replay
 workloads compare ``use_replay`` off vs on with batched memory pinned
-on.  In every cell ``serial_s`` is the slow leg and ``batched_s`` the
-fast leg, whatever the toggled dimension.
+on; the fleet workloads compare fleet width 1 vs 64 with batched memory
+and replay pinned on for both legs.  In every cell ``serial_s`` is the
+slow leg and ``batched_s`` the fast leg, whatever the toggled dimension.
 """
 
 from __future__ import annotations
@@ -51,13 +62,20 @@ from pathlib import Path
 import numpy as np
 
 from repro._version import __version__
-from repro.align.vectorized.extend_loop import ExtendConsts, vec_extend
+from repro.align.vectorized.extend_loop import (
+    ExtendConsts,
+    enter_extend,
+    vec_extend,
+    vec_step,
+)
 from repro.align.vectorized.ss_vec import SsVec
 from repro.config import SystemConfig
 from repro.errors import ReproError
 from repro.eval.runner import make_machine, run_implementation
 from repro.genomics.datasets import build_dataset
+from repro.vector.fleet import drive_fleet, drive_serial, session_step
 from repro.vector.machine import VectorMachine
+from repro.vector.program import ReplaySession
 
 #: Default report location (relative to the working directory).
 DEFAULT_OUT = "results/BENCH_membatch.json"
@@ -70,39 +88,48 @@ _SCALES = {
     "fig4_cell": (24, 4),
     "replay_extend": (40, 8),
     "replay_ss": (24, 4),
+    "fleet_extend": (20, 5),
+    "fleet_fig4": (24, 4),
 }
 
 #: Workload name -> toggled dimension ("membatch" unless listed).
 _DIMENSIONS = {
     "replay_extend": "replay",
     "replay_ss": "replay",
+    "fleet_extend": "fleet",
+    "fleet_fig4": "fleet",
 }
 
-#: dimension -> ((slow-leg label, batched, replay), (fast-leg label, ...)).
+#: dimension -> ((slow label, batched, replay, fleet), (fast label, ...)).
 _LEGS = {
-    "membatch": (("serial", False, False), ("batched", True, False)),
-    "replay": (("serial", True, False), ("batched", True, True)),
+    "membatch": (("serial", False, False, 0), ("batched", True, False, 0)),
+    "replay": (("serial", True, False, 0), ("batched", True, True, 0)),
+    "fleet": (("serial", True, True, 1), ("batched", True, True, 64)),
 }
 
 
 class _PathPin:
     """Context manager pinning the class-wide execution-path defaults."""
 
-    def __init__(self, batched: bool, replay: bool) -> None:
+    def __init__(self, batched: bool, replay: bool, fleet: int = 0) -> None:
         self.batched = batched
         self.replay = replay
+        self.fleet = fleet
 
     def __enter__(self) -> None:
         self._saved = (
             VectorMachine.use_batched_memory,
             VectorMachine.use_replay,
+            VectorMachine.use_fleet,
         )
         VectorMachine.use_batched_memory = self.batched
         VectorMachine.use_replay = self.replay
+        VectorMachine.use_fleet = self.fleet
 
     def __exit__(self, *exc) -> None:
         VectorMachine.use_batched_memory = self._saved[0]
         VectorMachine.use_replay = self._saved[1]
+        VectorMachine.use_fleet = self._saved[2]
 
 
 class _BatchedPath(_PathPin):
@@ -226,6 +253,94 @@ def _replay_ss(reps: int):
     return result.stats()
 
 
+#: Vector width for the fleet workloads: the widest SVE configuration
+#: the paper targets.  The serial engine's per-lane accounting cost
+#: grows with the lane count while the fleet's row-batched accounting
+#: does not, so this is the configuration the executor exists for.
+_FLEET_VLEN_BITS = 2048
+
+#: Pairs advanced per fleet workload (the fast leg fuses all of them).
+_FLEET_PAIRS = 64
+
+
+def _fleet_fibers(reps: int, count: int, length: int = 4096):
+    """Extend-loop fibers for ``count`` independent read-pairs.
+
+    Each pair owns a fresh machine; texts differ per pair (staggered
+    mismatch phase) so lanes retire on different iterations across the
+    fleet — the per-pair-retirement case, not the trivial lockstep one.
+    The fiber body is the single-pair replay path: one
+    ``ReplaySession.step`` per extend iteration, exactly as
+    ``vec_extend`` executes it inline.
+    """
+    fibers = []
+    rng = np.random.default_rng(7)
+    pattern = rng.integers(0, 4, length).astype(np.int64)
+    for i in range(count):
+        machine = make_machine(SystemConfig(vlen_bits=_FLEET_VLEN_BITS))
+        text = pattern.copy()
+        off = (13 * i) % 251
+        text[off::251] = (text[off::251] + 1) % 4
+        pbuf = machine.new_buffer("bench_p", pattern, elem_bytes=1)
+        tbuf = machine.new_buffer("bench_t", text, elem_bytes=1)
+        consts = ExtendConsts(machine, length, length, 8)
+        lanes = machine.lanes(64)
+
+        def fiber(machine=machine, pbuf=pbuf, tbuf=tbuf, consts=consts,
+                  lanes=lanes):
+            session = ReplaySession(
+                machine,
+                lambda mm, ss, pbuf=pbuf, tbuf=tbuf, consts=consts: vec_step(
+                    mm, pbuf, tbuf, consts, ss
+                ),
+                name="vec-extend",
+            )
+            for rep in range(reps):
+                starts = (rep * 53) % 1024 + 3 * np.arange(lanes)
+                v = machine.from_values(starts, 64)
+                h = machine.from_values(starts, 64)
+                st = enter_extend(machine, consts, v, h, machine.ptrue(64))
+                while machine.ptest_spec(st.inb):
+                    yield session_step(session, st)
+            machine.barrier()
+            return machine.snapshot()
+
+        fibers.append(fiber())
+    return fibers
+
+
+def _fleet_extend(reps: int):
+    fibers = _fleet_fibers(reps, _FLEET_PAIRS)
+    width = int(getattr(VectorMachine, "use_fleet", 0) or 0)
+    if width >= 2:
+        out = []
+        for lo in range(0, len(fibers), width):
+            out.extend(drive_fleet(fibers[lo : lo + width]))
+        return out
+    return [drive_serial(f) for f in fibers]
+
+
+_FLEET_FIG4_DATASETS: dict = {}
+
+
+def _fleet_fig4(reps: int):
+    # Same shape as _fig4_cell, but through the fleet entry point of
+    # run_implementation: the pinned VectorMachine.use_fleet picks the
+    # width, and fleet >= 1 always means one fresh machine per pair, so
+    # the per-pair results of both legs are comparable (and must match).
+    dataset = _FLEET_FIG4_DATASETS.get(reps)
+    if dataset is None:
+        dataset = _FLEET_FIG4_DATASETS[reps] = build_dataset(
+            "250bp_1", num_pairs=reps, seed=1234
+        )
+    impl = SsVec(threshold=dataset.spec.edit_threshold)
+    result = run_implementation(
+        impl, dataset.pairs,
+        system=SystemConfig(vlen_bits=_FLEET_VLEN_BITS),
+    )
+    return result.pair_results
+
+
 _WORKLOADS = {
     "stride_sweep": _stride_sweep,
     "random_gather": _random_gather,
@@ -235,6 +350,10 @@ _WORKLOADS = {
     # dimension flipped to interpreted vs recorded-program execution.
     "replay_extend": _replay_extend,
     "replay_ss": _replay_ss,
+    # The fleet workloads run fleet width 1 vs 64 (per-pair fibers vs
+    # the fused cross-pair executor), batched memory and replay on.
+    "fleet_extend": _fleet_extend,
+    "fleet_fig4": _fleet_fig4,
 }
 
 
@@ -252,14 +371,14 @@ def _measure(workload, reps: int, rounds: int = 3, dimension: str = "membatch"):
     legs differ in (batched memory, or the replay engine).
     """
     legs = _LEGS[dimension]
-    for _, batched, replay in legs:
-        with _PathPin(batched, replay):
+    for _, batched, replay, fleet in legs:
+        with _PathPin(batched, replay, fleet):
             workload(max(1, reps // 8))  # warm code paths and caches
     timings = {}
     stats = {}
     for _ in range(rounds):
-        for label, batched, replay in legs:
-            with _PathPin(batched, replay):
+        for label, batched, replay, fleet in legs:
+            with _PathPin(batched, replay, fleet):
                 start = time.perf_counter()
                 stats[label] = workload(reps)
                 elapsed = time.perf_counter() - start
@@ -300,9 +419,11 @@ def run_bench(
             "cpu_count": os.cpu_count(),
         },
         "note": (
-            "serial = per-lane Python walk (use_batched_memory=False); "
-            "batched = MemoryHierarchy.access_batch; both paths are "
-            "checked for bit-identical machine statistics"
+            "serial = the slow leg of each workload's dimension "
+            "(per-lane walk, interpreted execution, or fleet width 1); "
+            "batched = the fast leg (access_batch, replay, or fleet "
+            "width 64); both legs are checked for bit-identical "
+            "statistics"
         ),
         "workloads": {},
     }
@@ -328,7 +449,12 @@ def check_report(report: dict, gate: str = "stride_sweep") -> "list[str]":
 
     Every replay-dimension workload in the report is gated on speedup in
     addition to ``gate`` — the replay engine must never make a routed
-    loop slower than interpreting it.
+    loop slower than interpreting it.  Of the fleet workloads only
+    ``fleet_extend`` is speed-gated: it measures the fused kernel
+    itself.  ``fleet_fig4`` is end to end, where short-read cells are
+    Amdahl-limited by per-pair work outside the fused blocks — its
+    contract is bit-identical per-pair results at any fleet width, so
+    it is gated on identity only.
     """
     failures = []
     for name, cell in report["workloads"].items():
@@ -339,7 +465,11 @@ def check_report(report: dict, gate: str = "stride_sweep") -> "list[str]":
     gated_names = [gate] + sorted(
         name
         for name, cell in report["workloads"].items()
-        if cell.get("dimension") == "replay" and name != gate
+        if (
+            cell.get("dimension") == "replay"
+            or name == "fleet_extend"
+        )
+        and name != gate
     )
     for name in gated_names:
         cell = report["workloads"].get(name)
@@ -348,6 +478,37 @@ def check_report(report: dict, gate: str = "stride_sweep") -> "list[str]":
                 f"{name}: batched path slower than serial "
                 f"({cell['batched_s']}s vs {cell['serial_s']}s, "
                 f"speedup {cell['speedup']}x)"
+            )
+    return failures
+
+
+def check_regression(
+    report: dict, baseline: dict, tolerance: float = 0.10
+) -> "list[str]":
+    """CI gate: speedups must not regress beyond ``tolerance`` relative
+    to a committed baseline report (``results/BENCH_*.json``).
+
+    Only workloads present in both reports are compared; a fresh
+    workload with no committed reference cannot fail this gate.  Quick
+    runs use smaller repetition counts than the committed full runs, so
+    warmup weighs more and speedups land lower — the comparison scales
+    the floor by 0.6 when the ``quick`` flags differ (calibrated
+    against the observed quick/full ratio for fleet_extend, with noise
+    headroom).
+    """
+    failures = []
+    base = baseline.get("workloads", {})
+    scale = 1.0 if report.get("quick") == baseline.get("quick") else 0.6
+    for name, cell in report["workloads"].items():
+        ref = base.get(name)
+        if ref is None:
+            continue
+        floor = ref["speedup"] * (1.0 - tolerance) * scale
+        if cell["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {cell['speedup']}x regressed more than "
+                f"{tolerance:.0%} below the committed {ref['speedup']}x "
+                f"(floor {floor:.2f}x)"
             )
     return failures
 
@@ -361,7 +522,8 @@ def render_report(report: dict) -> str:
         f"{'speedup':>8}  stats",
     ]
     for name, cell in report["workloads"].items():
-        tag = " (replay)" if cell.get("dimension") == "replay" else ""
+        dim = cell.get("dimension")
+        tag = f" ({dim})" if dim in ("replay", "fleet") else ""
         lines.append(
             f"{name:<16} {cell['reps']:>5} {cell['serial_s']:>8.3f}s "
             f"{cell['batched_s']:>8.3f}s {cell['speedup']:>7.2f}x  "
@@ -377,9 +539,10 @@ def profile_bench(
 ) -> str:
     """Run each workload once under cProfile; return the top-N report.
 
-    Workloads execute a single rep-scaled pass on the default execution
-    paths (batched memory and replay both on) — the point is to see
-    where simulator time goes, not to compare legs.
+    Workloads execute a single rep-scaled pass pinned to the fast leg
+    of their own dimension (batched memory and replay on; fleet width
+    64 for the fleet workloads) — the point is to see where simulator
+    time goes, not to compare legs.
     """
     import cProfile
     import io
@@ -396,7 +559,8 @@ def profile_bench(
     for name in names:
         reps = _SCALES[name][1 if quick else 0]
         profiler = cProfile.Profile()
-        with _PathPin(True, True):
+        fast_leg = _LEGS[_DIMENSIONS.get(name, "membatch")][1]
+        with _PathPin(*fast_leg[1:]):
             profiler.enable()
             _WORKLOADS[name](reps)
             profiler.disable()

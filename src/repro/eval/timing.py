@@ -6,7 +6,10 @@ parallel engine, the calibration-cache traffic
 (:data:`repro.cache.CALIBRATION` hits/misses) attributable to that
 experiment, and the replay-engine effectiveness (replayed vs interpreted
 instruction counts and the fused-block hit rate from
-:data:`repro.vector.program.REPLAY_METER`).  The point is a stable
+:data:`repro.vector.program.REPLAY_METER`).  When the fleet executor is
+active the same meter window yields the fleet occupancy line: pair-rows
+per fused batch, the serial-fallback share, and the retirement count
+(see ``ReplayMeter.fleet_*``).  The point is a stable
 baseline for future perf work — the numbers land in one place instead of
 being re-derived ad hoc.
 """
@@ -47,6 +50,20 @@ class ExperimentTiming:
         )
         return r.get("replayed_blocks", 0) / total if total else 0.0
 
+    @property
+    def fleet_occupancy(self) -> float:
+        """Mean pair-rows per fused fleet kernel call (0.0 when unused)."""
+        r = self.replay or {}
+        batches = r.get("fleet_batches", 0)
+        return r.get("fleet_pairs", 0) / batches if batches else 0.0
+
+    @property
+    def fleet_serial_share(self) -> float:
+        """Fraction of fleet-driven requests that fell back to serial."""
+        r = self.replay or {}
+        total = r.get("fleet_pairs", 0) + r.get("fleet_serial", 0)
+        return r.get("fleet_serial", 0) / total if total else 0.0
+
     def summary(self) -> str:
         """One-line report, appended to the table footer under --verbose."""
         cache = self.cache or {}
@@ -61,6 +78,18 @@ class ExperimentTiming:
             f"replay: {replay.get('replayed_instructions', 0)} instr "
             f"replayed, {replay.get('interpreted_instructions', 0)} "
             f"interpreted, {self.replay_hit_rate:.0%} block hit rate"
+            + (
+                f" | fleet: {replay.get('fleet_pairs', 0)} pair-rows in "
+                f"{replay.get('fleet_batches', 0)} fused batches "
+                f"(occupancy {self.fleet_occupancy:.1f}), "
+                f"{replay.get('fleet_serial', 0)} serial "
+                f"({self.fleet_serial_share:.0%}), "
+                f"{sum((replay.get('fleet_retired') or {}).values())} "
+                f"retirements"
+                if replay.get("fleet_batches", 0)
+                or replay.get("fleet_serial", 0)
+                else ""
+            )
             + (
                 f" | supervise: {self.supervise.get('restored', 0)} restored, "
                 f"{self.supervise.get('retries', 0)} retries"
@@ -147,6 +176,8 @@ def render_report(records: "list[ExperimentTiming] | None" = None) -> str:
             "replay_instr": r.replay.get("replayed_instructions", 0),
             "interp_instr": r.replay.get("interpreted_instructions", 0),
             "replay_hit_rate": round(r.replay_hit_rate, 3),
+            "fleet_pairs": r.replay.get("fleet_pairs", 0),
+            "fleet_occ": round(r.fleet_occupancy, 1),
         }
         for r in records
     ]

@@ -176,6 +176,16 @@ class VectorMachine:
     #: after via ``attach_tracer``/``detach_tracer``.
     auto_trace = os.environ.get("REPRO_TRACE", "") not in ("", "0", "false")
 
+    #: Fleet width for cross-pair batched execution (``repro.vector.fleet``):
+    #: the eval runner advances up to ``use_fleet`` read-pairs in lockstep,
+    #: each on its own fresh machine, fusing structurally identical replay
+    #: blocks into one kernel over the pair axis.  0 disables the fleet
+    #: driver entirely; any value >= 1 switches the runner to
+    #: fresh-machine-per-pair (sharding) semantics, so every fleet width
+    #: is bit-identical per pair to ``use_fleet=1``.  Set with ``--fleet``
+    #: or ``REPRO_FLEET`` (the env var reaches worker processes).
+    use_fleet = int(os.environ.get("REPRO_FLEET", "0") or 0)
+
     def __init__(
         self,
         system: SystemConfig | None = None,
@@ -212,6 +222,12 @@ class VectorMachine:
         self._occ_lut = lut
         # Cached ``np.arange(n)`` per lane count (``whilelt``).
         self._lane_arange: dict[int, np.ndarray] = {}
+        # Per-prefix buffer-name sequences (``name_uid``): keeping the
+        # sequence machine-local makes buffer names — and the prefetch
+        # stream ids derived from them — independent of how many other
+        # machines run interleaved in the same process (fleet execution,
+        # sharded pools).
+        self._name_seq: dict[str, int] = {}
         # Hot latency constants (``SystemConfig`` is frozen, so these
         # cannot go stale): cached to avoid attribute chains per issue.
         self._lat_arith = self.system.lat_vector_arith
@@ -411,6 +427,21 @@ class VectorMachine:
             return self._buffers[name]
         except KeyError:
             raise MachineError(f"no buffer named {name!r}")
+
+    def name_uid(self, prefix: str) -> int:
+        """Next per-machine sequence number for buffer names.
+
+        On a machine running one pair after another this reproduces the
+        old module-global counters; with many machines interleaved (the
+        fleet executor) each pair still sees the deterministic sequence
+        0, 1, 2, ... regardless of fleet width or scheduling order.
+        Only name *distinctness* within a machine matters for statistics
+        (stream ids are dictionary keys), so the renumbering is
+        stats-neutral on fresh machines.
+        """
+        n = self._name_seq.get(prefix, 0)
+        self._name_seq[prefix] = n + 1
+        return n
 
     # ------------------------------------------------------------------
     # Constants / lane generators

@@ -59,11 +59,22 @@ class CaptureUnsupported(MachineError):
 # Effectiveness meter (surfaced by repro.eval.timing)
 # ----------------------------------------------------------------------
 class ReplayMeter:
-    """Process-wide counts of captured / replayed / interpreted blocks."""
+    """Process-wide counts of captured / replayed / interpreted blocks.
+
+    The ``fleet_*`` fields meter the cross-pair fleet executor
+    (:mod:`repro.vector.fleet`): ``fleet_batches`` fused kernel calls
+    advanced ``fleet_pairs`` pair-rows in total (their ratio is the mean
+    fleet occupancy), ``fleet_serial`` requests ran one-by-one under the
+    fleet driver (capture iterations, broken blocks, singleton groups),
+    and ``fleet_retired`` histograms how many pairs were still live each
+    time one pair retired from its fleet — an under-filled fleet shows
+    up as low occupancy and early retirements.
+    """
 
     __slots__ = (
         "captures", "replayed_blocks", "replayed_instructions",
         "interpreted_blocks", "interpreted_instructions", "broken",
+        "fleet_batches", "fleet_pairs", "fleet_serial", "fleet_retired",
     )
 
     def __init__(self) -> None:
@@ -76,6 +87,10 @@ class ReplayMeter:
         self.interpreted_blocks = 0
         self.interpreted_instructions = 0
         self.broken = 0
+        self.fleet_batches = 0
+        self.fleet_pairs = 0
+        self.fleet_serial = 0
+        self.fleet_retired: dict = {}
 
     def snapshot(self) -> dict:
         return {
@@ -85,10 +100,27 @@ class ReplayMeter:
             "interpreted_blocks": self.interpreted_blocks,
             "interpreted_instructions": self.interpreted_instructions,
             "broken": self.broken,
+            "fleet_batches": self.fleet_batches,
+            "fleet_pairs": self.fleet_pairs,
+            "fleet_serial": self.fleet_serial,
+            "fleet_retired": dict(self.fleet_retired),
         }
 
     def delta(self, before: dict) -> dict:
-        return {k: v - before.get(k, 0) for k, v in self.snapshot().items()}
+        out = {}
+        for k, v in self.snapshot().items():
+            prev = before.get(k, {} if isinstance(v, dict) else 0)
+            if isinstance(v, dict):
+                d = {kk: vv - prev.get(kk, 0) for kk, vv in v.items()}
+                out[k] = {kk: vv for kk, vv in d.items() if vv}
+            else:
+                out[k] = v - prev
+        return out
+
+    @property
+    def fleet_occupancy(self) -> float:
+        """Mean live pairs per fused fleet step (0.0 when unused)."""
+        return self.fleet_pairs / self.fleet_batches if self.fleet_batches else 0.0
 
     @property
     def hit_rate(self) -> float:
@@ -1016,7 +1048,11 @@ def _compile(rec: Recorder, out_slots: list[int]) -> "RecordedProgram":
             p, buf, n = op["p"], op["buf"], op["n"]
             w(f"ts = {ssrc(op['start'])}")
             w(f"ti = _ar(ts, ts + {n})")
-            w(f"tr = d{p} & (ti >= 0) & (ti < {op['len']})")
+            # Buffer length goes through the env (kbake), not the source:
+            # the same block over different-length sequences must keep an
+            # identical source so the bytecode cache — and the fleet
+            # executor's same-source batching — can hit.
+            w(f"tr = d{p} & (ti >= 0) & (ti < {kbake(op['len'])})")
             w("tl2 = ti[tr]")
             w(f"d{o} = _zi64({n})")
             w(f"d{o}[tr] = {buf}.data[tl2]")
@@ -1043,8 +1079,9 @@ def _compile(rec: Recorder, out_slots: list[int]) -> "RecordedProgram":
             v, p, buf, n = op["v"], op["p"], op["buf"], op["n"]
             w(f"ts = {ssrc(op['start'])}")
             w(f"ti = _ar(ts, ts + {n})")
-            w(f"tr = d{p} & (ti >= 0) & (ti < {op['len']})")
-            w(f"if _any(d{p} & ~tr & (ti >= {op['len']})): _oob({buf})")
+            kl = kbake(op["len"])
+            w(f"tr = d{p} & (ti >= 0) & (ti < {kl})")
+            w(f"if _any(d{p} & ~tr & (ti >= {kl})): _oob({buf})")
             w("tl2 = ti[tr]")
             w(f"{buf}.data[tl2] = d{v}[tr]")
             w("if tl2.size:")
@@ -1189,7 +1226,7 @@ def _compile(rec: Recorder, out_slots: list[int]) -> "RecordedProgram":
         code = compile(source, "<recorded-program>", "exec")
         _CODE_CACHE[source] = code
     exec(code, env, namespace)
-    return RecordedProgram(namespace["_rp"], len(rec.ops), source)
+    return RecordedProgram(namespace["_rp"], len(rec.ops), source, rec, out_slots)
 
 
 #: Bytecode cache for generated program text.  Different machines bake
@@ -1242,15 +1279,48 @@ def _store_oob(buf) -> None:
 # ----------------------------------------------------------------------
 # Programs and sessions
 # ----------------------------------------------------------------------
+_replay_coupling_warned = False
+
+
+def _warn_replay_without_batched() -> None:
+    """Surface the replay/batched-memory coupling instead of silently
+    interpreting every block (see ``ReplaySession.enabled``)."""
+    global _replay_coupling_warned
+    if _replay_coupling_warned:
+        return
+    _replay_coupling_warned = True
+    import warnings
+
+    warnings.warn(
+        "use_replay=True has no effect while use_batched_memory=False: "
+        "the replay engine compiles the batched memory legs, so every "
+        "block is interpreted. Enable use_batched_memory (the default) "
+        "or disable replay explicitly (--no-replay / REPRO_NO_REPLAY=1).",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+
 class RecordedProgram:
-    """A compiled straight-line block: one call replays the whole trace."""
+    """A compiled straight-line block: one call replays the whole trace.
 
-    __slots__ = ("_fn", "n_ops", "source")
+    ``rec``/``out_slots`` retain the recorder (op descriptors, baked
+    environment, externals) so the fleet executor
+    (:mod:`repro.vector.fleet`) can re-emit the same block as a fused
+    cross-pair kernel; ``source`` doubles as the fleet grouping key —
+    two pairs fuse exactly when their blocks compiled to identical
+    source (which guarantees every inlined constant matches).
+    """
 
-    def __init__(self, fn, n_ops: int, source: str) -> None:
+    __slots__ = ("_fn", "n_ops", "source", "rec", "out_slots")
+
+    def __init__(self, fn, n_ops: int, source: str, rec=None, out_slots=()) -> None:
         self._fn = fn
         self.n_ops = n_ops
         self.source = source
+        self.rec = rec
+        self.out_slots = tuple(out_slots)
 
     def replay(self, machine, regs=(), scalars=()):
         """Run the compiled block; ``None`` means the program declined
@@ -1297,12 +1367,21 @@ class ReplaySession:
 
     @staticmethod
     def enabled(machine) -> bool:
-        """Replay needs the batched memory engine (the compiled memory
-        ops are its packed-window / access-batch legs)."""
+        """Replay needs the batched memory engine: the compiled memory
+        ops are its packed-window / access-batch legs, so with
+        ``use_batched_memory`` off every block stays interpreted.  That
+        combination is legal (the conformance grid runs it) but silently
+        loses the replay speedup, so it warns once per process.
+        """
+        if machine.use_replay and not machine.use_batched_memory:
+            _warn_replay_without_batched()
+            return False
         return machine.use_replay and machine.use_batched_memory
 
     def step(self, st) -> None:
         m = self.machine
+        if m.use_replay and not m.use_batched_memory:
+            _warn_replay_without_batched()
         if self._broken or not (m.use_replay and m.use_batched_memory):
             self.body(m, st)
             REPLAY_METER.interpreted_blocks += 1

@@ -13,6 +13,14 @@ must reproduce the all-off serial baseline exactly — same per-pair
 cycle counts, same merged machine statistics (cache hits, prefetch
 accuracy, DRAM traffic, ...), same alignment outputs.
 
+The fleet executor adds its own axis: every cell of
+
+    {fleet 1/2/4} x {use_batched_memory} x {use_replay}
+
+must also reproduce that baseline, on the standard batch and on a
+divergence-heavy batch (mixed lengths and error rates, so fleet rows
+retire from fused groups at different rounds and regroup).
+
 All cells (including the baseline) run ``shard_size=1`` so the shard
 plan — the unit of determinism — is common to every jobs value; fresh
 machines per pair make the serial and pooled walks directly
@@ -102,6 +110,83 @@ def test_cell_matches_baseline(name, cell):
         pytest.skip("pooled cells need the fork start method")
     expected = baseline_for(name)
     got = run_cell(IMPLS[name], _batches[name], batched, replay, trace, jobs)
+    assert got[0] == expected[0], "per-pair cycle counts diverged"
+    assert got[1] == expected[1], "per-pair instruction counts diverged"
+    assert got[2] == expected[2], "machine statistics diverged"
+    assert got[3] == expected[3], "alignment outputs diverged"
+
+
+#: (fleet width, use_batched_memory, use_replay) — the fleet axis.
+FLEET_GRID = list(itertools.product((1, 2, 4), (False, True), (False, True)))
+
+
+def divergent_pairs():
+    """Mixed lengths and error rates: pairs finish at very different
+    iteration counts, so fleet rows retire mid-group and the scheduler
+    re-buckets the survivors — the hard case for per-pair retirement.
+
+    Substitution-only profiles: indel-bearing pairs trip a pre-existing
+    anti-diagonal-DP self-check in every execution mode (seed bug,
+    independent of the fleet), which would mask what this axis tests.
+    """
+    out = []
+    for length, err, seed in ((48, 0.08, 3), (96, 0.01, 5), (160, 0.15, 7)):
+        gen = ReadPairGenerator(length, ErrorProfile(err, 0.0, 0.0), seed=seed)
+        out.extend(gen.pairs(2))
+    return tuple(out)
+
+
+_fleet_baselines: dict = {}
+_fleet_batches: dict = {}
+
+
+def fleet_impl(name):
+    """Implementation factory for the fleet axis.
+
+    The divergent batch's error rates overflow the banded DP's default
+    band heuristic, tripping its self-check in *every* execution mode —
+    a generous explicit band keeps those inputs in-contract so the axis
+    exercises fleet retirement, not banding limits.
+    """
+    if name == "ksw-qz":
+        return lambda: KswQz(band=64)
+    return IMPLS[name]
+
+
+def fleet_baseline_for(name, kind):
+    """All-off serial (fresh machine per pair) reference per batch kind."""
+    key = (name, kind)
+    if key not in _fleet_baselines:
+        batch = pairs() if kind == "standard" else divergent_pairs()
+        _fleet_batches[key] = batch
+        _fleet_baselines[key] = run_cell(fleet_impl(name), batch, *BASELINE)
+    return _fleet_baselines[key]
+
+
+def run_fleet_cell(impl_cls, batch, fleet, use_batched_memory, use_replay):
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(VectorMachine, "use_batched_memory", use_batched_memory)
+        mp.setattr(VectorMachine, "use_replay", use_replay)
+        return signature(run_implementation(impl_cls(), batch, fleet=fleet))
+
+
+def fleet_cell_id(cell):
+    return (
+        f"fleet{cell[0]}-"
+        f"{'batched' if cell[1] else 'serialmem'}-"
+        f"{'replay' if cell[2] else 'interp'}"
+    )
+
+
+@pytest.mark.parametrize("kind", ("standard", "divergent"))
+@pytest.mark.parametrize("name", sorted(IMPLS))
+@pytest.mark.parametrize("cell", FLEET_GRID, ids=fleet_cell_id)
+def test_fleet_cell_matches_baseline(name, cell, kind):
+    fleet, batched, replay = cell
+    expected = fleet_baseline_for(name, kind)
+    got = run_fleet_cell(
+        fleet_impl(name), _fleet_batches[(name, kind)], fleet, batched, replay
+    )
     assert got[0] == expected[0], "per-pair cycle counts diverged"
     assert got[1] == expected[1], "per-pair instruction counts diverged"
     assert got[2] == expected[2], "machine statistics diverged"
