@@ -324,6 +324,7 @@ class DpEngine:
         scalar parameters.
         """
         phase = d % 6
+        REPLAY_METER.total_blocks += 1
         if phase in programs:
             prog = programs[phase]
             if prog is None:

@@ -161,8 +161,7 @@ def _standalone(step):
                     lambda mm, ss: step(mm, qz, consts, ss),
                     name=step.__name__,
                 )
-            while machine.ptest_spec(st.inb):
-                session.step(st)
+            session.run_loop(st)
             return st.v, st.h
         while machine.ptest_spec(st.inb):
             step(machine, qz, consts, st)

@@ -159,9 +159,11 @@ def vec_extend(
         consts = ExtendConsts(machine, m_len, n_len, VEC_WINDOW)
     st = enter_extend(machine, consts, v, h, active)
     if iter_hook is None and ReplaySession.enabled(machine):
-        # Capture the loop body once per (machine, buffers) and replay
-        # it; the ``ptest_spec`` loop branch stays interpreted — it is
-        # the guard point where the data-dependent exit splits the trace.
+        # Capture the loop body once per (machine, buffers) and hand the
+        # whole guard loop to the session: with trace trees on it runs
+        # loop-in-kernel (the ``ptest_spec`` guard compiled into the
+        # trace, mismatch tails on compiled side exits); otherwise the
+        # guard branch stays interpreted between per-block replays.
         key = (id(machine), id(pbuf), id(tbuf))
         session = consts.replay.get(key)
         if session is None:
@@ -170,8 +172,7 @@ def vec_extend(
                 lambda mm, ss: vec_step(mm, pbuf, tbuf, consts, ss),
                 name="vec-extend",
             )
-        while machine.ptest_spec(st.inb):
-            session.step(st)
+        session.run_loop(st)
         return st.v, st.h
     while machine.ptest_spec(st.inb):
         vec_step(machine, pbuf, tbuf, consts, st)

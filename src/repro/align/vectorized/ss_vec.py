@@ -75,10 +75,12 @@ def run_snake_gen(
     while col < n:
         if ReplaySession.enabled(m):
             if setup_prog is None:
+                REPLAY_METER.total_blocks += 1
                 outs, setup_prog = capture(m, column_setup, (), (col,))
                 if setup_prog is None:
                     setup_prog = False  # unrecordable: interpret from now on
             elif setup_prog is False:
+                REPLAY_METER.total_blocks += 1
                 outs = column_setup(m, col)
                 REPLAY_METER.interpreted_blocks += 1
             else:
@@ -87,6 +89,7 @@ def run_snake_gen(
                 holder = {}
 
                 def run_setup(col=col, holder=holder):
+                    REPLAY_METER.total_blocks += 1
                     outs = setup_prog.replay(m, (), (col,))
                     if outs is None:
                         outs = column_setup(m, col)

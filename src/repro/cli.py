@@ -53,6 +53,18 @@ def _disable_replay() -> None:
     VectorMachine.use_replay = False
 
 
+def _disable_trace_trees() -> None:
+    """Turn the trace-tree tier of the replay JIT off for this process.
+
+    Replay still runs, but captures stay generic straight-line programs:
+    no regime specialisation, no side-exit children, no loop-in-kernel
+    execution.  Same env-var + class-attribute pattern as
+    :func:`_disable_replay`.
+    """
+    os.environ["REPRO_NO_TRACE_TREES"] = "1"
+    VectorMachine.use_trace_trees = False
+
+
 def _set_fleet(width: "int | None") -> None:
     """Pin the fleet width for this process and its workers.
 
@@ -138,6 +150,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="interpret every vector op instead of replaying recorded "
         "programs (results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--no-trace-trees",
+        action="store_true",
+        help="disable the trace-tree tier of the replay JIT (side-exit "
+        "children, loop-in-kernel); replay still runs straight-line "
+        "programs, and results are bit-identical either way",
     )
     parser.add_argument(
         "--fleet",
@@ -297,13 +316,14 @@ def build_bench_parser() -> argparse.ArgumentParser:
         default=None,
         help="run a subset (repeatable); choose from "
         "stride_sweep, random_gather, wfa_extend, fig4_cell, "
-        "replay_extend, replay_ss, fleet_extend, fleet_fig4",
+        "replay_extend, replay_ss, fleet_extend, fleet_fig4, trace_tree",
     )
     parser.add_argument(
         "--check",
         action="store_true",
         help="exit 1 if statistics diverge or a gated workload "
-        "(stride_sweep, the replay workloads, fleet_extend) regressed",
+        "(stride_sweep, the replay/trace-tree workloads, fleet_extend) "
+        "regressed",
     )
     parser.add_argument(
         "--baseline",
@@ -335,6 +355,12 @@ def build_bench_parser() -> argparse.ArgumentParser:
         help="disable the replay engine for the default execution paths "
         "(the replay_* workloads still toggle it per leg)",
     )
+    parser.add_argument(
+        "--no-trace-trees",
+        action="store_true",
+        help="disable the trace-tree JIT tier for the default execution "
+        "paths (the trace_tree workload still toggles it per leg)",
+    )
     return parser
 
 
@@ -343,6 +369,8 @@ def bench_main(argv: "list[str]") -> int:
     args = build_bench_parser().parse_args(argv)
     if args.no_replay:
         _disable_replay()
+    if args.no_trace_trees:
+        _disable_trace_trees()
     if args.profile is not None:
         print(bench.profile_bench(top=args.profile, quick=args.quick, only=args.only))
         return 0
@@ -469,6 +497,7 @@ def build_run_parser() -> argparse.ArgumentParser:
     parser.add_argument("--verbose", "-v", action="store_true")
     parser.add_argument("--no-cache", action="store_true")
     parser.add_argument("--no-replay", action="store_true")
+    parser.add_argument("--no-trace-trees", action="store_true")
     parser.add_argument("--fleet", type=int, default=None, metavar="N")
     parser.add_argument(
         "--fault-plan", metavar="SPEC", default=None,
@@ -487,6 +516,8 @@ def run_main(argv: "list[str]") -> int:
         CALIBRATION.disable_disk()
     if args.no_replay:
         _disable_replay()
+    if args.no_trace_trees:
+        _disable_trace_trees()
     _set_fleet(args.fleet)
     meta = supervise.read_meta(args.resume)
     experiment = meta.get("experiment")
@@ -626,6 +657,8 @@ def main(argv: "list[str] | None" = None) -> int:
         CALIBRATION.disable_disk()
     if args.no_replay:
         _disable_replay()
+    if args.no_trace_trees:
+        _disable_trace_trees()
     _set_fleet(args.fleet)
     if supervise_cfg is not None:
         return _run_supervised(

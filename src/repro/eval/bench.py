@@ -90,6 +90,7 @@ _SCALES = {
     "replay_ss": (24, 4),
     "fleet_extend": (20, 5),
     "fleet_fig4": (24, 4),
+    "trace_tree": (40, 8),
 }
 
 #: Workload name -> toggled dimension ("membatch" unless listed).
@@ -98,38 +99,65 @@ _DIMENSIONS = {
     "replay_ss": "replay",
     "fleet_extend": "fleet",
     "fleet_fig4": "fleet",
+    "trace_tree": "tracetree",
 }
 
-#: dimension -> ((slow label, batched, replay, fleet), (fast label, ...)).
+#: dimension -> ((slow label, batched, replay, fleet, trees), (fast ...)).
+#: ``trees=None`` leaves ``use_trace_trees`` at its process default so
+#: the legacy dimensions keep measuring exactly their own toggle.
 _LEGS = {
-    "membatch": (("serial", False, False, 0), ("batched", True, False, 0)),
-    "replay": (("serial", True, False, 0), ("batched", True, True, 0)),
-    "fleet": (("serial", True, True, 1), ("batched", True, True, 64)),
+    "membatch": (
+        ("serial", False, False, 0, None),
+        ("batched", True, False, 0, None),
+    ),
+    "replay": (
+        ("serial", True, False, 0, None),
+        ("batched", True, True, 0, None),
+    ),
+    "fleet": (
+        ("serial", True, True, 1, None),
+        ("batched", True, True, 64, None),
+    ),
+    "tracetree": (
+        ("serial", True, True, 0, False),
+        ("batched", True, True, 0, True),
+    ),
 }
 
 
 class _PathPin:
     """Context manager pinning the class-wide execution-path defaults."""
 
-    def __init__(self, batched: bool, replay: bool, fleet: int = 0) -> None:
+    def __init__(
+        self,
+        batched: bool,
+        replay: bool,
+        fleet: int = 0,
+        trees: "bool | None" = None,
+    ) -> None:
         self.batched = batched
         self.replay = replay
         self.fleet = fleet
+        self.trees = trees
 
     def __enter__(self) -> None:
         self._saved = (
             VectorMachine.use_batched_memory,
             VectorMachine.use_replay,
             VectorMachine.use_fleet,
+            VectorMachine.use_trace_trees,
         )
         VectorMachine.use_batched_memory = self.batched
         VectorMachine.use_replay = self.replay
         VectorMachine.use_fleet = self.fleet
+        if self.trees is not None:
+            VectorMachine.use_trace_trees = self.trees
 
     def __exit__(self, *exc) -> None:
         VectorMachine.use_batched_memory = self._saved[0]
         VectorMachine.use_replay = self._saved[1]
         VectorMachine.use_fleet = self._saved[2]
+        VectorMachine.use_trace_trees = self._saved[3]
 
 
 class _BatchedPath(_PathPin):
@@ -219,6 +247,43 @@ def _replay_extend(reps: int):
             machine, pbuf, tbuf, v, h, machine.ptrue(64),
             length, length, consts=consts,
         )
+    machine.barrier()
+    return machine.snapshot()
+
+
+class _TTState:
+    __slots__ = ("v", "h", "inb")
+
+
+def _trace_tree(reps: int):
+    # Divergence-heavy carried-predicate loop: per-lane retirement
+    # bounds are strongly staggered, so after a short all-active prefix
+    # the loop spends most iterations with a partially-active predicate
+    # — the WFA extend mismatch-tail shape.  The body is pure masked
+    # ALU work (no per-iteration memory traffic), so the measurement
+    # isolates what the trace trees change: the all-true prefix runs
+    # the specialised root, the divergent tail runs the compiled
+    # side-exit child, and both run as loop-in-kernel calls instead of
+    # one guard + one replay dispatch per iteration.
+    machine = make_machine(SystemConfig())
+    lanes = machine.lanes(64)
+    bounds = machine.from_values(60 + 40 * np.arange(lanes), 64)
+
+    def body(mm, ss):
+        step = mm.add(ss.v, 3, pred=ss.inb)
+        cap = mm.min(step, bounds, pred=ss.inb)
+        gain = mm.sub(cap, ss.v, pred=ss.inb)
+        ss.h = mm.add(ss.h, gain, pred=ss.inb)
+        ss.v = cap
+        ss.inb = mm.cmp("lt", ss.v, bounds, pred=ss.inb)
+
+    session = ReplaySession(machine, body, name="trace-tree-bench")
+    for rep in range(reps):
+        st = _TTState()
+        st.v = machine.from_values((rep * 7) % 19 + np.arange(lanes), 64)
+        st.h = machine.from_values(np.zeros(lanes, dtype=np.int64), 64)
+        st.inb = machine.ptrue(64)
+        session.run_loop(st)
     machine.barrier()
     return machine.snapshot()
 
@@ -354,6 +419,9 @@ _WORKLOADS = {
     # the fused cross-pair executor), batched memory and replay on.
     "fleet_extend": _fleet_extend,
     "fleet_fig4": _fleet_fig4,
+    # The trace-tree workload runs replay-without-trees vs the tiered
+    # trace-tree JIT on a divergence-heavy extend loop.
+    "trace_tree": _trace_tree,
 }
 
 
@@ -371,14 +439,14 @@ def _measure(workload, reps: int, rounds: int = 3, dimension: str = "membatch"):
     legs differ in (batched memory, or the replay engine).
     """
     legs = _LEGS[dimension]
-    for _, batched, replay, fleet in legs:
-        with _PathPin(batched, replay, fleet):
+    for _, batched, replay, fleet, trees in legs:
+        with _PathPin(batched, replay, fleet, trees):
             workload(max(1, reps // 8))  # warm code paths and caches
     timings = {}
     stats = {}
     for _ in range(rounds):
-        for label, batched, replay, fleet in legs:
-            with _PathPin(batched, replay, fleet):
+        for label, batched, replay, fleet, trees in legs:
+            with _PathPin(batched, replay, fleet, trees):
                 start = time.perf_counter()
                 stats[label] = workload(reps)
                 elapsed = time.perf_counter() - start
@@ -466,7 +534,7 @@ def check_report(report: dict, gate: str = "stride_sweep") -> "list[str]":
         name
         for name, cell in report["workloads"].items()
         if (
-            cell.get("dimension") == "replay"
+            cell.get("dimension") in ("replay", "tracetree")
             or name == "fleet_extend"
         )
         and name != gate
@@ -491,14 +559,24 @@ def check_regression(
     Only workloads present in both reports are compared; a fresh
     workload with no committed reference cannot fail this gate.  Quick
     runs use smaller repetition counts than the committed full runs, so
-    warmup weighs more and speedups land lower — the comparison scales
-    the floor by 0.6 when the ``quick`` flags differ (calibrated
-    against the observed quick/full ratio for fleet_extend, with noise
-    headroom).
+    warmup weighs more and speedups land lower — the floor scale is
+    therefore *direction-aware*: a quick report judged against a full
+    baseline loosens the floor by 0.6 (calibrated against the observed
+    quick/full ratio for fleet_extend, with noise headroom), while a
+    full report judged against a quick baseline tightens it by the
+    same factor (the full run should beat the warmup-dominated quick
+    number, not hide behind it).
     """
     failures = []
     base = baseline.get("workloads", {})
-    scale = 1.0 if report.get("quick") == baseline.get("quick") else 0.6
+    rq = bool(report.get("quick"))
+    bq = bool(baseline.get("quick"))
+    if rq == bq:
+        scale = 1.0
+    elif rq:  # quick report vs full baseline: loosen the floor
+        scale = 0.6
+    else:  # full report vs quick baseline: tighten the floor
+        scale = 1.0 / 0.6
     for name, cell in report["workloads"].items():
         ref = base.get(name)
         if ref is None:

@@ -130,6 +130,14 @@ def evaluate_units(
     per-unit timeout/retry, and crash recovery layered underneath.
     """
     from repro.eval import supervise
+    from repro.vector.program import REPLAY_METER
+
+    # The replay meter is a process-global singleton: without a reset,
+    # back-to-back runs in one process (``all``, pytest) accumulate and
+    # report inflated hit rates.  Re-anchor any open measure windows so
+    # their deltas stay non-negative.
+    REPLAY_METER.reset()
+    timing.note_meter_reset()
 
     units = list(units)
     jobs = max(1, int(jobs))

@@ -9,7 +9,9 @@ instruction counts and the fused-block hit rate from
 :data:`repro.vector.program.REPLAY_METER`).  When the fleet executor is
 active the same meter window yields the fleet occupancy line: pair-rows
 per fused batch, the serial-fallback share, and the retirement count
-(see ``ReplayMeter.fleet_*``).  The point is a stable
+(see ``ReplayMeter.fleet_*``).  With trace trees on, the window also
+reports the tree shape: compiled depth, side-exit count and the share
+of exits served by a compiled child trace.  The point is a stable
 baseline for future perf work — the numbers land in one place instead of
 being re-derived ad hoc.
 """
@@ -38,6 +40,12 @@ class ExperimentTiming:
     #: Supervisor counters (restored units, retries, degradation), only
     #: populated when the run executes under ``repro.eval.supervise``.
     supervise: "dict[str, int]" = field(default_factory=dict)
+    #: Meter snapshot at window start; refreshed by :func:`note_meter_reset`
+    #: when the replay meter is reset mid-window (``evaluate_units`` does
+    #: this per run), so the window's delta stays non-negative.
+    _replay_before: "dict | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def replay_hit_rate(self) -> float:
@@ -59,10 +67,31 @@ class ExperimentTiming:
 
     @property
     def fleet_serial_share(self) -> float:
-        """Fraction of fleet-driven requests that fell back to serial."""
+        """Fraction of *fusable* fleet rows that still ran serially (their
+        bucket shrank to one pair mid-round, or the group declined).
+
+        Never-fusable serial requests — capture iterations, broken
+        blocks — are excluded from both sides of the ratio: they could
+        not have fused, so counting them would misstate how well the
+        fleet is batching (and singleton rows never count toward the
+        fused-batch occupancy above)."""
         r = self.replay or {}
-        total = r.get("fleet_pairs", 0) + r.get("fleet_serial", 0)
-        return r.get("fleet_serial", 0) / total if total else 0.0
+        singleton = r.get("fleet_singleton", 0)
+        total = r.get("fleet_pairs", 0) + singleton
+        return singleton / total if total else 0.0
+
+    @property
+    def tree_depth(self) -> int:
+        """Deepest compiled trace-tree node in this window (0 = none)."""
+        nodes = (self.replay or {}).get("tree_nodes") or {}
+        return max(nodes) if nodes else 0
+
+    @property
+    def side_exit_hit_rate(self) -> float:
+        """Share of root-guard side exits served by a compiled child."""
+        r = self.replay or {}
+        exits = r.get("side_exits", 0)
+        return r.get("side_exit_replays", 0) / exits if exits else 0.0
 
     def summary(self) -> str:
         """One-line report, appended to the table footer under --verbose."""
@@ -82,12 +111,22 @@ class ExperimentTiming:
                 f" | fleet: {replay.get('fleet_pairs', 0)} pair-rows in "
                 f"{replay.get('fleet_batches', 0)} fused batches "
                 f"(occupancy {self.fleet_occupancy:.1f}), "
-                f"{replay.get('fleet_serial', 0)} serial "
-                f"({self.fleet_serial_share:.0%}), "
+                f"{replay.get('fleet_singleton', 0)} unfused singletons "
+                f"({self.fleet_serial_share:.0%} miss share), "
+                f"{replay.get('fleet_serial', 0)} serial, "
                 f"{sum((replay.get('fleet_retired') or {}).values())} "
                 f"retirements"
                 if replay.get("fleet_batches", 0)
                 or replay.get("fleet_serial", 0)
+                or replay.get("fleet_singleton", 0)
+                else ""
+            )
+            + (
+                f" | trees: depth {self.tree_depth}, "
+                f"{replay.get('side_exits', 0)} side exits "
+                f"({self.side_exit_hit_rate:.0%} on compiled children), "
+                f"{replay.get('loop_calls', 0)} loop-kernel calls"
+                if replay.get("tree_nodes") or replay.get("side_exits", 0)
                 else ""
             )
             + (
@@ -116,7 +155,7 @@ def measure(name: str, jobs: int = 1):
     """
     record = ExperimentTiming(name=name, jobs=jobs)
     before = CALIBRATION.counters.copy()
-    replay_before = REPLAY_METER.snapshot()
+    record._replay_before = REPLAY_METER.snapshot()
     _ACTIVE.append(record)
     start = time.perf_counter()
     try:
@@ -130,9 +169,20 @@ def measure(name: str, jobs: int = 1):
             "misses": delta.misses,
             "stores": delta.stores,
         }
-        record.replay = REPLAY_METER.delta(replay_before)
+        record.replay = REPLAY_METER.delta(record._replay_before)
         _ACTIVE.pop()
         HISTORY.append(record)
+
+
+def note_meter_reset() -> None:
+    """Called when :data:`REPLAY_METER` is reset mid-measurement (the
+    parallel engine resets it per ``evaluate_units`` run): re-anchor every
+    active measure window at the fresh zero state so deltas don't go
+    negative and the window reports only post-reset activity."""
+    if _ACTIVE:
+        snap = REPLAY_METER.snapshot()
+        for record in _ACTIVE:
+            record._replay_before = snap
 
 
 def note_parallel(units: int, workers: int) -> None:
@@ -178,6 +228,8 @@ def render_report(records: "list[ExperimentTiming] | None" = None) -> str:
             "replay_hit_rate": round(r.replay_hit_rate, 3),
             "fleet_pairs": r.replay.get("fleet_pairs", 0),
             "fleet_occ": round(r.fleet_occupancy, 1),
+            "tree_depth": r.tree_depth,
+            "exit_hit_rate": round(r.side_exit_hit_rate, 3),
         }
         for r in records
     ]

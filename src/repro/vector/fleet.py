@@ -80,17 +80,29 @@ def session_step(session, st) -> FleetStep:
     """The fleet request for one ``ReplaySession.step`` of carried state
     ``st`` (the shared ``ChunkState`` shape)."""
     m = session.machine
-    prog = session._prog
-    if (
-        prog is None
-        or session._broken
-        or not (m.use_replay and m.use_batched_memory)
-    ):
-        # Capture / broken / replay-off: always serial.
+    prog = None
+    if not session._broken and m.use_replay and m.use_batched_memory:
+        # The program matching st's current regime: the specialised root
+        # when its regime holds, the compiled side-exit child when not.
+        # Buckets key on program identity, so rows sitting on a side
+        # exit batch with each other, not with the root's fast path.
+        prog = session.fleet_prog(st)
+    if prog is None:
+        # Capture / broken / replay-off / un-compiled side exit: serial,
+        # so step() can profile, capture and meter the execution.
         return FleetStep(m, run=lambda: session.step(st))
+
+    is_exit = prog is not session._prog
+    root = session._root
 
     def accept(outs):
         st.v, st.h, st.inb = outs
+        if is_exit:
+            # Fused rows served by the side-exit child trace carry the
+            # same exit meters as the serial step() path.
+            REPLAY_METER.side_exits += 1
+            REPLAY_METER.side_exit_replays += 1
+            root.exit_count += 1
 
     return FleetStep(
         m,
@@ -158,6 +170,11 @@ def drive_fleet(fibers):
         current, pending = pending, {}
         buckets: dict = {}
         serial: list[int] = []
+        # Rows that *had* a fusable program but fell back to the serial
+        # path (singleton bucket, failed group).  Metered separately
+        # from never-fusable rows so the --verbose serial share reports
+        # genuine fusion misses, not capture/interpret rounds.
+        fusable_serial: set = set()
         for i, step in current.items():
             if step.prog is None:
                 serial.append(i)
@@ -174,6 +191,7 @@ def drive_fleet(fibers):
                 buckets.setdefault(key, []).append(i)
         for (src, _cats), idxs in buckets.items():
             if len(idxs) < 2:
+                fusable_serial.update(idxs)
                 serial.extend(idxs)
                 continue
             steps = [current[i] for i in idxs]
@@ -181,10 +199,14 @@ def drive_fleet(fibers):
                 for i in idxs:
                     advance(i)
             else:
+                fusable_serial.update(idxs)
                 serial.extend(idxs)
         for i in serial:
             current[i].run()
-            REPLAY_METER.fleet_serial += 1
+            if i in fusable_serial:
+                REPLAY_METER.fleet_singleton += 1
+            else:
+                REPLAY_METER.fleet_serial += 1
             advance(i)
     return results
 
@@ -328,6 +350,7 @@ class FleetGroup:
         ]
         for step, row in zip(steps, zip(*per_out)):
             step.accept(row)
+        REPLAY_METER.total_blocks += F
         REPLAY_METER.fleet_batches += 1
         REPLAY_METER.fleet_pairs += F
         REPLAY_METER.replayed_blocks += F

@@ -167,6 +167,18 @@ class VectorMachine:
     #: var also reaches spawned worker processes).
     use_replay = os.environ.get("REPRO_NO_REPLAY", "") not in ("1", "true", "yes")
 
+    #: Grow each replayed block into a trace tree: the first capture is
+    #: specialised to its entry predicate regime, regime-guard failures
+    #: become compiled side-exit (child) traces, and standalone guard
+    #: loops run loop-in-kernel (see ``ReplaySession.run_loop``).  All
+    #: of it is bit-identical in statistics, clock and stall
+    #: attribution (enforced by the conformance grid and
+    #: ``repro bench --check``); disable with ``--no-trace-trees`` or
+    #: ``REPRO_NO_TRACE_TREES=1`` (the env var also reaches spawned
+    #: worker processes).  Only active while ``use_replay`` is on.
+    use_trace_trees = os.environ.get("REPRO_NO_TRACE_TREES", "") not in (
+        "1", "true", "yes")
+
     #: Attach an event tracer to every machine at construction
     #: (``REPRO_TRACE=1``).  Tracing is observability only — statistics,
     #: clock and results are bit-identical with it on or off (enforced

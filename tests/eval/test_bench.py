@@ -123,3 +123,78 @@ class TestProfileBench:
     def test_profile_unknown_workload_rejected(self):
         with pytest.raises(ReproError, match="unknown bench workload"):
             bench.profile_bench(top=5, quick=True, only=["nope"])
+
+
+class TestTraceTreeWorkload:
+    @pytest.fixture(scope="class")
+    def tree_report(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("bench") / "tracetree.json"
+        return bench.run_bench(quick=True, out=out, only=["trace_tree"])
+
+    def test_cell_present_and_identical(self, tree_report):
+        cell = tree_report["workloads"]["trace_tree"]
+        assert cell["dimension"] == "tracetree"
+        assert cell["stats_identical"]
+        assert cell["serial_s"] > 0 and cell["batched_s"] > 0
+
+    def test_tracetree_dimension_is_speed_gated(self):
+        report = {
+            "workloads": {
+                "trace_tree": {
+                    "reps": 1, "serial_s": 0.1, "batched_s": 0.2,
+                    "speedup": 0.5, "stats_identical": True,
+                    "dimension": "tracetree",
+                },
+            }
+        }
+        failures = bench.check_report(report, gate="trace_tree")
+        assert any("slower than serial" in f for f in failures)
+
+
+class TestCheckRegression:
+    def report(self, quick, speedup):
+        return {
+            "quick": quick,
+            "workloads": {
+                "fleet_extend": {
+                    "reps": 1,
+                    "serial_s": 0.2,
+                    "batched_s": round(0.2 / speedup, 4),
+                    "speedup": speedup,
+                    "stats_identical": True,
+                },
+            },
+        }
+
+    def test_same_mode_uses_plain_floor(self):
+        base = self.report(quick=False, speedup=2.0)
+        ok = self.report(quick=False, speedup=1.85)
+        bad = self.report(quick=False, speedup=1.7)
+        assert bench.check_regression(ok, base, tolerance=0.10) == []
+        assert bench.check_regression(bad, base, tolerance=0.10)
+
+    def test_quick_report_vs_full_baseline_loosens(self):
+        # Quick runs land lower than full runs: a quick 1.2x against a
+        # committed full 2.0x must pass (floor 2.0 * 0.9 * 0.6 = 1.08)
+        # but a collapse below the scaled floor must still fail.
+        base = self.report(quick=False, speedup=2.0)
+        ok = self.report(quick=True, speedup=1.2)
+        bad = self.report(quick=True, speedup=1.0)
+        assert bench.check_regression(ok, base, tolerance=0.10) == []
+        assert bench.check_regression(bad, base, tolerance=0.10)
+
+    def test_full_report_vs_quick_baseline_tightens(self):
+        # The inverse direction must TIGHTEN, not loosen: a full run
+        # judged against a warmup-dominated quick baseline of 1.2x
+        # must clear 1.2 * 0.9 / 0.6 = 1.8x, not hide behind 0.65x.
+        base = self.report(quick=True, speedup=1.2)
+        ok = self.report(quick=False, speedup=1.85)
+        bad = self.report(quick=False, speedup=1.5)
+        assert bench.check_regression(ok, base, tolerance=0.10) == []
+        failures = bench.check_regression(bad, base, tolerance=0.10)
+        assert failures, "full-vs-quick floor failed to tighten"
+
+    def test_missing_workload_cannot_fail(self):
+        base = {"quick": False, "workloads": {}}
+        rep = self.report(quick=False, speedup=0.1)
+        assert bench.check_regression(rep, base, tolerance=0.10) == []

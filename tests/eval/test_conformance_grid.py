@@ -21,6 +21,16 @@ must also reproduce that baseline, on the standard batch and on a
 divergence-heavy batch (mixed lengths and error rates, so fleet rows
 retire from fused groups at different rounds and regroup).
 
+The trace-tree JIT adds a third axis: every cell of
+
+    {use_trace_trees} x {use_batched_memory} x {jobs 1/2}
+
+with replay on must reproduce the baseline on both batch kinds — the
+divergence-heavy batch is the one that actually takes side exits and
+compiles child traces.  Every cell additionally asserts the replay
+meter's conservation invariant: captures + replayed + interpreted +
+broken must equal the total metered block executions.
+
 All cells (including the baseline) run ``shard_size=1`` so the shard
 plan — the unit of determinism — is common to every jobs value; fresh
 machines per pair make the serial and pooled walks directly
@@ -40,6 +50,7 @@ from repro.eval import records
 from repro.eval.runner import run_implementation
 from repro.genomics.generator import ErrorProfile, ReadPairGenerator
 from repro.vector.machine import VectorMachine
+from repro.vector.program import REPLAY_METER
 
 HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
 
@@ -65,21 +76,38 @@ def signature(result):
     )
 
 
-def run_cell(impl_cls, batch, use_batched_memory, use_replay, trace, jobs):
+def assert_meter_conserved():
+    """Op-exact accounting: every metered block execution must land in
+    exactly one outcome bucket.  ``evaluate_units`` resets the meter at
+    run entry, so the absolute post-run counts are this run's counts."""
+    m = REPLAY_METER
+    assert (
+        m.captures + m.replayed_blocks + m.interpreted_blocks + m.broken
+        == m.total_blocks
+    ), f"meter conservation violated: {REPLAY_METER.snapshot()}"
+
+
+def run_cell(impl_cls, batch, use_batched_memory, use_replay, trace, jobs,
+             trees=None):
     """One grid cell on fresh machines, with the toggles as class state.
 
     Class attributes (not instance state) are what worker processes
     inherit under fork, so this exercises exactly the production
     propagation path; ``auto_trace`` mirrors the ``REPRO_TRACE``
-    environment knob.
+    environment knob.  ``trees=None`` leaves ``use_trace_trees`` at the
+    process default.
     """
     with pytest.MonkeyPatch.context() as mp:
         mp.setattr(VectorMachine, "use_batched_memory", use_batched_memory)
         mp.setattr(VectorMachine, "use_replay", use_replay)
         mp.setattr(VectorMachine, "auto_trace", trace)
-        return signature(
+        if trees is not None:
+            mp.setattr(VectorMachine, "use_trace_trees", trees)
+        sig = signature(
             run_implementation(impl_cls(), batch, jobs=jobs, shard_size=1)
         )
+        assert_meter_conserved()
+        return sig
 
 
 _baselines: dict = {}
@@ -167,7 +195,9 @@ def run_fleet_cell(impl_cls, batch, fleet, use_batched_memory, use_replay):
     with pytest.MonkeyPatch.context() as mp:
         mp.setattr(VectorMachine, "use_batched_memory", use_batched_memory)
         mp.setattr(VectorMachine, "use_replay", use_replay)
-        return signature(run_implementation(impl_cls(), batch, fleet=fleet))
+        sig = signature(run_implementation(impl_cls(), batch, fleet=fleet))
+        assert_meter_conserved()
+        return sig
 
 
 def fleet_cell_id(cell):
@@ -186,6 +216,35 @@ def test_fleet_cell_matches_baseline(name, cell, kind):
     expected = fleet_baseline_for(name, kind)
     got = run_fleet_cell(
         fleet_impl(name), _fleet_batches[(name, kind)], fleet, batched, replay
+    )
+    assert got[0] == expected[0], "per-pair cycle counts diverged"
+    assert got[1] == expected[1], "per-pair instruction counts diverged"
+    assert got[2] == expected[2], "machine statistics diverged"
+    assert got[3] == expected[3], "alignment outputs diverged"
+
+
+#: (use_trace_trees, use_batched_memory, jobs) — replay on throughout.
+TREE_GRID = list(itertools.product((False, True), (False, True), (1, 2)))
+
+
+def tree_cell_id(cell):
+    return (
+        f"{'trees' if cell[0] else 'notrees'}-"
+        f"{'batched' if cell[1] else 'serialmem'}-j{cell[2]}"
+    )
+
+
+@pytest.mark.parametrize("kind", ("standard", "divergent"))
+@pytest.mark.parametrize("name", sorted(IMPLS))
+@pytest.mark.parametrize("cell", TREE_GRID, ids=tree_cell_id)
+def test_tracetree_cell_matches_baseline(name, cell, kind):
+    trees, batched, jobs = cell
+    if jobs > 1 and not HAS_FORK:
+        pytest.skip("pooled cells need the fork start method")
+    expected = fleet_baseline_for(name, kind)
+    got = run_cell(
+        fleet_impl(name), _fleet_batches[(name, kind)],
+        batched, True, False, jobs, trees=trees,
     )
     assert got[0] == expected[0], "per-pair cycle counts diverged"
     assert got[1] == expected[1], "per-pair instruction counts diverged"

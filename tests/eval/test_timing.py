@@ -95,3 +95,54 @@ class TestReplayWindow:
         with timing.measure("replay-idle") as record:
             pass
         assert record.replay_hit_rate == 0.0
+
+
+class TestMeterReset:
+    """Regression tests for the per-run replay-meter reset.
+
+    ``REPLAY_METER`` is a process-global singleton; before the reset
+    landed, back-to-back ``evaluate_units`` runs in one process
+    accumulated counts and reported inflated hit rates.
+    """
+
+    def pair(self):
+        from repro.genomics.generator import ReadPairGenerator
+
+        return (ReadPairGenerator(length=80, seed=9).pair(),)
+
+    def test_evaluate_units_resets_the_meter(self):
+        from repro.align.vectorized import WfaVec
+        from repro.eval.parallel import WorkUnit, evaluate_units
+        from repro.vector.program import REPLAY_METER
+
+        unit = WorkUnit(key="reset", impl=WfaVec(), pairs=self.pair())
+        evaluate_units([unit], jobs=1)
+        first = REPLAY_METER.snapshot()
+        evaluate_units([unit], jobs=1)
+        second = REPLAY_METER.snapshot()
+        # Identical work from a clean meter: the second run's absolute
+        # counts must match the first, not stack on top of them.
+        assert second == first
+        assert first["total_blocks"] > 0
+
+    def test_reset_reanchors_open_measure_windows(self):
+        from repro.align.vectorized import WfaVec
+        from repro.eval import timing
+        from repro.eval.parallel import WorkUnit, evaluate_units
+        from repro.vector.program import REPLAY_METER
+
+        # Pollute the meter before the window opens, then run inside an
+        # open measure window.  The reset inside evaluate_units would
+        # make naive deltas (now - before) go negative; note_meter_reset
+        # must re-anchor the window so the delta covers only the run.
+        REPLAY_METER.replayed_blocks += 10_000
+        REPLAY_METER.total_blocks += 10_000
+        unit = WorkUnit(key="anchor", impl=WfaVec(), pairs=self.pair())
+        with timing.measure("meter-reset-window") as record:
+            evaluate_units([unit], jobs=1)
+        scalars = {
+            k: v for k, v in record.replay.items() if isinstance(v, int)
+        }
+        assert all(v >= 0 for v in scalars.values()), record.replay
+        assert record.replay["replayed_blocks"] < 10_000
+        assert 0.0 <= record.replay_hit_rate <= 1.0

@@ -190,6 +190,46 @@ class TestRetirement:
         assert REPLAY_METER.fleet_pairs >= 2 * REPLAY_METER.fleet_batches
         assert REPLAY_METER.fleet_occupancy >= 2.0
 
+    def test_singleton_fallback_accounting(self):
+        # Three pairs; two retire after 4 rounds, one runs 8 more rounds
+        # alone.  The survivor's bucket shrinks to a single pair: those
+        # rows must run serially, meter ``fleet_singleton`` (not the
+        # never-fusable ``fleet_serial``), and leave the fused-batch
+        # occupancy undiluted.  The retirement histogram must record
+        # one retirement at 2 live pairs and one at 1.
+        def body(m, buf, s):
+            s.v = m.add(s.v, 1, pred=s.inb)
+            s.inb = m.cmp("lt", s.v, 1 << 50, pred=s.inb)
+
+        iters_by_row = (12, 4, 4)
+
+        def fibers():
+            return [
+                make_fiber(body, row, iters)
+                for row, iters in enumerate(iters_by_row)
+            ]
+
+        serial = [drive_serial(f) for f in fibers()]
+        before = REPLAY_METER.snapshot()
+        fleet = drive_fleet(fibers())
+        delta = REPLAY_METER.delta(before)
+        for row, (s, f) in enumerate(zip(serial, fleet)):
+            assert s == f, f"pair {row} diverged through the fleet"
+        # Round 1 captures (never fusable); rounds 2-4 fuse all three
+        # pairs; rounds 5-12 are the singleton survivor.
+        assert delta.get("fleet_batches", 0) == 3, delta
+        assert delta.get("fleet_pairs", 0) == 9, delta
+        assert delta.get("fleet_singleton", 0) == 8, delta
+        assert delta.get("fleet_serial", 0) == 3, delta
+        occupancy = delta["fleet_pairs"] / delta["fleet_batches"]
+        assert occupancy == 3.0, (
+            f"singleton rounds diluted fused occupancy: {occupancy}"
+        )
+        retired = delta.get("fleet_retired", {})
+        assert retired == {2: 1, 1: 1}, (
+            f"retirement histogram wrong: {retired}"
+        )
+
 
 # ----------------------------------------------------------------------
 # Serial fallbacks inside a fleet

@@ -1,0 +1,347 @@
+"""Trace-tree JIT identity and metering tests.
+
+The tiered replay JIT (regime-specialised roots, compiled side-exit
+children, loop-in-kernel execution) promises bit-identical machine
+state — clock, ``_max_complete``, the full ``MachineStats`` snapshot,
+tracer totals, and register values — with trees on vs off, for any
+loop body with data-dependent guards.  This suite enforces that with a
+randomized property harness, asserts the acceptance meters (a WFA
+extend loop with a forced mismatch tail must execute at least one
+*compiled* side-exit trace), and pins the warmup-threshold and
+meter-conservation contracts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.vector.machine import VectorMachine
+from repro.vector.program import REPLAY_METER, ReplaySession
+
+BINOPS = ["add", "sub", "mul", "min", "max", "and", "or", "xor"]
+
+
+class S:
+    __slots__ = ("v", "h", "inb")
+
+
+def fresh_machine(trace=False):
+    m = VectorMachine(SystemConfig())
+    data = np.arange(4096, dtype=np.int64) % 251
+    buf = m.new_buffer("b", data, elem_bytes=1)
+    tracer = m.attach_tracer(capacity=64) if trace else None
+    return m, buf, tracer
+
+
+def run_loop_both(make_body, reps=3, trace=False):
+    """Drive ``session.run_loop`` with trees off and on; return both
+    (clock, maxc, snapshot, values, tracer-totals) tuples."""
+    results = []
+    for trees in (False, True):
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(VectorMachine, "use_trace_trees", trees)
+            m, buf, tracer = fresh_machine(trace)
+            body, init = make_body(m, buf)
+            session = ReplaySession(m, body)
+            finals = []
+            for rep in range(reps):
+                s = init(rep)
+                session.run_loop(s)
+                finals.append(tuple(
+                    tuple(np.asarray(r.data).tolist())
+                    for r in (s.v, s.h, s.inb)
+                ))
+            m.barrier()
+            totals = (
+                (
+                    dict(tracer.instructions_by_category),
+                    dict(tracer.busy_by_category),
+                    dict(tracer.stall_by_category),
+                )
+                if tracer is not None
+                else None
+            )
+            results.append(
+                (m.clock, m._max_complete, m.snapshot(), finals, totals)
+            )
+    return results
+
+
+def assert_identical(off, on):
+    assert off[0] == on[0], f"clock diverged: {off[0]} != {on[0]}"
+    assert off[1] == on[1], "_max_complete diverged"
+    assert off[2] == on[2], (
+        f"stats diverged:\ntrees off {off[2]}\ntrees on  {on[2]}"
+    )
+    assert off[3] == on[3], "register values diverged"
+    assert off[4] == on[4], "tracer totals diverged"
+
+
+def conservation_delta(before):
+    d = REPLAY_METER.delta(before)
+    total = (
+        d["captures"] + d["replayed_blocks"]
+        + d["interpreted_blocks"] + d["broken"]
+    )
+    assert total == d["total_blocks"], f"conservation violated: {d}"
+    return d
+
+
+# ----------------------------------------------------------------------
+# Divergent carried-predicate bodies
+# ----------------------------------------------------------------------
+def staggered_body(m, buf):
+    """Lanes retire at strongly staggered iteration counts, so every
+    rep has an all-active prefix (root regime) and a long partially
+    active tail (side exit)."""
+    lanes = m.lanes(64)
+    bounds = m.from_values(10 + 9 * np.arange(lanes), 64)
+
+    def body(mm, s):
+        idx = mm.and_(s.v, 1023, pred=s.inb)
+        g = mm.gather64(buf, idx, pred=s.inb)
+        s.h = mm.add(s.h, mm.min(g, 7, pred=s.inb), pred=s.inb)
+        s.v = mm.add(s.v, 1, pred=s.inb)
+        s.inb = mm.cmp("lt", s.v, bounds, pred=s.inb)
+
+    def init(rep):
+        s = S()
+        s.v = m.from_values(np.arange(lanes) + rep, 64)
+        s.h = m.from_values(np.arange(lanes) * 3, 64)
+        s.inb = m.ptrue(64)
+        return s
+
+    return body, init
+
+
+class TestDivergentIdentity:
+    def test_staggered_retirement_bit_identical(self):
+        assert_identical(*run_loop_both(staggered_body, reps=4))
+
+    def test_tracer_totals_bit_identical(self):
+        assert_identical(*run_loop_both(staggered_body, reps=3, trace=True))
+
+    def test_side_exit_trace_compiled_and_replayed(self):
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(VectorMachine, "use_trace_trees", True)
+            m, buf, _ = fresh_machine()
+            body, init = staggered_body(m, buf)
+            session = ReplaySession(m, body)
+            before = REPLAY_METER.snapshot()
+            for rep in range(4):
+                session.run_loop(init(rep))
+            d = conservation_delta(before)
+        assert d["side_exits"] >= 1, d
+        assert d["side_exit_traces"] >= 1, "no side-exit child compiled"
+        assert d["side_exit_replays"] >= 1, (
+            "side exits never ran the compiled child"
+        )
+        assert d["loop_calls"] >= 2, "loop-in-kernel never engaged"
+        assert d["loop_iters"] > d["loop_calls"], d
+        assert d["tree_nodes"].get(1, 0) >= 1, "no depth-1 tree node"
+        assert REPLAY_METER.tree_depth >= 1
+        assert 0.0 < REPLAY_METER.side_exit_hit_rate <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Acceptance meter: WFA extend with a forced mismatch tail
+# ----------------------------------------------------------------------
+class TestWfaExtendSideExit:
+    def test_forced_mismatch_tail_runs_compiled_side_exit(self):
+        from repro.align.vectorized.extend_loop import ExtendConsts, vec_extend
+
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(VectorMachine, "use_trace_trees", True)
+            m = VectorMachine(SystemConfig())
+            length = 2048
+            rng = np.random.default_rng(3)
+            pattern = rng.integers(0, 4, length).astype(np.int64)
+            text = pattern.copy()
+            # Forced mismatch comb: lanes started at staggered offsets
+            # hit mismatches on different iterations, so the extend
+            # loop's active predicate goes partial — the side exit.
+            text[::13] = (text[::13] + 1) % 4
+            pbuf = m.new_buffer("p", pattern, elem_bytes=1)
+            tbuf = m.new_buffer("t", text, elem_bytes=1)
+            consts = ExtendConsts(m, length, length, 8)
+            lanes = m.lanes(64)
+            before = REPLAY_METER.snapshot()
+            for rep in range(6):
+                starts = rep * 31 + 3 * np.arange(lanes)
+                v = m.from_values(starts, 64)
+                h = m.from_values(starts, 64)
+                vec_extend(
+                    m, pbuf, tbuf, v, h, m.ptrue(64),
+                    length, length, consts=consts,
+                )
+            m.barrier()
+            d = conservation_delta(before)
+        assert d["side_exit_traces"] >= 1, (
+            f"forced mismatch tail compiled no side-exit trace: {d}"
+        )
+        assert d["side_exit_replays"] >= 1, (
+            f"no compiled side-exit trace ever executed: {d}"
+        )
+
+    def test_forced_mismatch_tail_bit_identical(self):
+        from repro.align.vectorized.extend_loop import ExtendConsts, vec_extend
+
+        results = []
+        for trees in (False, True):
+            with pytest.MonkeyPatch.context() as mp:
+                mp.setattr(VectorMachine, "use_trace_trees", trees)
+                m = VectorMachine(SystemConfig())
+                length = 2048
+                rng = np.random.default_rng(3)
+                pattern = rng.integers(0, 4, length).astype(np.int64)
+                text = pattern.copy()
+                text[::13] = (text[::13] + 1) % 4
+                pbuf = m.new_buffer("p", pattern, elem_bytes=1)
+                tbuf = m.new_buffer("t", text, elem_bytes=1)
+                consts = ExtendConsts(m, length, length, 8)
+                lanes = m.lanes(64)
+                outs = []
+                for rep in range(4):
+                    starts = rep * 31 + 3 * np.arange(lanes)
+                    v = m.from_values(starts, 64)
+                    h = m.from_values(starts, 64)
+                    r = vec_extend(
+                        m, pbuf, tbuf, v, h, m.ptrue(64),
+                        length, length, consts=consts,
+                    )
+                    outs.append(tuple(
+                        tuple(np.asarray(x.data).tolist()) for x in r
+                    ))
+                m.barrier()
+                results.append((m.clock, m._max_complete, m.snapshot(), outs))
+        off, on = results
+        assert off == on, f"extend diverged with trees on:\n{off}\n{on}"
+
+
+# ----------------------------------------------------------------------
+# Randomized property: data-dependent guards, trees on vs off
+# ----------------------------------------------------------------------
+def _random_guarded_body(seed):
+    rng = np.random.default_rng(seed)
+    n_ops = int(rng.integers(2, 7))
+    plan = [
+        (
+            str(rng.choice(["binop", "scalar", "shift", "sel", "gather"])),
+            int(rng.integers(0, len(BINOPS))),
+            int(rng.integers(0, 8)),
+        )
+        for _ in range(n_ops)
+    ]
+    stride = int(rng.integers(3, 17))
+    base = int(rng.integers(5, 20))
+
+    def make(m, buf):
+        lanes = m.lanes(64)
+        bounds = m.from_values(base + stride * np.arange(lanes), 64)
+
+        def body(mm, s):
+            x = s.h
+            for kind, a, b in plan:
+                op = BINOPS[a % len(BINOPS)]
+                if kind == "binop":
+                    x = mm.binop(op, x, s.v, pred=s.inb)
+                elif kind == "scalar":
+                    x = mm.binop(op, x, 3 + b, pred=s.inb)
+                elif kind == "shift":
+                    x = mm.shr(mm.shl(x, b % 4, pred=s.inb), 1, pred=s.inb)
+                elif kind == "sel":
+                    x = mm.sel(s.inb, x, s.v)
+                else:
+                    idx = mm.and_(x, 1023, pred=s.inb)
+                    x = mm.gather64(buf, idx, pred=s.inb)
+            s.h = x
+            s.v = mm.add(s.v, 1, pred=s.inb)
+            s.inb = mm.cmp("lt", s.v, bounds, pred=s.inb)
+
+        def init(rep):
+            s = S()
+            s.v = m.from_values(np.arange(lanes) % 5 + rep, 64)
+            s.h = m.from_values(np.arange(lanes) * 7 + 1, 64)
+            s.inb = m.ptrue(64)
+            return s
+
+        return body, init
+
+    return make
+
+
+class TestRandomGuardedPrograms:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_random_divergent_loop_bit_identical(self, seed):
+        before = REPLAY_METER.snapshot()
+        assert_identical(*run_loop_both(_random_guarded_body(seed), reps=3))
+        conservation_delta(before)
+
+
+# ----------------------------------------------------------------------
+# Warmup threshold
+# ----------------------------------------------------------------------
+class TestWarmup:
+    def test_root_warmup_defers_capture(self):
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(VectorMachine, "use_trace_trees", True)
+            m, buf, _ = fresh_machine()
+            body, init = staggered_body(m, buf)
+            session = ReplaySession(m, body, warmup=3)
+            before = REPLAY_METER.snapshot()
+            s = init(0)
+            session.step(s)
+            session.step(s)
+            d = REPLAY_METER.delta(before)
+            assert d["warmup_skips"] == 2
+            assert d["captures"] == 0
+            assert d["interpreted_blocks"] == 2
+            session.step(s)  # third execution crosses the threshold
+            d = conservation_delta(before)
+            assert d["captures"] == 1
+            assert session._prog is not None
+
+    def test_warmup_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY_WARMUP", "4")
+        m, buf, _ = fresh_machine()
+        body, _ = staggered_body(m, buf)
+        assert ReplaySession(m, body).warmup == 4
+        monkeypatch.delenv("REPRO_REPLAY_WARMUP")
+        assert ReplaySession(m, body).warmup == 1
+
+    def test_warmup_identical_to_no_warmup(self):
+        results = []
+        for warmup in (1, 3):
+            with pytest.MonkeyPatch.context() as mp:
+                mp.setattr(VectorMachine, "use_trace_trees", True)
+                m, buf, _ = fresh_machine()
+                body, init = staggered_body(m, buf)
+                session = ReplaySession(m, body, warmup=warmup)
+                for rep in range(3):
+                    session.run_loop(init(rep))
+                m.barrier()
+                results.append((m.clock, m._max_complete, m.snapshot()))
+        assert results[0] == results[1], "warmup threshold changed timing"
+
+
+# ----------------------------------------------------------------------
+# Meter conservation across modes
+# ----------------------------------------------------------------------
+class TestMeterConservation:
+    @pytest.mark.parametrize("trees", (False, True))
+    @pytest.mark.parametrize("replay", (False, True))
+    def test_conservation_over_modes(self, trees, replay):
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(VectorMachine, "use_trace_trees", trees)
+            mp.setattr(VectorMachine, "use_replay", replay)
+            m, buf, _ = fresh_machine()
+            body, init = staggered_body(m, buf)
+            session = ReplaySession(m, body)
+            before = REPLAY_METER.snapshot()
+            for rep in range(3):
+                session.run_loop(init(rep))
+            d = conservation_delta(before)
+            assert d["total_blocks"] > 0
