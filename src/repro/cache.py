@@ -73,6 +73,11 @@ class CalibrationCache:
 
     def __init__(self) -> None:
         self._memory: dict = {}
+        # key -> (file path, repr(key)); the digest and repr of a key
+        # are pure, so warm lookups never recompute them.  Kept across
+        # clear_memory() on purpose: simulated cold starts drop values,
+        # not key identities.
+        self._routes: dict = {}
         self.directory: Path | None = None
         self.counters = CacheCounters()
 
@@ -100,12 +105,29 @@ class CalibrationCache:
     # ------------------------------------------------------------------
     # Lookup / store
     # ------------------------------------------------------------------
-    def _path(self, key) -> Path:
+    def _route(self, key) -> "tuple[Path, str]":
+        """(file path, repr) for ``key``, memoized per key.
+
+        The digest and the repr are pure functions of the key and the
+        repro version, but computing them (repr of a nested config
+        tuple, SHA-256, a pathlib join) dominated the warm read path —
+        see the warm-vs-cold regression test in
+        ``tests/eval/test_calibration_cache.py``.
+        """
+        route = self._routes.get(key)
+        if route is not None and route[2] is self.directory:
+            return route[0], route[1]
+        key_repr = repr(key)
         digest = hashlib.sha256(
-            f"{__version__}|{key!r}".encode("utf-8")
+            f"{__version__}|{key_repr}".encode("utf-8")
         ).hexdigest()[:32]
         assert self.directory is not None
-        return self.directory / f"calib-{digest}.pkl"
+        path = self.directory / f"calib-{digest}.pkl"
+        self._routes[key] = (path, key_repr, self.directory)
+        return path, key_repr
+
+    def _path(self, key) -> Path:
+        return self._route(key)[0]
 
     def get(self, key):
         """Cached value for ``key``, or ``None`` on a full miss.
@@ -137,32 +159,32 @@ class CalibrationCache:
     # Disk layer
     # ------------------------------------------------------------------
     def _read_disk(self, key):
-        path = self._path(key)
+        path, key_repr = self._route(key)
         try:
-            with open(path, "rb") as fh:
-                payload = pickle.load(fh)
+            payload = pickle.loads(path.read_bytes())
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
             return None
         # Trust nothing implicit: the version and the full key must match
         # (the filename hash is only a routing shortcut).
         if not isinstance(payload, dict):
             return None
-        if payload.get("version") != __version__ or payload.get("key") != repr(key):
+        if payload.get("version") != __version__ or payload.get("key") != key_repr:
             return None
         return payload.get("value")
 
     def _write_disk(self, key, value) -> None:
         assert self.directory is not None
         try:
+            path, key_repr = self._route(key)
             self.directory.mkdir(parents=True, exist_ok=True)
-            payload = {"version": __version__, "key": repr(key), "value": value}
+            payload = {"version": __version__, "key": key_repr, "value": value}
             fd, tmp = tempfile.mkstemp(
                 dir=self.directory, prefix=".calib-", suffix=".tmp"
             )
             try:
                 with os.fdopen(fd, "wb") as fh:
                     pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp, self._path(key))
+                os.replace(tmp, path)
             except BaseException:
                 try:
                     os.unlink(tmp)

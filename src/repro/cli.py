@@ -39,6 +39,7 @@ from repro.eval import records, supervise, timing
 from repro.eval.compare import Tolerances, compare_records, render_drifts
 from repro.eval.parallel import default_jobs
 from repro.eval.reporting import render_table
+from repro.vector.backends import BACKEND_NAMES
 from repro.vector.machine import VectorMachine
 
 
@@ -78,6 +79,30 @@ def _set_fleet(width: "int | None") -> None:
         raise ReproError(f"--fleet must be >= 0: {width}")
     os.environ["REPRO_FLEET"] = str(width)
     VectorMachine.use_fleet = width
+
+
+def _set_jit_backend(name: "str | None") -> None:
+    """Pin the replay-JIT codegen backend for this process and workers.
+
+    Same env-var + class-attribute pattern as :func:`_set_fleet`; the
+    default (``numpy-opt``) applies when the flag is absent.
+    """
+    if name is None:
+        return
+    os.environ["REPRO_JIT_BACKEND"] = name
+    VectorMachine.jit_backend = name
+
+
+def add_jit_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jit-backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="codegen backend for replay kernels (default: "
+        "$REPRO_JIT_BACKEND, else numpy-opt; 'numba' falls back to "
+        "numpy-opt with a warning when numba is not installed; results "
+        "are bit-identical across backends)",
+    )
 
 #: Experiment id -> (callable, title, kwargs-name for scaling or None).
 EXPERIMENTS = {
@@ -168,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_FLEET, else off; per-pair results are "
         "bit-identical at every width)",
     )
+    add_jit_backend_argument(parser)
     add_supervise_arguments(parser)
     return parser
 
@@ -361,6 +387,16 @@ def build_bench_parser() -> argparse.ArgumentParser:
         help="disable the trace-tree JIT tier for the default execution "
         "paths (the trace_tree workload still toggles it per leg)",
     )
+    parser.add_argument(
+        "--dimension",
+        metavar="DIM",
+        choices=sorted(bench._LEGS),
+        default=None,
+        help="override the toggled dimension for every selected workload "
+        "(e.g. --dimension backend reruns replay workloads as "
+        "generated-numpy vs the process-default backend)",
+    )
+    add_jit_backend_argument(parser)
     return parser
 
 
@@ -371,10 +407,14 @@ def bench_main(argv: "list[str]") -> int:
         _disable_replay()
     if args.no_trace_trees:
         _disable_trace_trees()
+    _set_jit_backend(args.jit_backend)
     if args.profile is not None:
         print(bench.profile_bench(top=args.profile, quick=args.quick, only=args.only))
         return 0
-    report = bench.run_bench(quick=args.quick, out=args.out, only=args.only)
+    report = bench.run_bench(
+        quick=args.quick, out=args.out, only=args.only,
+        dimension=args.dimension,
+    )
     print(bench.render_report(report))
     failures = []
     if args.check:
@@ -499,6 +539,7 @@ def build_run_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-replay", action="store_true")
     parser.add_argument("--no-trace-trees", action="store_true")
     parser.add_argument("--fleet", type=int, default=None, metavar="N")
+    add_jit_backend_argument(parser)
     parser.add_argument(
         "--fault-plan", metavar="SPEC", default=None,
         help="inject faults into the resumed run too (testing only)",
@@ -519,6 +560,7 @@ def run_main(argv: "list[str]") -> int:
     if args.no_trace_trees:
         _disable_trace_trees()
     _set_fleet(args.fleet)
+    _set_jit_backend(args.jit_backend)
     meta = supervise.read_meta(args.resume)
     experiment = meta.get("experiment")
     if experiment != "all" and experiment not in EXPERIMENTS:
@@ -660,6 +702,7 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.no_trace_trees:
         _disable_trace_trees()
     _set_fleet(args.fleet)
+    _set_jit_backend(args.jit_backend)
     if supervise_cfg is not None:
         return _run_supervised(
             supervise_cfg,

@@ -47,8 +47,26 @@ The membatch workloads compare ``use_batched_memory`` off vs on (replay
 pinned off on both legs so it cannot blur the comparison); the replay
 workloads compare ``use_replay`` off vs on with batched memory pinned
 on; the fleet workloads compare fleet width 1 vs 64 with batched memory
-and replay pinned on for both legs.  In every cell ``serial_s`` is the
-slow leg and ``batched_s`` the fast leg, whatever the toggled dimension.
+and replay pinned on for both legs; the ``backend`` dimension (opt in
+via ``--dimension backend``) compares the plain generated-numpy codegen
+backend against the process default (``numpy-opt``, or whatever
+``--jit-backend`` pinned) with everything else held at the replay fast
+path.  In every cell ``serial_s`` is the slow leg and ``batched_s`` the
+fast leg, whatever the toggled dimension.
+
+Each cell also splits wall-clock into compile and steady-state time:
+``steady_serial_s``/``steady_batched_s`` subtract the codegen meter's
+kernel-compile seconds from each timed round, and ``speedup_steady``
+compares only those — the number :func:`check_regression` gates on,
+since compile cost is a one-time warmup charge the kernel cache
+amortises away across processes.  Cells where both legs run compiled
+kernels additionally carry the kernel-net split
+(``kernel_serial_s``/``kernel_batched_s``/``speedup_kernel``): in-kernel
+wall time minus the memory-model seconds spent simulating the cache
+hierarchy from inside those kernels.  For the ``backend`` dimension the
+gates read ``speedup_kernel`` — the hierarchy simulation is shared by
+every backend, so only the generated-kernel time carries the codegen
+signal.
 """
 
 from __future__ import annotations
@@ -73,9 +91,10 @@ from repro.config import SystemConfig
 from repro.errors import ReproError
 from repro.eval.runner import make_machine, run_implementation
 from repro.genomics.datasets import build_dataset
+from repro.vector.backends import CODEGEN_METER
 from repro.vector.fleet import drive_fleet, drive_serial, session_step
 from repro.vector.machine import VectorMachine
-from repro.vector.program import ReplaySession
+from repro.vector.program import REPLAY_METER, ReplaySession
 
 #: Default report location (relative to the working directory).
 DEFAULT_OUT = "results/BENCH_membatch.json"
@@ -102,25 +121,33 @@ _DIMENSIONS = {
     "trace_tree": "tracetree",
 }
 
-#: dimension -> ((slow label, batched, replay, fleet, trees), (fast ...)).
-#: ``trees=None`` leaves ``use_trace_trees`` at its process default so
-#: the legacy dimensions keep measuring exactly their own toggle.
+#: dimension -> ((slow label, batched, replay, fleet, trees, backend),
+#: (fast ...)).  ``trees=None`` leaves ``use_trace_trees`` at its
+#: process default so the legacy dimensions keep measuring exactly
+#: their own toggle; ``backend=None`` likewise leaves ``jit_backend``
+#: at the process default (``numpy-opt`` unless ``--jit-backend``
+#: pinned something else), so the ``backend`` dimension's fast leg
+#: measures whatever backend the process runs with.
 _LEGS = {
     "membatch": (
-        ("serial", False, False, 0, None),
-        ("batched", True, False, 0, None),
+        ("serial", False, False, 0, None, None),
+        ("batched", True, False, 0, None, None),
     ),
     "replay": (
-        ("serial", True, False, 0, None),
-        ("batched", True, True, 0, None),
+        ("serial", True, False, 0, None, None),
+        ("batched", True, True, 0, None, None),
     ),
     "fleet": (
-        ("serial", True, True, 1, None),
-        ("batched", True, True, 64, None),
+        ("serial", True, True, 1, None, None),
+        ("batched", True, True, 64, None, None),
     ),
     "tracetree": (
-        ("serial", True, True, 0, False),
-        ("batched", True, True, 0, True),
+        ("serial", True, True, 0, False, None),
+        ("batched", True, True, 0, True, None),
+    ),
+    "backend": (
+        ("serial", True, True, 0, None, "numpy"),
+        ("batched", True, True, 0, None, None),
     ),
 }
 
@@ -134,11 +161,13 @@ class _PathPin:
         replay: bool,
         fleet: int = 0,
         trees: "bool | None" = None,
+        backend: "str | None" = None,
     ) -> None:
         self.batched = batched
         self.replay = replay
         self.fleet = fleet
         self.trees = trees
+        self.backend = backend
 
     def __enter__(self) -> None:
         self._saved = (
@@ -146,18 +175,22 @@ class _PathPin:
             VectorMachine.use_replay,
             VectorMachine.use_fleet,
             VectorMachine.use_trace_trees,
+            VectorMachine.jit_backend,
         )
         VectorMachine.use_batched_memory = self.batched
         VectorMachine.use_replay = self.replay
         VectorMachine.use_fleet = self.fleet
         if self.trees is not None:
             VectorMachine.use_trace_trees = self.trees
+        if self.backend is not None:
+            VectorMachine.jit_backend = self.backend
 
     def __exit__(self, *exc) -> None:
         VectorMachine.use_batched_memory = self._saved[0]
         VectorMachine.use_replay = self._saved[1]
         VectorMachine.use_fleet = self._saved[2]
         VectorMachine.use_trace_trees = self._saved[3]
+        VectorMachine.jit_backend = self._saved[4]
 
 
 class _BatchedPath(_PathPin):
@@ -431,45 +464,96 @@ _WORKLOADS = {
 def _measure(workload, reps: int, rounds: int = 3, dimension: str = "membatch"):
     """Time one workload on both legs; returns the comparison dict.
 
-    Both legs are warmed first, then timed in alternating rounds
-    (serial, batched, serial, ...) keeping the best time per leg —
-    interleaving cancels slow machine-load drift that would otherwise
-    bias whichever leg ran last, and the minimum is the least
-    noise-contaminated sample.  ``dimension`` picks which toggle the
-    legs differ in (batched memory, or the replay engine).
+    Both legs are warmed first (``warmup_s`` covers that pass, which
+    absorbs kernel compiles, calibration-cache loads, and numpy's lazy
+    imports), then timed in alternating rounds (serial, batched,
+    serial, ...) keeping the best time per leg — interleaving cancels
+    slow machine-load drift that would otherwise bias whichever leg ran
+    last, and the minimum is the least noise-contaminated sample.
+    Within each timed round the codegen meter's kernel-compile seconds
+    are subtracted out to give the steady-state times
+    (``steady_*_s``/``speedup_steady``) alongside the raw wall-clock
+    ones.  ``dimension`` picks which toggle the legs differ in.
+
+    When both legs spend measurable time inside compiled kernels the
+    cell additionally reports the *kernel-net* split: per leg, the
+    replay meter's in-kernel seconds minus the memory-model seconds
+    spent simulating the cache hierarchy inside those kernels — the
+    time attributable to the generated code itself.
+    ``speedup_kernel`` is their ratio, the number that isolates what a
+    codegen backend changed (the hierarchy simulation is shared by all
+    backends and would otherwise dilute it).
     """
     legs = _LEGS[dimension]
-    for _, batched, replay, fleet, trees in legs:
-        with _PathPin(batched, replay, fleet, trees):
+    warm_start = time.perf_counter()
+    for leg in legs:
+        with _PathPin(*leg[1:]):
             workload(max(1, reps // 8))  # warm code paths and caches
+    warmup_s = time.perf_counter() - warm_start
     timings = {}
+    steady = {}
+    kernel_net = {}
     stats = {}
+    compile_total = 0.0
     for _ in range(rounds):
-        for label, batched, replay, fleet, trees in legs:
-            with _PathPin(batched, replay, fleet, trees):
+        for leg in legs:
+            label = leg[0]
+            with _PathPin(*leg[1:]):
+                compile_before = CODEGEN_METER.compile_s
+                meter_before = REPLAY_METER.snapshot()
                 start = time.perf_counter()
                 stats[label] = workload(reps)
                 elapsed = time.perf_counter() - start
+                compiled = max(0.0, CODEGEN_METER.compile_s - compile_before)
+                meter = REPLAY_METER.delta(meter_before)
+            compile_total += compiled
+            steady_elapsed = max(elapsed - compiled, 1e-9)
+            knet = meter["kernel_run_s"] - meter["mem_model_s"]
             if label not in timings or elapsed < timings[label]:
                 timings[label] = elapsed
-    return {
+            if label not in steady or steady_elapsed < steady[label]:
+                steady[label] = steady_elapsed
+            if label not in kernel_net or knet < kernel_net[label]:
+                kernel_net[label] = knet
+    cell = {
         "dimension": dimension,
         "serial_s": round(timings["serial"], 4),
         "batched_s": round(timings["batched"], 4),
         "speedup": round(timings["serial"] / max(timings["batched"], 1e-9), 3),
+        "warmup_s": round(warmup_s, 4),
+        "compile_s": round(compile_total, 4),
+        "steady_serial_s": round(steady["serial"], 4),
+        "steady_batched_s": round(steady["batched"], 4),
+        "speedup_steady": round(
+            steady["serial"] / max(steady["batched"], 1e-9), 3
+        ),
         "stats_identical": stats["serial"] == stats["batched"],
     }
+    # The kernel-net split only means something when both legs actually
+    # ran compiled kernels (an interpreted or meter-resetting leg shows
+    # ~0 or garbage) — degenerate cells simply omit the keys.
+    if kernel_net["serial"] > 1e-4 and kernel_net["batched"] > 1e-4:
+        cell["kernel_serial_s"] = round(kernel_net["serial"], 4)
+        cell["kernel_batched_s"] = round(kernel_net["batched"], 4)
+        cell["speedup_kernel"] = round(
+            kernel_net["serial"] / kernel_net["batched"], 3
+        )
+    return cell
 
 
 def run_bench(
     quick: bool = False,
     out: "str | os.PathLike | None" = DEFAULT_OUT,
     only: "list[str] | None" = None,
+    dimension: "str | None" = None,
 ) -> dict:
     """Run the micro-workloads; returns (and optionally writes) the report.
 
     ``quick`` shrinks every workload's repetition count (the CI smoke
-    setting); ``only`` restricts to a subset of workload names.
+    setting); ``only`` restricts to a subset of workload names;
+    ``dimension`` overrides every selected workload's toggled dimension
+    (``--dimension backend`` reruns e.g. replay_extend as plain
+    generated-numpy vs the process-default backend).
     """
     names = list(_WORKLOADS) if not only else list(only)
     unknown = [n for n in names if n not in _WORKLOADS]
@@ -477,6 +561,11 @@ def run_bench(
         raise ReproError(
             f"unknown bench workload(s) {', '.join(unknown)}; "
             f"choose from {', '.join(_WORKLOADS)}"
+        )
+    if dimension is not None and dimension not in _LEGS:
+        raise ReproError(
+            f"unknown bench dimension {dimension!r}; "
+            f"choose from {', '.join(sorted(_LEGS))}"
         )
     report = {
         "version": __version__,
@@ -501,7 +590,7 @@ def run_bench(
             "reps": reps,
             **_measure(
                 _WORKLOADS[name], reps,
-                dimension=_DIMENSIONS.get(name, "membatch"),
+                dimension=dimension or _DIMENSIONS.get(name, "membatch"),
             ),
         }
     if out is not None:
@@ -534,18 +623,29 @@ def check_report(report: dict, gate: str = "stride_sweep") -> "list[str]":
         name
         for name, cell in report["workloads"].items()
         if (
-            cell.get("dimension") in ("replay", "tracetree")
+            cell.get("dimension") in ("replay", "tracetree", "backend")
             or name == "fleet_extend"
         )
         and name != gate
     )
     for name in gated_names:
         cell = report["workloads"].get(name)
-        if cell is not None and cell["speedup"] < 1.0:
+        if cell is None:
+            continue
+        # Gate on the steady-state ratio when the report carries it:
+        # compile time is a warmup charge, not a regression.  Backend
+        # cells gate on the kernel-net ratio instead — both legs run
+        # the same shared simulator, so only the generated-kernel time
+        # carries the backend's signal.
+        if cell.get("dimension") == "backend" and "speedup_kernel" in cell:
+            speedup = cell["speedup_kernel"]
+        else:
+            speedup = cell.get("speedup_steady", cell["speedup"])
+        if speedup < 1.0:
             failures.append(
                 f"{name}: batched path slower than serial "
                 f"({cell['batched_s']}s vs {cell['serial_s']}s, "
-                f"speedup {cell['speedup']}x)"
+                f"gated speedup {speedup}x)"
             )
     return failures
 
@@ -581,11 +681,22 @@ def check_regression(
         ref = base.get(name)
         if ref is None:
             continue
-        floor = ref["speedup"] * (1.0 - tolerance) * scale
-        if cell["speedup"] < floor:
+        # Compare steady-state speedups when both reports carry them —
+        # compile time varies with the kernel-cache temperature and
+        # would otherwise dominate the quick-mode ratio.  Backend cells
+        # compare kernel-net speedups for the same reason check_report
+        # gates them on it.
+        if "speedup_kernel" in cell and "speedup_kernel" in ref:
+            key = "speedup_kernel"
+        elif "speedup_steady" in cell and "speedup_steady" in ref:
+            key = "speedup_steady"
+        else:
+            key = "speedup"
+        floor = ref[key] * (1.0 - tolerance) * scale
+        if cell[key] < floor:
             failures.append(
-                f"{name}: speedup {cell['speedup']}x regressed more than "
-                f"{tolerance:.0%} below the committed {ref['speedup']}x "
+                f"{name}: {key} {cell[key]}x regressed more than "
+                f"{tolerance:.0%} below the committed {ref[key]}x "
                 f"(floor {floor:.2f}x)"
             )
     return failures
@@ -597,14 +708,20 @@ def render_report(report: dict) -> str:
         f"membatch bench (v{report['version']}, "
         f"{'quick' if report['quick'] else 'full'}):",
         f"{'workload':<16} {'reps':>5} {'serial':>9} {'batched':>9} "
-        f"{'speedup':>8}  stats",
+        f"{'speedup':>8} {'steady':>8}  stats",
     ]
     for name, cell in report["workloads"].items():
         dim = cell.get("dimension")
-        tag = f" ({dim})" if dim in ("replay", "fleet") else ""
+        tag = f" ({dim})" if dim in ("replay", "fleet", "backend") else ""
+        kernel = cell.get("speedup_kernel")
+        if kernel is not None:
+            tag += f" [kernel {kernel:.2f}x]"
+        steady = cell.get("speedup_steady")
+        steady_txt = f"{steady:>7.2f}x" if steady is not None else f"{'-':>8}"
         lines.append(
             f"{name:<16} {cell['reps']:>5} {cell['serial_s']:>8.3f}s "
-            f"{cell['batched_s']:>8.3f}s {cell['speedup']:>7.2f}x  "
+            f"{cell['batched_s']:>8.3f}s {cell['speedup']:>7.2f}x "
+            f"{steady_txt}  "
             f"{'identical' if cell['stats_identical'] else 'DIVERGED'}{tag}"
         )
     if "path" in report:

@@ -11,7 +11,12 @@ active the same meter window yields the fleet occupancy line: pair-rows
 per fused batch, the serial-fallback share, and the retirement count
 (see ``ReplayMeter.fleet_*``).  With trace trees on, the window also
 reports the tree shape: compiled depth, side-exit count and the share
-of exits served by a compiled child trace.  The point is a stable
+of exits served by a compiled child trace.  When the replay JIT emitted
+kernels inside the window, a codegen segment reports the backend that
+ran, the compile-vs-run wall-time split (``compile_s`` vs
+``kernel_run_s``, with the memory-hierarchy simulation share
+``mem_model_s`` broken out), kernel-cache traffic, fallback downgrades,
+and arena growth.  The point is a stable
 baseline for future perf work — the numbers land in one place instead of
 being re-derived ad hoc.
 """
@@ -130,6 +135,20 @@ class ExperimentTiming:
                 else ""
             )
             + (
+                f" | codegen[{replay.get('backend') or '?'}]: "
+                f"{replay.get('kernel_compiles', 0)} compiles "
+                f"({replay.get('compile_s', 0.0):.2f}s), "
+                f"{replay.get('kernel_cache_hits', 0)} kernel-cache hits, "
+                f"{replay.get('backend_fallbacks', 0)} fallbacks, "
+                f"arena +{replay.get('arena_bytes', 0) / 1024:.0f} KiB, "
+                f"kernels {replay.get('kernel_run_s', 0.0):.2f}s run "
+                f"(mem model {replay.get('mem_model_s', 0.0):.2f}s)"
+                if replay.get("backends")
+                or replay.get("kernel_cache_hits", 0)
+                or replay.get("kernel_compiles", 0)
+                else ""
+            )
+            + (
                 f" | supervise: {self.supervise.get('restored', 0)} restored, "
                 f"{self.supervise.get('retries', 0)} retries"
                 + (" (degraded)" if self.supervise.get("degraded") else "")
@@ -230,6 +249,10 @@ def render_report(records: "list[ExperimentTiming] | None" = None) -> str:
             "fleet_occ": round(r.fleet_occupancy, 1),
             "tree_depth": r.tree_depth,
             "exit_hit_rate": round(r.side_exit_hit_rate, 3),
+            "backend": r.replay.get("backend", ""),
+            "kernel_compiles": r.replay.get("kernel_compiles", 0),
+            "kcache_hits": r.replay.get("kernel_cache_hits", 0),
+            "kernel_run_s": round(r.replay.get("kernel_run_s", 0.0), 2),
         }
         for r in records
     ]

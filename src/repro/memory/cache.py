@@ -197,11 +197,15 @@ class Cache:
         return evicted
 
     def invalidate_all(self) -> None:
-        """Drop every resident line (stats are preserved)."""
+        """Drop every resident line (stats are preserved).
+
+        The bookkeeping arrays are cleared in place so references held
+        by the batch engines (which cache them across calls) stay valid.
+        """
         self._tags.fill(-1)
-        self._tick = [0] * len(self._tick)
-        self._pf = bytearray(len(self._pf))
-        self._fill_count = [0] * (self._set_mask + 1)
+        self._tick[:] = [0] * len(self._tick)
+        self._pf[:] = bytes(len(self._pf))
+        self._fill_count[:] = [0] * (self._set_mask + 1)
         self._slot_of.clear()
 
     @property

@@ -94,6 +94,9 @@ class MemoryHierarchy:
             else None
         )
         self.requests = 0
+        # Lazily built (l1, params, ...) tuple for the scalar batch
+        # engine; invalidated whenever self.l1 is rebound (reset()).
+        self._scalar_ctx = None
 
     # ------------------------------------------------------------------
     # Allocation
@@ -428,20 +431,31 @@ class MemoryHierarchy:
         ``out=None`` the per-request latencies are not materialised and
         the worst one is returned instead (:meth:`access_batch_max`).
         """
-        l1 = self.l1
-        l1_lat = self.system.l1d.load_to_use
-        line = self.system.l1d.line_bytes
-        not_mask = ~(line - 1)
+        ctx = self._scalar_ctx
+        if ctx is None or ctx[0] is not self.l1:
+            l1 = self.l1
+            pf = self._l1_prefetcher
+            line = self.system.l1d.line_bytes
+            ctx = self._scalar_ctx = (
+                l1,
+                self.system.l1d.load_to_use,
+                line,
+                ~(line - 1),
+                l1._slot_of,
+                l1._slot_of.get,
+                l1._tick,
+                l1._pf,
+                self._fill_from_l2,
+                pf,
+                pf.degree if pf is not None else 0,
+                {},  # (line offset, stride, span) -> prefetch target rels
+            )
+        (l1, l1_lat, line, not_mask, slot_of, slot_get, tick, pf_flag,
+         fill_from_l2, pf, degree, rel_cache) = ctx
         size_m1 = size_bytes - 1
-        slot_of = l1._slot_of
-        slot_get = slot_of.get
-        tick = l1._tick
-        pf_flag = l1._pf
-        fill_from_l2 = self._fill_from_l2
-        pf = self._l1_prefetcher
-        degree = pf.degree if pf is not None else 0
         clock = l1._clock
-        hits = misses = pf_hits = nreq = issued = 0
+        hits = misses = pf_hits = issued = 0
+        nreq = len(arr)
         worst_all = l1_lat
         prev_line = -1
         conf = False
@@ -460,28 +474,53 @@ class MemoryHierarchy:
                 conf = stride != 0 and stride == prev_stride
                 prev_addr = addr_i
                 prev_stride = stride
-            nreq += 1
             if lo == prev_line and lo == hi and not conf:
                 hits += 1  # collapsed: out[i] is already l1_lat
                 continue
             if conf:
-                targets: "list[int]" = []
-                target = addr_i
-                for _ in range(degree):
-                    target += stride
-                    if target >= 0:
-                        target_line = target & not_mask
-                        if (
-                            target_line < lo or target_line > hi
-                        ) and target_line not in targets:
-                            targets.append(target_line)
-                if targets:
-                    issued += len(targets)
-                    l1._clock = clock
-                    for pf_line in targets:
-                        if pf_line not in slot_of:
-                            fill_from_l2(pf_line, stream_id, prefetch=True)
-                    clock = l1._clock
+                if stride > 0 and addr_i >= 0:
+                    # The candidate lines depend only on the position
+                    # within the demand line, the stride, and the demand
+                    # span — memoize the line-relative offsets instead of
+                    # re-scanning `degree` targets for every lane.
+                    rkey = (addr_i - lo, stride, hi - lo)
+                    rels = rel_cache.get(rkey)
+                    if rels is None:
+                        scan = []
+                        target = addr_i
+                        span = hi - lo
+                        for _ in range(degree):
+                            target += stride
+                            rel = (target & not_mask) - lo
+                            if (rel < 0 or rel > span) and rel not in scan:
+                                scan.append(rel)
+                        rels = rel_cache[rkey] = tuple(scan)
+                    if rels:
+                        issued += len(rels)
+                        l1._clock = clock
+                        for rel in rels:
+                            pf_line = lo + rel
+                            if pf_line not in slot_of:
+                                fill_from_l2(pf_line, stream_id, prefetch=True)
+                        clock = l1._clock
+                else:
+                    targets: "list[int]" = []
+                    target = addr_i
+                    for _ in range(degree):
+                        target += stride
+                        if target >= 0:
+                            target_line = target & not_mask
+                            if (
+                                target_line < lo or target_line > hi
+                            ) and target_line not in targets:
+                                targets.append(target_line)
+                    if targets:
+                        issued += len(targets)
+                        l1._clock = clock
+                        for pf_line in targets:
+                            if pf_line not in slot_of:
+                                fill_from_l2(pf_line, stream_id, prefetch=True)
+                        clock = l1._clock
             if lo == hi:
                 prev_line = lo
                 slot = slot_get(lo)

@@ -1,0 +1,1069 @@
+"""Pluggable codegen backends for the replay JIT.
+
+:mod:`repro.vector.program` lowers a captured trace to a backend-neutral
+:class:`KernelIR` (the head/body/tail source lines plus everything known
+about the recording's register slots); a :class:`Backend` turns that IR
+into the callable kernel.  Three backends are registered:
+
+``numpy``
+    The seed behavior: compile the neutral source verbatim.  One
+    temporary array is allocated per op and every guard predicate pays
+    a separate ``.any()``/``.all()`` reduction.
+
+``numpy-opt`` (the default)
+    A source-level optimizer over the same neutral source:
+
+    * **CSE** — structurally identical pure right-hand sides are
+      replaced with an alias of the first computation (invalidated the
+      moment any operand is reassigned, so predicated merges never
+      serve stale values).
+    * **Dead-temporary elimination** — pure computes whose slot is
+      never read again are dropped before any buffers are leased.
+    * **Guard fusion** — a ``dN.any()`` / ``dN.all()`` pair on the same
+      predicate becomes one ``count_nonzero`` (the single biggest win
+      on small lane counts: one C reduction instead of two Python
+      method chains).
+    * **``out=``-rewriting into a scratch-buffer arena** — every
+      unconditional compute of a non-escaping slot writes into a
+      pooled, dtype-stable buffer leased from :data:`ARENA`, so
+      steady-state replay allocates zero new arrays.  ``np.minimum`` /
+      ``np.maximum`` take the ``out=`` keyword (their positional third
+      argument is a deprecated slow path); every other ufunc takes it
+      positionally.
+    * **Loop unrolling x2** — loop-in-kernel bodies alternate between
+      two arena buffer sets so iteration ``i+1``'s writes can never
+      clobber values carried from iteration ``i``; the carried arrays
+      are copied out once per *call* (not per iteration) before they
+      escape through the return tuple.
+
+``numba``
+    Optional: CSE + DTE, then maximal straight-line ALU runs are lifted
+    into ``@njit`` helper functions.  Import-guarded — when numba is
+    missing (or a segment fails to compile at first call) the emit
+    falls back to ``numpy-opt`` and the downgrade is metered on
+    ``backend_fallbacks``.
+
+Every backend is stats-identity gated by the conformance grid: the
+rewrites above change *how* values are computed, never the values, the
+clock arithmetic, or the counter updates.
+
+Emitted kernels are memoized per backend on the neutral source (the
+same key the fleet executor buckets on) and persisted to a CRC-guarded
+on-disk cache under ``.repro_cache/kernels/`` — see
+:func:`kernel_cache.load` for the corruption-tolerant load path.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+import warnings
+from operator import xor
+
+import numpy as np
+
+from repro.vector import kernel_cache
+
+# numpy's ``count_nonzero`` wrapper costs ~4x the C routine on small
+# arrays (dispatcher + axis handling); fused guards sit on the hottest
+# per-iteration path, so bind the raw builtin when the private module
+# layout allows it.
+try:  # numpy >= 2.0
+    from numpy._core._multiarray_umath import count_nonzero as _count_nonzero
+except ImportError:  # pragma: no cover - numpy 1.x layout
+    try:
+        from numpy.core._multiarray_umath import count_nonzero as _count_nonzero
+    except ImportError:
+        _count_nonzero = np.count_nonzero
+
+__all__ = [
+    "ARENA",
+    "BACKEND_NAMES",
+    "CODEGEN_METER",
+    "DEFAULT_BACKEND",
+    "KernelIR",
+    "available_backends",
+    "resolve_backend",
+]
+
+I = "    "
+
+
+# ----------------------------------------------------------------------
+# Meter
+# ----------------------------------------------------------------------
+class CodegenMeter:
+    """Counters for the codegen layer, merged into ``REPLAY_METER``
+    snapshots (see :meth:`repro.vector.program.ReplayMeter.snapshot`).
+
+    ``backend`` is the name used by the most recent emit; ``backends``
+    counts emits per backend name (a fallback emit counts under the
+    backend that actually ran).  ``compile_s`` accumulates wall time
+    spent lowering + compiling + binding — the compile half of the
+    compile-vs-run split the bench harness subtracts out.
+    """
+
+    __slots__ = (
+        "backend",
+        "backends",
+        "kernel_cache_hits",
+        "kernel_cache_misses",
+        "kernel_compiles",
+        "backend_fallbacks",
+        "compile_s",
+    )
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.backend = ""
+        self.backends: dict = {}
+        self.kernel_cache_hits = 0
+        self.kernel_cache_misses = 0
+        self.kernel_compiles = 0
+        self.backend_fallbacks = 0
+        self.compile_s = 0.0
+
+
+CODEGEN_METER = CodegenMeter()
+
+
+# ----------------------------------------------------------------------
+# Scratch-buffer arena
+# ----------------------------------------------------------------------
+class ScratchArena:
+    """Per-session pool of kernel scratch buffers.
+
+    Buffers are leased by ``(dtype, shape, ordinal)`` — programs with
+    the same temporary profile share storage (kernels never nest, so a
+    buffer is only live inside one call).  The arena is never shrunk;
+    ``arena_bytes`` in the replay meter reports the live total.
+    """
+
+    __slots__ = ("_buffers", "nbytes")
+
+    def __init__(self):
+        self._buffers: dict = {}
+        self.nbytes = 0
+
+    def lease(self, key, shape, dtype) -> np.ndarray:
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buf
+            self.nbytes += buf.nbytes
+        return buf
+
+    def clear(self) -> None:
+        self._buffers.clear()
+        self.nbytes = 0
+
+
+ARENA = ScratchArena()
+
+
+# ----------------------------------------------------------------------
+# Kernel IR
+# ----------------------------------------------------------------------
+class KernelIR:
+    """Backend-neutral compiled-trace form.
+
+    ``head``/``body``/``tail`` are the neutral source lines exactly as
+    the seed emitter produced them; ``source`` (their join) is the
+    identity key — for the in-memory and on-disk kernel caches and for
+    fleet bucketing.  ``temps`` maps every non-input, non-external slot
+    to its ``(shape, dtype)`` so backends can lease arena storage;
+    shapes are per-recording, never persisted.  ``outs`` names the
+    subset of ``temps`` that escapes through the return tuple: such a
+    slot may only take an arena buffer in loop mode, where the escape
+    copy (:func:`_copy_escapes`) protects the caller.
+    """
+
+    __slots__ = (
+        "head", "body", "tail", "env", "temps", "outs", "loop", "source",
+    )
+
+    def __init__(self, head, body, tail, env, temps, loop=False,
+                 outs=frozenset()):
+        self.head = head
+        self.body = body
+        self.tail = tail
+        self.env = env
+        self.temps = temps
+        self.outs = outs
+        self.loop = loop
+        self.source = "\n".join(head + body + tail) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Optimizer passes (shared by numpy-opt and numba lowering)
+# ----------------------------------------------------------------------
+#: ``dN = rhs`` at any indent (merges and computes alike).
+_ASSIGN_RE = re.compile(r"^(\s*)d(\d+) = (.*)$")
+#: Predicated merge form the emitter wraps around masked computes.
+_COND_RE = re.compile(r"^(\s*)if not g(\d+): d(\d+) = (.*)$")
+#: Every assignment target on a line, including sliced stores.
+_TARGET_RE = re.compile(r"\bd(\d+)(?:\[[^\]]*\])?\s*=(?!=)")
+#: Identifier tokens of an rhs, for the purity whitelist.
+_TOKEN_RE = re.compile(r"[A-Za-z_]\w*")
+#: Pure-rhs vocabulary: slot reads, baked constants, parameters, and
+#: the allocation-returning kernel primitives.  Anything else (``tw``,
+#: buffer methods, machine calls) marks the line impure.
+_PURE_TOKEN = re.compile(r"^(?:d\d+|x\d+|_k\d+|p|_b_\w+|_c_\w+|_wh|_i64|_full|_ctz|_clz|_rbit)$")
+
+_MERGE_RE = re.compile(r"^_wh\(d(\d+), d(\d+), d(\d+)\)$")
+_CALL_RE = re.compile(r"^(_b_\w+|_c_\w+|_ctzs)\((.*)\)$")
+_FULL_RE = re.compile(r"^_full\(\d+, (.*)\)$")
+_ZI64_RE = re.compile(r"^_zi64\(\d+\)$")
+_BOOL2_RE = re.compile(r"^d(\d+) ([&|]) d(\d+)$")
+_NOT_RE = re.compile(r"^~d(\d+)$")
+_IOTA_RE = re.compile(r"^(.+) \+ (x\d+)$")
+_WHILELT_RE = re.compile(r"^(x\d+) < tw$")
+#: ``np.minimum``/``np.maximum``: positional out is a deprecated slow
+#: path, so these two get the keyword form.
+_KW_OUT = ("_b_min", "_b_max")
+
+
+def _is_pure(rhs: str) -> bool:
+    return all(_PURE_TOKEN.match(t) for t in _TOKEN_RE.findall(rhs))
+
+
+def _cse_pass(body, temps):
+    """Replace repeated pure right-hand sides with an alias of the
+    first compute.  An expression only serves as a source while its
+    producing slot still holds exactly that value: any reassignment of
+    the slot or of an operand (a merge, a rebinding, a masked store)
+    invalidates the entry before the new mapping is inserted."""
+    exprmap: dict = {}
+    out = []
+    for line in body:
+        targets = {int(t) for t in _TARGET_RE.findall(line)}
+        if targets:
+            dead = [
+                rhs
+                for rhs, slot in exprmap.items()
+                if slot in targets
+                or any(int(t[1:]) in targets
+                       for t in _TOKEN_RE.findall(rhs) if t[0] == "d")
+            ]
+            for rhs in dead:
+                del exprmap[rhs]
+        m = _ASSIGN_RE.match(line)
+        if m and _is_pure(m.group(3)):
+            slot, rhs = int(m.group(2)), m.group(3)
+            prev = exprmap.get(rhs)
+            if prev is not None and slot in temps:
+                out.append(f"{m.group(1)}d{slot} = d{prev}")
+                continue
+            if prev is None:
+                exprmap[rhs] = slot
+        out.append(line)
+    return out
+
+
+def _dte_pass(head, body, tail, temps, base):
+    """Drop pure computes of temporaries that are never read again.
+    Fixpoint: removing one line can orphan its operands' computes."""
+    while True:
+        text = "\n".join(head + body + tail)
+        reads: dict = {}
+        for t in re.findall(r"\bd(\d+)\b", text):
+            reads[int(t)] = reads.get(int(t), 0) + 1
+        kept = []
+        dropped = False
+        for line in body:
+            m = _ASSIGN_RE.match(line)
+            if (
+                m
+                and m.group(1) == base
+                and int(m.group(2)) in temps
+                and _is_pure(m.group(3))
+            ):
+                slot = int(m.group(2))
+                self_reads = sum(
+                    1 for t in _TOKEN_RE.findall(m.group(3))
+                    if t == f"d{slot}"
+                )
+                if reads.get(slot, 0) == 1 + self_reads:
+                    dropped = True
+                    continue
+            kept.append(line)
+        body = kept
+        if not dropped:
+            return body
+
+
+def _fuse_guards(lines):
+    """One ``count_nonzero`` instead of an ``any()``/``all()`` pair.
+
+    The emitter's guard shapes::
+
+        if not dN.any():            ->  tz = _nz(dN)
+            ...                         if not tz:
+        if not (dN.all()): ...      ->  if tz != dN.size: ...
+        gN = bool(dN.all())         ->  gN = tz == dN.size
+        if not dN.all(): return ... ->  if _nz(dN) != dN.size: return ...
+
+    ``tz`` is only trusted between the ``.any()`` site and the next
+    write of ``dN`` — within one guard block that is guaranteed (the
+    guard precedes every compute).
+    """
+    out = []
+    counted: str | None = None
+    for line in lines:
+        stripped = line.strip()
+        indent = line[: len(line) - len(stripped)]
+        m = re.match(r"^if not d(\d+)\.any\(\):$", stripped)
+        if m:
+            counted = m.group(1)
+            out.append(f"{indent}tz = _nz(d{counted})")
+            out.append(f"{indent}if not tz:")
+            continue
+        if counted is not None:
+            m = re.match(
+                r"^if not \(d(\d+)\.all\(\)\): (.*)$", stripped
+            )
+            if m and m.group(1) == counted:
+                out.append(
+                    f"{indent}if tz != d{counted}.size: {m.group(2)}"
+                )
+                continue
+            m = re.match(r"^g(\d+) = bool\(d(\d+)\.all\(\)\)$", stripped)
+            if m and m.group(2) == counted:
+                out.append(
+                    f"{indent}g{m.group(1)} = tz == d{counted}.size"
+                )
+                continue
+        m = re.match(r"^if not d(\d+)\.all\(\): return None$", stripped)
+        if m:
+            out.append(
+                f"{indent}if _nz(d{m.group(1)}) != d{m.group(1)}.size: "
+                "return None"
+            )
+            continue
+        m = re.match(r"^g(\d+) = bool\(d(\d+)\.all\(\)\)$", stripped)
+        if m:
+            out.append(
+                f"{indent}g{m.group(1)} = _nz(d{m.group(2)}) == "
+                f"d{m.group(2)}.size"
+            )
+            continue
+        out.append(line)
+    return out
+
+
+def _arena_pass(lines, temps, base, suffix, bufs):
+    """``out=``-rewrite unconditional computes of non-escaping slots
+    into arena buffers.
+
+    ``owned`` tracks slots whose current binding *is* their arena
+    buffer: merges into an owned slot can mutate in place
+    (``_mk``), merges into a fresh ufunc result go through ``_selo``.
+    Conditional lines only rewrite forms that are safe regardless of
+    whether the branch runs (the merge family — their unconditional
+    compute always precedes them).
+    """
+    owned: set = set()
+    out = []
+
+    def buf(slot):
+        bufs.add(("t", slot, suffix))
+        return f"_t{slot}{suffix}"
+
+    def mask(slot):
+        bufs.add(("m", slot, suffix))
+        return f"_m{slot}{suffix}"
+
+    def rewrite(slot, rhs, cond):
+        t = f"_t{slot}{suffix}"
+        m = _MERGE_RE.match(rhs)
+        if m:
+            p, mid, a = (int(g) for g in m.groups())
+            if mid == slot:
+                if slot in owned:
+                    return (
+                        f"d{slot} = _mk(d{slot}, d{a}, d{p}, {mask(slot)})"
+                    )
+                owned.add(slot)
+                return (
+                    f"d{slot} = _selo({buf(slot)}, d{p}, d{slot}, d{a})"
+                )
+            if not cond:
+                owned.add(slot)
+                return f"d{slot} = _selo({buf(slot)}, d{p}, d{mid}, d{a})"
+            return None
+        m = _BOOL2_RE.match(rhs)
+        if m:
+            fn = "_b_and" if m.group(2) == "&" else "_b_or"
+            if not cond:
+                owned.add(slot)
+            elif slot not in owned:
+                return None
+            return (
+                f"d{slot} = {fn}(d{m.group(1)}, d{m.group(3)}, "
+                f"{buf(slot)})"
+            )
+        if cond:
+            return None
+        m = _CALL_RE.match(rhs)
+        if m:
+            owned.add(slot)
+            if m.group(1) in _KW_OUT:
+                return f"d{slot} = {m.group(1)}({m.group(2)}, out={buf(slot)})"
+            return f"d{slot} = {m.group(1)}({m.group(2)}, {buf(slot)})"
+        m = _FULL_RE.match(rhs)
+        if m:
+            owned.add(slot)
+            return f"d{slot} = _fl({buf(slot)}, {m.group(1)})"
+        if _ZI64_RE.match(rhs):
+            owned.add(slot)
+            return f"d{slot} = _fl({buf(slot)}, 0)"
+        m = _NOT_RE.match(rhs)
+        if m:
+            owned.add(slot)
+            return f"d{slot} = _inv(d{m.group(1)}, {buf(slot)})"
+        m = _IOTA_RE.match(rhs)
+        if m and _is_pure(rhs):
+            owned.add(slot)
+            return f"d{slot} = _b_add({m.group(2)}, {m.group(1)}, {buf(slot)})"
+        m = _WHILELT_RE.match(rhs)
+        if m:
+            owned.add(slot)
+            return f"d{slot} = _c_lt({m.group(1)}, tw, {buf(slot)})"
+        return None
+
+    for line in lines:
+        cm = _COND_RE.match(line)
+        m = _ASSIGN_RE.match(line)
+        if cm and cm.group(1) == base:
+            slot = int(cm.group(3))
+            if slot in temps:
+                new = rewrite(slot, cm.group(4), cond=True)
+                if new is not None:
+                    out.append(f"{base}if not g{cm.group(2)}: {new}")
+                    continue
+        elif m and m.group(1) == base:
+            slot = int(m.group(2))
+            if slot in temps:
+                new = rewrite(slot, m.group(3), cond=False)
+                if new is not None:
+                    out.append(base + new)
+                    continue
+        out.append(line)
+    return out
+
+
+def _cheap_scalar_min(lines):
+    """``int(ti.min())`` -> ``min(ti.tolist())``.
+
+    The gather range guard only needs the smallest index as a Python
+    scalar; at kernel lane counts a ``tolist`` + builtin ``min`` is
+    ~5x cheaper than the ufunc reduction machinery.  ``ti`` is always
+    freshly assigned on the preceding line and ``tn`` short-circuits
+    the empty case, so the rewrite is purely mechanical.
+    """
+    return [
+        line.replace("int(ti.min())", "min(ti.tolist())") for line in lines
+    ]
+
+
+_WINDOWS_RE = re.compile(r"\bx(\d+)\.packed_windows\(\)")
+
+
+def _hoist_windows(head, body, loop):
+    """Hoist loop-invariant ``xN.packed_windows()`` lookups to the head.
+
+    The packed-window table is cached on the buffer and invalidated by
+    writes, so the hoist is only sound when nothing in the kernel can
+    write the buffer — conservatively: when ``packed_windows`` is the
+    *only* attribute the kernel ever touches on ``xN``.  Applied to
+    loop kernels only (a straight-line kernel evaluates the lookup once
+    either way).
+    """
+    if not loop:
+        return head, body
+    text = "\n".join(head + body)
+    repl = {}
+    for n in sorted({int(g) for g in _WINDOWS_RE.findall(text)}):
+        if set(re.findall(rf"\bx{n}\.(\w+)", text)) == {"packed_windows"}:
+            repl[f"x{n}.packed_windows()"] = f"_win{n}"
+    if not repl:
+        return head, body
+
+    def sub(line):
+        for old, new in repl.items():
+            if old in line:
+                line = line.replace(old, new)
+        return line
+
+    body = [sub(line) for line in body]
+    wi = head.index(I + "while True:")
+    hoists = [
+        f"{I}{new} = {old}" for old, new in sorted(repl.items())
+    ]
+    return head[:wi] + hoists + head[wi:], body
+
+
+_CTZ_LINE_RE = re.compile(r"^(\s*)d(\d+) = _ctz\(d(\d+)\)$")
+
+
+def _fuse_ctz(lines, temps, env):
+    """``dB = xor(dX, dY); dA = _ctz(dB); dC = shr(dA, xK)`` -> one
+    ``_ctzs`` call.
+
+    ``_ctz`` already pays a tolist round-trip at kernel lane counts, so
+    folding the feeding xor and the consuming constant shift into its
+    per-lane loop deletes two whole ufunc dispatches.  Applies only when
+    both intermediates are single-use non-escaping temps, their operands
+    are not reassigned in between, and the shift is a baked scalar
+    (Python-int bitwise math is exact for in-range int64 lanes).
+    """
+    text = "\n".join(lines)
+    out = list(lines)
+    for i, line in enumerate(lines):
+        m = _CTZ_LINE_RE.match(line)
+        if not m:
+            continue
+        indent, a, b = m.group(1), int(m.group(2)), int(m.group(3))
+        if a not in temps or b not in temps:
+            continue
+        if len(re.findall(rf"\bd{a}\b", text)) != 2:
+            continue
+        if len(re.findall(rf"\bd{b}\b", text)) != 2:
+            continue
+        xor = shr = None
+        for j, other in enumerate(lines):
+            xm = re.match(rf"^\s*d{b} = _b_xor\(d(\d+), d(\d+)\)$", other)
+            if xm:
+                xor = (j, int(xm.group(1)), int(xm.group(2)))
+            sm = re.match(rf"^\s*d(\d+) = _b_shr\(d{a}, (x\d+)\)$", other)
+            if sm:
+                shr = (j, int(sm.group(1)), sm.group(2))
+        if xor is None or shr is None or not xor[0] < i < shr[0]:
+            continue
+        if np.ndim(env.get(shr[2])) != 0:
+            continue
+        stable = True
+        for j in range(xor[0] + 1, shr[0]):
+            if j == i:
+                continue
+            for t in _TARGET_RE.findall(lines[j]):
+                if int(t) in (xor[1], xor[2]):
+                    stable = False
+        if not stable:
+            continue
+        out[xor[0]] = None
+        out[i] = None
+        out[shr[0]] = (
+            f"{indent}d{shr[1]} = _ctzs(d{xor[1]}, d{xor[2]}, {shr[2]})"
+        )
+    return [line for line in out if line is not None]
+
+
+_IMEM_RE = re.compile(r"_mach\._indexed_memory\(x(\d+), ")
+
+
+def _fast_imem(lines, imem):
+    """Retarget generic ``_mach._indexed_memory(xN, ...)`` issues at a
+    per-buffer specialized entry (``_imfN``) with the buffer geometry
+    baked in.  The fast entry preserves the generic path's statistics,
+    tracer events, and the non-batched fallback exactly."""
+    out = []
+    for line in lines:
+        for n in _IMEM_RE.findall(line):
+            imem.add(int(n))
+        out.append(_IMEM_RE.sub(lambda m: f"_imf{m.group(1)}(_mach, ", line))
+    return out
+
+
+def _make_fast_imem(buf):
+    from repro.vector.machine import MEM_MODEL_CLOCK
+
+    base = buf.base
+    eb = buf.elem_bytes
+
+    def _imf(mach, indices, size_bytes, sid):
+        if not mach.use_batched_memory:
+            return mach._indexed_memory(buf, indices, size_bytes, sid)
+        lst = indices if type(indices) is list else indices.tolist()
+        m = len(lst)
+        if not m:
+            return 0
+        if m > 1:
+            if eb == 1:
+                addrs = [base + i for i in lst]
+            else:
+                addrs = [base + i * eb for i in lst]
+            t0 = time.perf_counter()
+            worst = mach.mem.access_batch_max(addrs, size_bytes, sid)
+        else:
+            t0 = time.perf_counter()
+            worst = mach.mem.access(base + lst[0] * eb, size_bytes, sid)
+        MEM_MODEL_CLOCK.s += time.perf_counter() - t0
+        tr = mach.tracer
+        if tr is not None:
+            tr.record(
+                "membatch", "memory", mach.clock, latency=worst, lanes=m
+            )
+        return worst
+
+    return _imf
+
+
+_RG_GUARD_RE = re.compile(
+    r"^(\s*)if tn and min\(ti\.tolist\(\)\) < 0: _rg64\(x(\d+), ti\)$"
+)
+_TI_ASSIGN_RE = re.compile(r"^\s*ti = ")
+_IMF_CALL_RE = re.compile(r"^\s*tw = _imf(\d+)\(_mach, ti, ")
+
+
+def _share_tolist(lines):
+    """The gather range guard and the memory issue both need the lane
+    indices as a Python list; materialise it once (``tj``) per gather
+    and hand it to both.
+
+    Applies per ``_imfN`` issue when every ``ti`` rebinding since the
+    previous issue feeds a matching guard two lines later (the two
+    emitter branches), so ``tj`` is bound on every path into the call.
+    """
+    out = list(lines)
+    start = 0
+    for c, line in enumerate(lines):
+        cm = _IMF_CALL_RE.match(line)
+        if cm is None:
+            continue
+        n = cm.group(1)
+        guards = []
+        ok = True
+        for j in range(start, c):
+            gm = _RG_GUARD_RE.match(lines[j])
+            if gm is not None and gm.group(2) == n:
+                guards.append(j)
+            elif _TI_ASSIGN_RE.match(lines[j]):
+                gm2 = _RG_GUARD_RE.match(lines[j + 2]) if j + 2 < c else None
+                if gm2 is None or gm2.group(2) != n:
+                    ok = False
+                    break
+        start = c + 1
+        if not ok or not guards:
+            continue
+        for g in guards:
+            ind = _RG_GUARD_RE.match(lines[g]).group(1)
+            out[g] = (
+                f"{ind}tj = ti.tolist()\n"
+                f"{ind}if tn and min(tj) < 0: _rg64(x{n}, ti)"
+            )
+        out[c] = line.replace(f"_imf{n}(_mach, ti, ", f"_imf{n}(_mach, tj, ")
+    return "\n".join(out).split("\n")
+
+
+_RET_SLOT_RE = re.compile(r"_[vp]w\(d(\d+)")
+
+
+def _copy_escapes(tail, bufs):
+    """Loop kernels hand carried state back through the return tuple;
+    when that state may live in an arena buffer it must be copied out
+    once per call, or the next kernel's scratch writes would corrupt
+    the caller's registers."""
+    if not bufs:
+        return tail
+    out = []
+    for line in tail:
+        stripped = line.strip()
+        if stripped.startswith("return ("):
+            indent = line[: len(line) - len(stripped)]
+            for slot in dict.fromkeys(_RET_SLOT_RE.findall(stripped)):
+                out.append(f"{indent}d{slot} = d{slot}.copy()")
+        out.append(line)
+    return out
+
+
+def _helpers_env():
+    """Names the optimized source may reference beyond the neutral set."""
+
+    def _fl(t, v):
+        t.fill(v)
+        return t
+
+    def _selo(t, p, a, b):
+        np.copyto(t, b)
+        np.copyto(t, a, where=p)
+        return t
+
+    def _mk(dst, other, p, m):
+        np.logical_not(p, out=m)
+        np.copyto(dst, other, where=m)
+        return dst
+
+    def _ctzs(a, b, s, out=None):
+        # ctz(a ^ b) >> s per 64-bit lane; mirrors machine._ctz_values
+        # (ctz(0) == 64) on exact Python ints, shift folded in.
+        s = int(s)
+        z = 64 >> s
+        vals = [
+            ((v & -v).bit_length() - 1) >> s if v else z
+            for v in map(xor, a.tolist(), b.tolist())
+        ]
+        if out is None:
+            return np.array(vals, dtype=np.int64)
+        out[:] = vals
+        return out
+
+    return {
+        "_nz": _count_nonzero,
+        "_fl": _fl,
+        "_selo": _selo,
+        "_mk": _mk,
+        "_ctzs": _ctzs,
+        "_inv": np.invert,
+    }
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class _SourceBackend:
+    """Shared emit flow: memory cache -> disk cache -> lower+compile.
+
+    ``_lower`` maps the IR to (optimized source, meta); ``_bind``
+    injects backend-specific env bindings (arena buffers, helpers)
+    before the per-program ``exec``.  Both caches key on the *neutral*
+    source, so structurally identical blocks from different machines
+    share bytecode exactly as the seed's ``_CODE_CACHE`` did.
+    """
+
+    name = "base"
+    cache_version = 1
+
+    def __init__(self):
+        self._memory: dict = {}
+
+    def _lower(self, ir: KernelIR):
+        raise NotImplementedError
+
+    def _bind(self, env: dict, ir: KernelIR, meta: dict) -> None:
+        pass
+
+    def emit(self, ir: KernelIR):
+        CODEGEN_METER.backend = self.name
+        CODEGEN_METER.backends[self.name] = (
+            CODEGEN_METER.backends.get(self.name, 0) + 1
+        )
+        entry = self._memory.get(ir.source)
+        if entry is not None:
+            CODEGEN_METER.kernel_cache_hits += 1
+            code, meta = entry
+        else:
+            digest = kernel_cache.digest(
+                self.name, self.cache_version, ir.source
+            )
+            cached = kernel_cache.load(digest)
+            if cached is not None:
+                CODEGEN_METER.kernel_cache_hits += 1
+                code, meta = cached["code"], cached["meta"]
+            else:
+                CODEGEN_METER.kernel_cache_misses += 1
+                CODEGEN_METER.kernel_compiles += 1
+                start = time.perf_counter()
+                source, meta = self._lower(ir)
+                code = compile(source, "<recorded-program>", "exec")
+                CODEGEN_METER.compile_s += time.perf_counter() - start
+                kernel_cache.store(digest, self.name, code, meta)
+            if len(self._memory) >= 256:
+                self._memory.clear()
+            self._memory[ir.source] = (code, meta)
+        env = ir.env
+        self._bind(env, ir, meta)
+        namespace: dict = {}
+        exec(code, env, namespace)
+        # Top-level helper defs (the numba backend's lifted segments)
+        # bind into the exec locals, but ``_rp`` resolves free names
+        # through ``env`` — promote them so the kernel can see them.
+        for key, value in namespace.items():
+            if key != "_rp":
+                env[key] = value
+        return namespace["_rp"]
+
+
+class NumpyBackend(_SourceBackend):
+    """Seed behavior: the neutral source, verbatim."""
+
+    name = "numpy"
+    cache_version = 1
+
+    def _lower(self, ir: KernelIR):
+        return ir.source, {}
+
+
+class NumpyOptBackend(_SourceBackend):
+    """Optimizing source backend (see module docstring for the passes)."""
+
+    name = "numpy-opt"
+    cache_version = 3
+
+    def _lower(self, ir: KernelIR):
+        head = list(ir.head)
+        tail = list(ir.tail)
+        bufs: set = set()
+        imem: set = set()
+        # Output slots never serve as CSE/DTE material (an alias could
+        # outlive a later in-place store), but in loop mode they may
+        # take arena buffers: the carried values escape only through
+        # the return tuple, which _copy_escapes protects.
+        plain = {s: v for s, v in ir.temps.items() if s not in ir.outs}
+        if ir.loop:
+            base = I * 2
+            body = _cse_pass(ir.body, plain)
+            body = _dte_pass(head, body, tail, plain, base)
+            wi = head.index(I + "while True:")
+            per = _cheap_scalar_min(_fuse_guards(head[wi + 1:] + body))
+            per = _fuse_ctz(per, plain, ir.env)
+            per = _share_tolist(_fast_imem(per, imem))
+            head = head[:wi + 1]
+            body = _arena_pass(per, ir.temps, base, "", bufs)
+            body += _arena_pass(per, ir.temps, base, "b", bufs)
+            head, body = _hoist_windows(head, body, loop=True)
+            tail = _copy_escapes(tail, bufs)
+        else:
+            base = I
+            body = _cse_pass(ir.body, plain)
+            body = _dte_pass(head, body, tail, plain, base)
+            head = _fuse_guards(head)
+            body = _cheap_scalar_min(body)
+            body = _fuse_ctz(body, plain, ir.env)
+            body = _share_tolist(_fast_imem(body, imem))
+            body = _arena_pass(body, plain, base, "", bufs)
+        source = "\n".join(head + body + tail) + "\n"
+        return source, {"bufs": sorted(bufs), "imem": sorted(imem)}
+
+    def _bind(self, env: dict, ir: KernelIR, meta: dict) -> None:
+        env.update(_helpers_env())
+        counters: dict = {}
+        for kind, slot, suffix in meta.get("bufs", ()):
+            shape, dtype = ir.temps[slot]
+            if kind == "m":
+                dtype = "bool"
+            pkey = (kind, dtype, tuple(shape), suffix)
+            ordinal = counters.get(pkey, 0)
+            counters[pkey] = ordinal + 1
+            env[f"_{kind}{slot}{suffix}"] = ARENA.lease(
+                pkey + (ordinal,), shape, dtype
+            )
+        for n in meta.get("imem", ()):
+            env[f"_imf{n}"] = _make_fast_imem(env[f"x{n}"])
+
+
+#: Segment-liftable rhs vocabulary: slot reads, baked array/scalar
+#: constants, and plain ufunc calls — everything numba's nopython mode
+#: handles without the machine in scope.
+_SEG_TOKEN = re.compile(r"^(?:d\d+|x\d+|_b_\w+|_c_\w+|_wh)$")
+_MIN_SEGMENT = 4
+
+
+def _seg_liftable(line, base):
+    m = _ASSIGN_RE.match(line)
+    return (
+        m is not None
+        and m.group(1) == base
+        and all(_SEG_TOKEN.match(t) for t in _TOKEN_RE.findall(m.group(3)))
+    )
+
+
+def _lift_segments(body, base, after_text):
+    """Lift maximal runs of straight-line pure ALU assignments into
+    helper functions wrapped by ``_nj`` (the guarded jit decorator).
+
+    Inputs are names read before being defined inside the run (plus
+    baked ``x`` constants); outputs are slots defined in the run and
+    read after it (in the remaining body or the tail).  Runs shorter
+    than ``_MIN_SEGMENT`` stay inline — the call overhead would eat
+    the compiled win.
+    """
+    # Collect maximal liftable runs as (start, end) index spans first,
+    # so each flush can see the text that follows it.
+    spans = []
+    start = None
+    for idx, line in enumerate(body):
+        if _seg_liftable(line, base):
+            if start is None:
+                start = idx
+        elif start is not None:
+            spans.append((start, idx))
+            start = None
+    if start is not None:
+        spans.append((start, len(body)))
+    spans = [s for s in spans if s[1] - s[0] >= _MIN_SEGMENT]
+
+    helpers: list = []
+    out = []
+    cursor = 0
+    for seg, (lo, hi) in enumerate(spans):
+        out.extend(body[cursor:lo])
+        cursor = hi
+        run = body[lo:hi]
+        defined: list = []
+        inputs: list = []
+        for line in run:
+            m = _ASSIGN_RE.match(line)
+            for tok in _TOKEN_RE.findall(m.group(3)):
+                if tok[0] in "dx" and tok[1:].isdigit():
+                    if tok[0] == "d" and tok[1:] in defined:
+                        continue
+                    if tok not in inputs:
+                        inputs.append(tok)
+            if m.group(2) not in defined:
+                defined.append(m.group(2))
+        rest = "\n".join(body[hi:]) + "\n" + after_text
+        later = set(re.findall(r"\bd(\d+)\b", rest))
+        outputs = [s for s in defined if s in later]
+        if not outputs:
+            out.extend(run)
+            continue
+        fn = f"_sg{seg}"
+        helpers.append(f"def {fn}({', '.join(inputs)}):")
+        for line in run:
+            helpers.append(I + line.strip())
+        helpers.append(
+            I + "return " + ", ".join(f"d{s}" for s in outputs)
+            + ("," if len(outputs) == 1 else "")
+        )
+        helpers.append(f"{fn} = _nj({fn})")
+        call = f"{fn}({', '.join(inputs)})"
+        targets = ", ".join(f"d{s}" for s in outputs)
+        if len(outputs) == 1:
+            out.append(f"{base}{targets}, = {call}")
+        else:
+            out.append(f"{base}{targets} = {call}")
+    out.extend(body[cursor:])
+    return out, helpers
+
+
+def _guarded_jit(jit):
+    """Per-segment lazy compile with graceful per-segment fallback:
+    numba's typing failures surface at first call, so the wrapper tries
+    the jitted form once and pins the plain-python original (metering
+    the downgrade) if it raises."""
+
+    def deco(fn):
+        jitted = jit(fn)
+        state = {"impl": None}
+
+        def call(*args):
+            impl = state["impl"]
+            if impl is not None:
+                return impl(*args)
+            try:
+                result = jitted(*args)
+            except Exception:
+                CODEGEN_METER.backend_fallbacks += 1
+                state["impl"] = fn
+                return fn(*args)
+            state["impl"] = jitted
+            return result
+
+        return call
+
+    return deco
+
+
+class NumbaBackend(_SourceBackend):
+    """Optional ``@njit`` segment backend.
+
+    Constructed lazily around the real numba import; tests can inject
+    a stand-in ``jit`` (e.g. the identity) to exercise segment lifting
+    without the dependency.  With numba absent every emit falls back
+    to ``numpy-opt`` with a one-time warning and a meter bump.
+    """
+
+    name = "numba"
+    cache_version = 1
+
+    def __init__(self, jit=None):
+        super().__init__()
+        self._jit = jit
+        self._probed = jit is not None
+        self._warned = False
+
+    @property
+    def available(self) -> bool:
+        if not self._probed:
+            self._probed = True
+            try:
+                from numba import njit
+            except Exception:
+                self._jit = None
+            else:
+                self._jit = njit(cache=False)
+        return self._jit is not None
+
+    def emit(self, ir: KernelIR):
+        if not self.available:
+            CODEGEN_METER.backend_fallbacks += 1
+            if not self._warned:
+                self._warned = True
+                warnings.warn(
+                    "numba backend requested but numba is not "
+                    "importable; falling back to numpy-opt",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return _BACKENDS["numpy-opt"].emit(ir)
+        return super().emit(ir)
+
+    def _lower(self, ir: KernelIR):
+        base = I * 2 if ir.loop else I
+        plain = {s: v for s, v in ir.temps.items() if s not in ir.outs}
+        body = _cse_pass(ir.body, plain)
+        body = _dte_pass(
+            list(ir.head), body, list(ir.tail), plain, base
+        )
+        after_text = "\n".join(ir.tail)
+        body, helpers = _lift_segments(body, base, after_text)
+        source = "\n".join(helpers + list(ir.head) + body + list(ir.tail))
+        return source + "\n", {}
+
+    def _bind(self, env: dict, ir: KernelIR, meta: dict) -> None:
+        env["_nj"] = _guarded_jit(self._jit)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+DEFAULT_BACKEND = "numpy-opt"
+BACKEND_NAMES = ("numpy", "numpy-opt", "numba")
+
+_BACKENDS = {
+    "numpy": NumpyBackend(),
+    "numpy-opt": NumpyOptBackend(),
+    "numba": NumbaBackend(),
+}
+
+_warned_unknown: set = set()
+
+
+def resolve_backend(name) -> _SourceBackend:
+    """Backend instance for ``name`` (falls back to the default, with a
+    one-time warning, on unknown names — env typos must not abort a
+    run)."""
+    if not name:
+        name = DEFAULT_BACKEND
+    backend = _BACKENDS.get(name)
+    if backend is None:
+        if name not in _warned_unknown:
+            _warned_unknown.add(name)
+            warnings.warn(
+                f"unknown jit backend {name!r}; using {DEFAULT_BACKEND}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        backend = _BACKENDS[DEFAULT_BACKEND]
+    return backend
+
+
+def available_backends() -> "tuple[str, ...]":
+    """Backends that will actually run (numba only when importable)."""
+    names = ["numpy", "numpy-opt"]
+    if _BACKENDS["numba"].available:
+        names.append("numba")
+    return tuple(names)

@@ -184,12 +184,16 @@ def drive_fleet(fibers):
                 # register with different categories (e.g. loaded-from-
                 # memory on a chunk's first step, ALU-produced after),
                 # and stall attribution bakes the category per input.
+                # ... and by the emitting backend, so fused execution
+                # composes with mixed-backend fleets (tree-node identity
+                # is already part of ``source``).
                 key = (
                     step.prog.source,
+                    step.prog.backend,
                     tuple(r.category for r in step.regs),
                 )
                 buckets.setdefault(key, []).append(i)
-        for (src, _cats), idxs in buckets.items():
+        for (src, _backend, _cats), idxs in buckets.items():
             if len(idxs) < 2:
                 fusable_serial.update(idxs)
                 serial.extend(idxs)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import os
 from collections import Counter
+from time import perf_counter as _pc
 
 import numpy as np
 
@@ -28,6 +29,26 @@ from repro.errors import MachineError
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.vector.register import Pred, SimBuffer, VReg
 from repro.vector.stats import MachineStats
+
+
+class MemModelClock:
+    """Accumulated wall seconds spent inside the memory-latency model.
+
+    Fed by every indexed-memory issue (both the generic entry and the
+    backend-specialized fast calls) so timing reports can split the
+    generated kernels' own compute from shared simulator work.
+    """
+
+    __slots__ = ("s",)
+
+    def __init__(self) -> None:
+        self.s = 0.0
+
+    def reset(self) -> None:
+        self.s = 0.0
+
+
+MEM_MODEL_CLOCK = MemModelClock()
 
 _BINOPS = {
     "add": np.add,
@@ -197,6 +218,19 @@ class VectorMachine:
     #: is bit-identical per pair to ``use_fleet=1``.  Set with ``--fleet``
     #: or ``REPRO_FLEET`` (the env var reaches worker processes).
     use_fleet = int(os.environ.get("REPRO_FLEET", "0") or 0)
+
+    #: Codegen backend for compiled replay kernels
+    #: (:mod:`repro.vector.backends`): ``numpy`` emits the neutral
+    #: source verbatim, ``numpy-opt`` (the default) runs the source
+    #: optimizer (CSE, dead-temporary elimination, scratch-arena
+    #: ``out=`` rewriting, guard fusion), ``numba`` lifts ALU segments
+    #: through ``@njit`` when numba is importable and falls back to
+    #: ``numpy-opt`` (metered) when it is not.  Every backend is
+    #: bit-identical in statistics, clock and stall attribution
+    #: (enforced by the conformance grid's backend axis and
+    #: ``repro bench --check``).  Set with ``--jit-backend`` or
+    #: ``REPRO_JIT_BACKEND`` (the env var reaches worker processes).
+    jit_backend = os.environ.get("REPRO_JIT_BACKEND", "") or "numpy-opt"
 
     def __init__(
         self,
@@ -885,13 +919,22 @@ class VectorMachine:
         call, mirrored into the tracer as one ``membatch`` event.  The
         legacy per-lane walk is kept for cross-checks and ``repro
         bench``; both produce bit-identical statistics and latencies.
+
+        Wall time spent inside the hierarchy simulation (the ``access``
+        / ``access_batch_max`` calls, not the address-list preparation)
+        is accumulated into :data:`MEM_MODEL_CLOCK` so timing reports
+        can split generated-kernel compute from memory-model
+        simulation; the specialized per-buffer entries emitted by the
+        ``numpy-opt`` backend draw the same boundary.
         """
         if not self.use_batched_memory:
+            t0 = _pc()
             worst = 0
             for i in indices:
                 worst = max(
                     worst, self.mem.access(buf.addr_of(int(i)), size_bytes, sid)
                 )
+            MEM_MODEL_CLOCK.s += _pc() - t0
             return worst
         m = len(indices)
         if not m:
@@ -899,15 +942,31 @@ class VectorMachine:
         if m == 1:
             # A one-element batch is a plain demand access (the batch
             # engine's stride hand-off degenerates to `observe`).
+            t0 = _pc()
             worst = self.mem.access(
                 buf.base + int(indices[0]) * buf.elem_bytes, size_bytes, sid
             )
+        elif m <= 64:
+            # Short batches run the hierarchy's scalar engine, which
+            # wants a plain list — build it directly instead of paying
+            # two numpy ops plus a tolist round-trip.
+            base = buf.base
+            eb = buf.elem_bytes
+            lanes = indices.tolist() if hasattr(indices, "tolist") else indices
+            if eb == 1:
+                addrs = [base + i for i in lanes]
+            else:
+                addrs = [base + i * eb for i in lanes]
+            t0 = _pc()
+            worst = self.mem.access_batch_max(addrs, size_bytes, sid)
         else:
             if buf.elem_bytes == 1:
                 addrs = buf.base + indices
             else:
                 addrs = buf.base + indices * buf.elem_bytes
+            t0 = _pc()
             worst = self.mem.access_batch_max(addrs, size_bytes, sid)
+        MEM_MODEL_CLOCK.s += _pc() - t0
         if self.tracer is not None:
             self.tracer.record(
                 "membatch",

@@ -40,10 +40,14 @@ from collections import Counter, defaultdict
 
 import numpy as np
 
+from time import perf_counter as _pc
+
 from repro.errors import MachineError
+from repro.vector.backends import KernelIR, resolve_backend
 from repro.vector.machine import (
     _BINOPS,
     _CMPOPS,
+    MEM_MODEL_CLOCK,
     _clz_values,
     _ctz_values,
     _raise_gather64_range,
@@ -95,7 +99,7 @@ class ReplayMeter:
         "interpreted_blocks", "interpreted_instructions", "broken",
         "total_blocks", "side_exits", "side_exit_traces",
         "side_exit_replays", "warmup_skips", "loop_calls", "loop_iters",
-        "tree_nodes",
+        "kernel_run_s", "tree_nodes",
         "fleet_batches", "fleet_pairs", "fleet_serial", "fleet_singleton",
         "fleet_retired",
     )
@@ -104,6 +108,12 @@ class ReplayMeter:
         self.reset()
 
     def reset(self) -> None:
+        from repro.vector.backends import CODEGEN_METER
+
+        # The codegen counters share the replay meter's window (the
+        # parallel engine resets per run); the arena itself survives —
+        # its buffers are the whole point of warm steady state.
+        CODEGEN_METER.reset()
         self.captures = 0
         self.replayed_blocks = 0
         self.replayed_instructions = 0
@@ -117,6 +127,8 @@ class ReplayMeter:
         self.warmup_skips = 0
         self.loop_calls = 0
         self.loop_iters = 0
+        self.kernel_run_s = 0.0
+        MEM_MODEL_CLOCK.reset()
         self.tree_nodes: dict = {}
         self.fleet_batches = 0
         self.fleet_pairs = 0
@@ -125,7 +137,17 @@ class ReplayMeter:
         self.fleet_retired: dict = {}
 
     def snapshot(self) -> dict:
+        from repro.vector.backends import ARENA, CODEGEN_METER
+
         return {
+            "backend": CODEGEN_METER.backend,
+            "backends": dict(CODEGEN_METER.backends),
+            "kernel_cache_hits": CODEGEN_METER.kernel_cache_hits,
+            "kernel_cache_misses": CODEGEN_METER.kernel_cache_misses,
+            "kernel_compiles": CODEGEN_METER.kernel_compiles,
+            "backend_fallbacks": CODEGEN_METER.backend_fallbacks,
+            "compile_s": CODEGEN_METER.compile_s,
+            "arena_bytes": ARENA.nbytes,
             "captures": self.captures,
             "replayed_blocks": self.replayed_blocks,
             "replayed_instructions": self.replayed_instructions,
@@ -139,6 +161,8 @@ class ReplayMeter:
             "warmup_skips": self.warmup_skips,
             "loop_calls": self.loop_calls,
             "loop_iters": self.loop_iters,
+            "kernel_run_s": self.kernel_run_s,
+            "mem_model_s": MEM_MODEL_CLOCK.s,
             "tree_nodes": dict(self.tree_nodes),
             "fleet_batches": self.fleet_batches,
             "fleet_pairs": self.fleet_pairs,
@@ -150,12 +174,14 @@ class ReplayMeter:
     def delta(self, before: dict) -> dict:
         out = {}
         for k, v in self.snapshot().items():
-            prev = before.get(k, {} if isinstance(v, dict) else 0)
-            if isinstance(v, dict):
+            if isinstance(v, str):
+                out[k] = v
+            elif isinstance(v, dict):
+                prev = before.get(k, {})
                 d = {kk: vv - prev.get(kk, 0) for kk, vv in v.items()}
                 out[k] = {kk: vv for kk, vv in d.items() if vv}
             else:
-                out[k] = v - prev
+                out[k] = v - before.get(k, 0)
         return out
 
     @property
@@ -1382,25 +1408,31 @@ def _compile(
         tail.append(I + "return (" + ", ".join(rets) + ", ex, it)")
 
     env.update(rec.env)  # late bakes from bsrc / rcount masks
-    source = "\n".join(head + body + tail) + "\n"
-    namespace: dict = {}
-    code = _CODE_CACHE.get(source)
-    if code is None:
-        if len(_CODE_CACHE) >= 256:
-            _CODE_CACHE.clear()
-        code = compile(source, "<recorded-program>", "exec")
-        _CODE_CACHE[source] = code
-    exec(code, env, namespace)
+    # Non-escaping slots (not handed in, not handed back, not external)
+    # are the backend's to manage: the optimizer may retarget their
+    # computes into arena scratch storage.  Escaping slots keep their
+    # freshly allocated arrays — callers hold them across kernel calls.
+    out_set = set(out_slots)
+    ext_set = {s for s, _reg in rec.externals}
+    in_set = set(rec.inputs)
+    temps = {}
+    outs = set()
+    for slot in range(rec.nslots):
+        if slot in ext_set or slot in in_set:
+            continue
+        data = getattr(rec.keep[slot], "data", None)
+        if data is None:
+            continue
+        temps[slot] = (data.shape, str(data.dtype))
+        if slot in out_set:
+            outs.add(slot)
+    ir = KernelIR(head, body, tail, env, temps, loop, outs=frozenset(outs))
+    backend = resolve_backend(getattr(rec.machine, "jit_backend", None))
+    fn = backend.emit(ir)
     return RecordedProgram(
-        namespace["_rp"], len(rec.ops), source, rec, out_slots, spec
+        fn, len(rec.ops), ir.source, rec, out_slots, spec,
+        backend=backend.name,
     )
-
-
-#: Bytecode cache for generated program text.  Different machines bake
-#: different objects into ``env``, but structurally identical blocks
-#: (e.g. one captured per pair on fresh machines) emit the exact same
-#: source, so the CPython compile step can be shared.
-_CODE_CACHE: dict = {}
 
 
 def _np_full_i64(n: int, value) -> np.ndarray:
@@ -1490,13 +1522,14 @@ class RecordedProgram:
     """
 
     __slots__ = ("_fn", "n_ops", "source", "rec", "out_slots",
-                 "spec_slots", "spec_positions")
+                 "spec_slots", "spec_positions", "backend")
 
     def __init__(self, fn, n_ops: int, source: str, rec=None, out_slots=(),
-                 spec=frozenset()) -> None:
+                 spec=frozenset(), backend="numpy") -> None:
         self._fn = fn
         self.n_ops = n_ops
         self.source = source
+        self.backend = backend
         self.rec = rec
         self.out_slots = tuple(out_slots)
         self.spec_slots = frozenset(spec)
@@ -1705,7 +1738,9 @@ class ReplaySession:
         m = self.machine
         child = root.child
         if isinstance(child, TraceNode):
+            t0 = _pc()
             outs = child.prog._fn(m, (st.v, st.h, st.inb), ())
+            REPLAY_METER.kernel_run_s += _pc() - t0
             if outs is None:
                 self._interpret(st, child.prog.n_ops)
                 return
@@ -1765,7 +1800,9 @@ class ReplaySession:
             root.exit_count += 1
             self._exec_partial(st, root)
             return
+        t0 = _pc()
         outs = prog._fn(m, (st.v, st.h, st.inb), ())
+        REPLAY_METER.kernel_run_s += _pc() - t0
         if outs is None:
             # External registers not yet ready at block entry (only
             # possible right after capture): interpret this iteration.
@@ -1824,7 +1861,9 @@ class ReplaySession:
                     return
                 self.step(st)
                 continue
+            t0 = _pc()
             res = fn(m, (st.v, st.h, st.inb), ())
+            REPLAY_METER.kernel_run_s += _pc() - t0
             if res is None:
                 # Hoisted external guard declined (only possible right
                 # after capture): one interpreted iteration, then retry.

@@ -31,6 +31,16 @@ compiles child traces.  Every cell additionally asserts the replay
 meter's conservation invariant: captures + replayed + interpreted +
 broken must equal the total metered block executions.
 
+The codegen backends add a fourth axis: with replay and batched memory
+on, every registered backend name in
+
+    {numpy, numpy-opt, numba} x {use_trace_trees}
+
+must reproduce the baseline on both batch kinds.  The ``numba`` cells
+run even when numba is not importable — the documented behaviour is a
+metered fallback to ``numpy-opt``, so with the dependency absent those
+cells double as proof that the fallback is bit-exact.
+
 All cells (including the baseline) run ``shard_size=1`` so the shard
 plan — the unit of determinism — is common to every jobs value; fresh
 machines per pair make the serial and pooled walks directly
@@ -49,6 +59,7 @@ from repro.align.vectorized import SsVec, WfaVec
 from repro.eval import records
 from repro.eval.runner import run_implementation
 from repro.genomics.generator import ErrorProfile, ReadPairGenerator
+from repro.vector.backends import BACKEND_NAMES
 from repro.vector.machine import VectorMachine
 from repro.vector.program import REPLAY_METER
 
@@ -246,6 +257,34 @@ def test_tracetree_cell_matches_baseline(name, cell, kind):
         fleet_impl(name), _fleet_batches[(name, kind)],
         batched, True, False, jobs, trees=trees,
     )
+    assert got[0] == expected[0], "per-pair cycle counts diverged"
+    assert got[1] == expected[1], "per-pair instruction counts diverged"
+    assert got[2] == expected[2], "machine statistics diverged"
+    assert got[3] == expected[3], "alignment outputs diverged"
+
+
+#: (jit backend, use_trace_trees) — replay + batched memory on
+#: throughout, jobs=1 (backend choice is per-process state; the pooled
+#: propagation path is already covered by the other axes).
+BACKEND_GRID = list(itertools.product(BACKEND_NAMES, (False, True)))
+
+
+def backend_cell_id(cell):
+    return f"{cell[0]}-{'trees' if cell[1] else 'notrees'}"
+
+
+@pytest.mark.parametrize("kind", ("standard", "divergent"))
+@pytest.mark.parametrize("name", sorted(IMPLS))
+@pytest.mark.parametrize("cell", BACKEND_GRID, ids=backend_cell_id)
+def test_backend_cell_matches_baseline(name, cell, kind):
+    backend, trees = cell
+    expected = fleet_baseline_for(name, kind)
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(VectorMachine, "jit_backend", backend)
+        got = run_cell(
+            fleet_impl(name), _fleet_batches[(name, kind)],
+            True, True, False, 1, trees=trees,
+        )
     assert got[0] == expected[0], "per-pair cycle counts diverged"
     assert got[1] == expected[1], "per-pair instruction counts diverged"
     assert got[2] == expected[2], "machine statistics diverged"

@@ -121,9 +121,25 @@ class TestMeterReset:
         evaluate_units([unit], jobs=1)
         second = REPLAY_METER.snapshot()
         # Identical work from a clean meter: the second run's absolute
-        # counts must match the first, not stack on top of them.
-        assert second == first
+        # counts must match the first, not stack on top of them.  Wall
+        # clocks and the codegen cold/warm counters legitimately differ
+        # between the runs (the first compiles, the second hits the
+        # persistent kernel cache), so only the deterministic replay
+        # counters are compared exactly.
+        nondeterministic = {
+            "compile_s", "kernel_run_s", "mem_model_s",
+            "kernel_cache_hits", "kernel_cache_misses", "kernel_compiles",
+        }
+        for key, value in first.items():
+            if key in nondeterministic:
+                continue
+            assert second[key] == value, key
         assert first["total_blocks"] > 0
+        # The second run must still be reset, not stacked: same replay
+        # work, and the codegen window shows no *new* compiles beyond a
+        # warm cache load.
+        assert second["kernel_compiles"] == 0
+        assert second["total_blocks"] == first["total_blocks"]
 
     def test_reset_reanchors_open_measure_windows(self):
         from repro.align.vectorized import WfaVec
