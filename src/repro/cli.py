@@ -54,6 +54,20 @@ def _disable_replay() -> None:
     VectorMachine.use_replay = False
 
 
+def _disable_memvec() -> None:
+    """Turn the vectorized memory-model engine off for this process.
+
+    The hierarchy falls back to the serial per-request walk for every
+    batch (no phase splitting, no pattern replay, no fleet coalescing).
+    Same env-var + class-attribute pattern as :func:`_disable_replay`;
+    results are bit-identical either way.
+    """
+    from repro.memory.hierarchy import MemoryHierarchy
+
+    os.environ["REPRO_NO_MEMVEC"] = "1"
+    MemoryHierarchy.use_vectorized_memory = False
+
+
 def _disable_trace_trees() -> None:
     """Turn the trace-tree tier of the replay JIT off for this process.
 
@@ -182,6 +196,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the trace-tree tier of the replay JIT (side-exit "
         "children, loop-in-kernel); replay still runs straight-line "
         "programs, and results are bit-identical either way",
+    )
+    parser.add_argument(
+        "--no-memvec",
+        action="store_true",
+        help="disable the vectorized memory-model engine (phase-split "
+        "batch retirement and pattern-replay memoization in the cache "
+        "hierarchy); every batch takes the serial per-request walk, and "
+        "results are bit-identical either way",
     )
     parser.add_argument(
         "--fleet",
@@ -342,7 +364,8 @@ def build_bench_parser() -> argparse.ArgumentParser:
         default=None,
         help="run a subset (repeatable); choose from "
         "stride_sweep, random_gather, wfa_extend, fig4_cell, "
-        "replay_extend, replay_ss, fleet_extend, fleet_fig4, trace_tree",
+        "replay_extend, replay_ss, fleet_extend, fleet_fig4, trace_tree, "
+        "memvec_gather",
     )
     parser.add_argument(
         "--check",
@@ -388,6 +411,12 @@ def build_bench_parser() -> argparse.ArgumentParser:
         "paths (the trace_tree workload still toggles it per leg)",
     )
     parser.add_argument(
+        "--no-memvec",
+        action="store_true",
+        help="disable the vectorized memory-model engine for the default "
+        "execution paths (the memvec workloads still toggle it per leg)",
+    )
+    parser.add_argument(
         "--dimension",
         metavar="DIM",
         choices=sorted(bench._LEGS),
@@ -407,6 +436,8 @@ def bench_main(argv: "list[str]") -> int:
         _disable_replay()
     if args.no_trace_trees:
         _disable_trace_trees()
+    if args.no_memvec:
+        _disable_memvec()
     _set_jit_backend(args.jit_backend)
     if args.profile is not None:
         print(bench.profile_bench(top=args.profile, quick=args.quick, only=args.only))
@@ -538,6 +569,12 @@ def build_run_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cache", action="store_true")
     parser.add_argument("--no-replay", action="store_true")
     parser.add_argument("--no-trace-trees", action="store_true")
+    parser.add_argument(
+        "--no-memvec",
+        action="store_true",
+        help="disable the vectorized memory-model engine (serial "
+        "per-request cache walk; bit-identical results)",
+    )
     parser.add_argument("--fleet", type=int, default=None, metavar="N")
     add_jit_backend_argument(parser)
     parser.add_argument(
@@ -559,6 +596,8 @@ def run_main(argv: "list[str]") -> int:
         _disable_replay()
     if args.no_trace_trees:
         _disable_trace_trees()
+    if args.no_memvec:
+        _disable_memvec()
     _set_fleet(args.fleet)
     _set_jit_backend(args.jit_backend)
     meta = supervise.read_meta(args.resume)
@@ -701,6 +740,8 @@ def main(argv: "list[str] | None" = None) -> int:
         _disable_replay()
     if args.no_trace_trees:
         _disable_trace_trees()
+    if args.no_memvec:
+        _disable_memvec()
     _set_fleet(args.fleet)
     _set_jit_backend(args.jit_backend)
     if supervise_cfg is not None:

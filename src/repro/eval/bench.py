@@ -42,6 +42,14 @@ Workloads:
     ``fleet=1`` (one pair at a time, fresh machine per pair) vs
     ``fleet=64`` — the ``--fleet N == --fleet 1`` CLI contract,
     measured per pair.
+``memvec_gather``
+    Repeating strided gathers cycling through a small rotation of base
+    offsets — the pattern-memoization sweet spot of the vectorized
+    memory-model engine (:mod:`repro.memory.memvec`): after one warmup
+    lap every batch replays a compiled pattern instead of walking the
+    hierarchy request by request.  Toggles the ``memvec`` dimension
+    (``MemoryHierarchy.use_vectorized_memory`` off vs on) with batched
+    memory, replay, and fleet width 64 pinned on both legs.
 
 The membatch workloads compare ``use_batched_memory`` off vs on (replay
 pinned off on both legs so it cannot blur the comparison); the replay
@@ -53,6 +61,13 @@ backend against the process default (``numpy-opt``, or whatever
 ``--jit-backend`` pinned) with everything else held at the replay fast
 path.  In every cell ``serial_s`` is the slow leg and ``batched_s`` the
 fast leg, whatever the toggled dimension.
+
+Every cell also reports the memory-model split (``mem_model_serial_s``
+/ ``mem_model_batched_s`` and their share of the corresponding
+``kernel_run_s``): the seconds each leg spent simulating the cache
+hierarchy from inside compiled kernels, the quantity the vectorized
+memory engine exists to shrink.  ``speedup_mem_model`` is their ratio
+whenever the fast leg's share is measurable.
 
 Each cell also splits wall-clock into compile and steady-state time:
 ``steady_serial_s``/``steady_batched_s`` subtract the codegen meter's
@@ -91,6 +106,7 @@ from repro.config import SystemConfig
 from repro.errors import ReproError
 from repro.eval.runner import make_machine, run_implementation
 from repro.genomics.datasets import build_dataset
+from repro.memory.hierarchy import MemoryHierarchy
 from repro.vector.backends import CODEGEN_METER
 from repro.vector.fleet import drive_fleet, drive_serial, session_step
 from repro.vector.machine import VectorMachine
@@ -110,6 +126,7 @@ _SCALES = {
     "fleet_extend": (20, 5),
     "fleet_fig4": (24, 4),
     "trace_tree": (40, 8),
+    "memvec_gather": (600, 90),
 }
 
 #: Workload name -> toggled dimension ("membatch" unless listed).
@@ -119,6 +136,7 @@ _DIMENSIONS = {
     "fleet_extend": "fleet",
     "fleet_fig4": "fleet",
     "trace_tree": "tracetree",
+    "memvec_gather": "memvec",
 }
 
 #: dimension -> ((slow label, batched, replay, fleet, trees, backend),
@@ -137,9 +155,15 @@ _LEGS = {
         ("serial", True, False, 0, None, None),
         ("batched", True, True, 0, None, None),
     ),
+    # Both fleet legs pin the memory-model engine off: pattern replay
+    # accelerates the width-1 fibers' per-machine batches far more than
+    # the fused executor's already-vectorized rows, which would fold the
+    # hierarchy engine's signal into a measurement whose toggle is the
+    # fleet width.  The memvec dimension (and the conformance grid's
+    # memvec x fleet axis) covers that interaction.
     "fleet": (
-        ("serial", True, True, 1, None, None),
-        ("batched", True, True, 64, None, None),
+        ("serial", True, True, 1, None, None, False),
+        ("batched", True, True, 64, None, None, False),
     ),
     "tracetree": (
         ("serial", True, True, 0, False, None),
@@ -148,6 +172,16 @@ _LEGS = {
     "backend": (
         ("serial", True, True, 0, None, "numpy"),
         ("batched", True, True, 0, None, None),
+    ),
+    # Both memvec legs keep the whole fast stack (batched memory,
+    # replay, fleet width 64) so the only difference is the memory
+    # hierarchy's own engine — serial per-request walk vs phase-split
+    # retirement + pattern replay.  The pinned fleet width is inert for
+    # single-machine workloads and turns fleet_extend under
+    # ``--dimension memvec`` into the fleet-coalescing measurement.
+    "memvec": (
+        ("serial", True, True, 64, None, None, False),
+        ("batched", True, True, 64, None, None, True),
     ),
 }
 
@@ -162,12 +196,14 @@ class _PathPin:
         fleet: int = 0,
         trees: "bool | None" = None,
         backend: "str | None" = None,
+        memvec: "bool | None" = None,
     ) -> None:
         self.batched = batched
         self.replay = replay
         self.fleet = fleet
         self.trees = trees
         self.backend = backend
+        self.memvec = memvec
 
     def __enter__(self) -> None:
         self._saved = (
@@ -176,6 +212,7 @@ class _PathPin:
             VectorMachine.use_fleet,
             VectorMachine.use_trace_trees,
             VectorMachine.jit_backend,
+            MemoryHierarchy.use_vectorized_memory,
         )
         VectorMachine.use_batched_memory = self.batched
         VectorMachine.use_replay = self.replay
@@ -184,6 +221,8 @@ class _PathPin:
             VectorMachine.use_trace_trees = self.trees
         if self.backend is not None:
             VectorMachine.jit_backend = self.backend
+        if self.memvec is not None:
+            MemoryHierarchy.use_vectorized_memory = self.memvec
 
     def __exit__(self, *exc) -> None:
         VectorMachine.use_batched_memory = self._saved[0]
@@ -191,6 +230,7 @@ class _PathPin:
         VectorMachine.use_fleet = self._saved[2]
         VectorMachine.use_trace_trees = self._saved[3]
         VectorMachine.jit_backend = self._saved[4]
+        MemoryHierarchy.use_vectorized_memory = self._saved[5]
 
 
 class _BatchedPath(_PathPin):
@@ -439,6 +479,28 @@ def _fleet_fig4(reps: int):
     return result.pair_results
 
 
+def _memvec_gather(reps: int):
+    # A small rotation of base offsets over an L1-resident buffer: the
+    # same eight (base-in-line offset, entry stride, delta stream) keys
+    # recur every lap, so after one warmup lap the pattern-memoization
+    # layer replays every batch closed-form.  The serial leg walks the
+    # identical batches request by request — the cell isolates the
+    # hierarchy engine itself.  Byte gathers at the widest lane count
+    # (64 lanes of 8-bit elements) make each batch a full-length scalar
+    # walk on the serial leg while the replay commit stays a few distinct
+    # lines.
+    machine = make_machine(SystemConfig())
+    data = (np.arange(32 << 10) % 251).astype(np.int64)  # 32KB, L1-resident
+    buf = machine.new_buffer("memvec", data, elem_bytes=1)
+    lanes = machine.lanes(8)
+    span = 2 * lanes
+    for rep in range(reps):
+        idx = machine.iota(8, start=(rep % 8) * span, step=2)
+        machine.gather(buf, idx, stream_id=17)
+    machine.barrier()
+    return machine.snapshot()
+
+
 _WORKLOADS = {
     "stride_sweep": _stride_sweep,
     "random_gather": _random_gather,
@@ -455,6 +517,10 @@ _WORKLOADS = {
     # The trace-tree workload runs replay-without-trees vs the tiered
     # trace-tree JIT on a divergence-heavy extend loop.
     "trace_tree": _trace_tree,
+    # The memvec workload runs the serial per-request hierarchy walk vs
+    # the vectorized memory-model engine (pattern replay) on a
+    # repeated-pattern gather stream.
+    "memvec_gather": _memvec_gather,
 }
 
 
@@ -493,6 +559,8 @@ def _measure(workload, reps: int, rounds: int = 3, dimension: str = "membatch"):
     timings = {}
     steady = {}
     kernel_net = {}
+    mem_model = {}
+    kernel_run = {}
     stats = {}
     compile_total = 0.0
     for _ in range(rounds):
@@ -515,6 +583,12 @@ def _measure(workload, reps: int, rounds: int = 3, dimension: str = "membatch"):
                 steady[label] = steady_elapsed
             if label not in kernel_net or knet < kernel_net[label]:
                 kernel_net[label] = knet
+            # Keep the mem-model seconds and the kernel seconds from
+            # the same (best) round so the reported share is internally
+            # consistent.
+            if label not in mem_model or meter["mem_model_s"] < mem_model[label]:
+                mem_model[label] = meter["mem_model_s"]
+                kernel_run[label] = meter["kernel_run_s"]
     cell = {
         "dimension": dimension,
         "serial_s": round(timings["serial"], 4),
@@ -528,7 +602,25 @@ def _measure(workload, reps: int, rounds: int = 3, dimension: str = "membatch"):
             steady["serial"] / max(steady["batched"], 1e-9), 3
         ),
         "stats_identical": stats["serial"] == stats["batched"],
+        # Per-leg memory-model seconds and their share of the in-kernel
+        # seconds — the quantity the vectorized memory engine shrinks.
+        "mem_model_serial_s": round(mem_model["serial"], 4),
+        "mem_model_batched_s": round(mem_model["batched"], 4),
+        "mem_model_share_serial": round(
+            mem_model["serial"] / kernel_run["serial"], 3
+        )
+        if kernel_run["serial"] > 1e-9
+        else 0.0,
+        "mem_model_share_batched": round(
+            mem_model["batched"] / kernel_run["batched"], 3
+        )
+        if kernel_run["batched"] > 1e-9
+        else 0.0,
     }
+    if mem_model["batched"] > 1e-4:
+        cell["speedup_mem_model"] = round(
+            mem_model["serial"] / mem_model["batched"], 3
+        )
     # The kernel-net split only means something when both legs actually
     # ran compiled kernels (an interpreted or meter-resetting leg shows
     # ~0 or garbage) — degenerate cells simply omit the keys.
@@ -623,7 +715,7 @@ def check_report(report: dict, gate: str = "stride_sweep") -> "list[str]":
         name
         for name, cell in report["workloads"].items()
         if (
-            cell.get("dimension") in ("replay", "tracetree", "backend")
+            cell.get("dimension") in ("replay", "tracetree", "backend", "memvec")
             or name == "fleet_extend"
         )
         and name != gate
@@ -712,10 +804,13 @@ def render_report(report: dict) -> str:
     ]
     for name, cell in report["workloads"].items():
         dim = cell.get("dimension")
-        tag = f" ({dim})" if dim in ("replay", "fleet", "backend") else ""
+        tag = f" ({dim})" if dim in ("replay", "fleet", "backend", "memvec") else ""
         kernel = cell.get("speedup_kernel")
         if kernel is not None:
             tag += f" [kernel {kernel:.2f}x]"
+        mem = cell.get("speedup_mem_model")
+        if mem is not None:
+            tag += f" [mem {mem:.2f}x]"
         steady = cell.get("speedup_steady")
         steady_txt = f"{steady:>7.2f}x" if steady is not None else f"{'-':>8}"
         lines.append(

@@ -86,6 +86,22 @@ class ExperimentTiming:
         return singleton / total if total else 0.0
 
     @property
+    def mem_model_share(self) -> float:
+        """Share of kernel run time spent inside the memory hierarchy."""
+        r = self.replay or {}
+        run = r.get("kernel_run_s", 0.0)
+        return r.get("mem_model_s", 0.0) / run if run else 0.0
+
+    @property
+    def memvec_replay_rate(self) -> float:
+        """Fraction of memoizable batches served by pattern replay."""
+        r = self.replay or {}
+        total = r.get("memvec_pattern_hits", 0) + r.get(
+            "memvec_pattern_misses", 0
+        )
+        return r.get("memvec_pattern_hits", 0) / total if total else 0.0
+
+    @property
     def tree_depth(self) -> int:
         """Deepest compiled trace-tree node in this window (0 = none)."""
         nodes = (self.replay or {}).get("tree_nodes") or {}
@@ -142,10 +158,23 @@ class ExperimentTiming:
                 f"{replay.get('backend_fallbacks', 0)} fallbacks, "
                 f"arena +{replay.get('arena_bytes', 0) / 1024:.0f} KiB, "
                 f"kernels {replay.get('kernel_run_s', 0.0):.2f}s run "
-                f"(mem model {replay.get('mem_model_s', 0.0):.2f}s)"
+                f"(mem model {replay.get('mem_model_s', 0.0):.2f}s, "
+                f"{self.mem_model_share:.0%} of run)"
                 if replay.get("backends")
                 or replay.get("kernel_cache_hits", 0)
                 or replay.get("kernel_compiles", 0)
+                else ""
+            )
+            + (
+                f" | memvec: {replay.get('memvec_pattern_hits', 0)} "
+                f"pattern replays ({self.memvec_replay_rate:.0%} of "
+                f"memoizable batches), "
+                f"{replay.get('memvec_patterns_compiled', 0)} compiled, "
+                f"{replay.get('memvec_pattern_declined', 0)} declined, "
+                f"{replay.get('memvec_vector_rows', 0)} vector-phase rows"
+                if replay.get("memvec_pattern_hits", 0)
+                or replay.get("memvec_pattern_misses", 0)
+                or replay.get("memvec_vector_rows", 0)
                 else ""
             )
             + (
@@ -253,6 +282,9 @@ def render_report(records: "list[ExperimentTiming] | None" = None) -> str:
             "kernel_compiles": r.replay.get("kernel_compiles", 0),
             "kcache_hits": r.replay.get("kernel_cache_hits", 0),
             "kernel_run_s": round(r.replay.get("kernel_run_s", 0.0), 2),
+            "mem_model_s": round(r.replay.get("mem_model_s", 0.0), 2),
+            "mem_share": round(r.mem_model_share, 3),
+            "memvec_replays": r.replay.get("memvec_pattern_hits", 0),
         }
         for r in records
     ]

@@ -9,12 +9,14 @@ counted, feeding the bandwidth model).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.config import SystemConfig
 from repro.errors import MemoryModelError
+from repro.memory import memvec
 from repro.memory.cache import Cache, CacheStats
 from repro.memory.dram import AddressAllocator, MainMemory
 from repro.memory.prefetcher import StridePrefetcher
@@ -71,6 +73,19 @@ class MemoryStats:
 class MemoryHierarchy:
     """L1D + shared L2 + DRAM, with stride prefetchers at both levels."""
 
+    #: Run the vectorized memory-model engine
+    #: (:mod:`repro.memory.memvec`): repeated batch shapes retire
+    #: closed-form from memoized patterns, and large batches are
+    #: phase-split between vectorized pure-hit retirement and the exact
+    #: scalar walk.  Both paths are bit-identical to the serial walk in
+    #: statistics, latencies, LRU order and prefetcher training
+    #: (enforced by the conformance grid's memvec axis and ``repro
+    #: bench --check``); disable with ``--no-memvec`` or
+    #: ``REPRO_NO_MEMVEC=1`` (the env var also reaches spawned worker
+    #: processes).  Class-wide default; instances may override.
+    use_vectorized_memory = os.environ.get("REPRO_NO_MEMVEC", "") not in (
+        "1", "true", "yes")
+
     def __init__(self, system: SystemConfig | None = None) -> None:
         self.system = system or SystemConfig()
         self.l1 = Cache(self.system.l1d, name="L1D")
@@ -97,6 +112,26 @@ class MemoryHierarchy:
         # Lazily built (l1, params, ...) tuple for the scalar batch
         # engine; invalidated whenever self.l1 is rebound (reset()).
         self._scalar_ctx = None
+        # Hot geometry constants shared by the batch engines.
+        self._not_mask = ~(line - 1)
+        self._l1_degree = (
+            self._l1_prefetcher.degree if self._l1_prefetcher else 0
+        )
+        # (line offset, stride, span) -> line-relative prefetch targets
+        # (_prefetch_rels).  Geometry-only, so it survives reset().
+        self._pf_rel_cache: "dict[tuple, tuple]" = {}
+        # Batch-shape key -> compiled _Pattern (repro.memory.memvec).
+        # Patterns are state-independent — residency is re-validated
+        # against the live cache at every replay — so this table never
+        # needs invalidation either.
+        self._memvec_patterns: dict = {}
+        # Per-stream attempt scores for the memoization layer (see the
+        # hook in _access_batch_scalar) and the caller-set suppression
+        # flag (the fleet fallback path issues batches that already
+        # failed its own residency screen — attempts there mostly
+        # decline, so it opts out wholesale).
+        self._memvec_score: "dict[int, int]" = {}
+        self._memvec_skip = False
 
     # ------------------------------------------------------------------
     # Allocation
@@ -285,51 +320,77 @@ class MemoryHierarchy:
         # flag was consumed by the run's first access, and no fills can
         # intervene — so only these counters advance.
         collapsed = n - idxs.size
-        hits = collapsed
-        misses = 0
-        pf_hits = 0
-        nreq = collapsed
-        issued = 0
+        l1 = self.l1
+        # Engine counter block, threaded through the row walkers:
+        # [clock, hits, misses, pf_hits, nreq, issued].
+        state = [l1._clock, collapsed, 0, 0, collapsed, 0]
+        if self.use_vectorized_memory and idxs.size >= memvec.PHASE_MIN:
+            memvec.retire_rows(
+                self, arr, first, strides, conf, idxs, out,
+                size_bytes, stream_id, state,
+            )
+        else:
+            self._walk_rows(
+                idxs.tolist(),
+                arr.tolist(),
+                first.tolist(),
+                strides.tolist() if strides is not None else None,
+                conf.tolist() if conf is not None else (),
+                out, size_bytes, stream_id, state,
+            )
+        l1._clock = state[0]
+        l1.stats.hits += state[1]
+        l1.stats.misses += state[2]
+        l1.stats.prefetch_hits += state[3]
+        self.requests += state[4]
+        if pf is not None:
+            pf.end_batch(
+                stream_id, int(arr[-1]), int(strides[-1]),
+                bool(conf[-1]), state[5],
+            )
+        return out
 
+    def _walk_rows(
+        self, rows, arr_l, first_l, strides_l, conf_l, out,
+        size_bytes, stream_id, state,
+    ):
+        """Exact scalar retirement of full-processing batch rows.
+
+        The single source of truth for hit/miss/fill/prefetch
+        interleaving on the large-batch path: with the vectorized
+        engine off every row walks through here, and with it on the
+        phase splitter (:func:`repro.memory.memvec.retire_rows`)
+        delegates its miss/prefetch-bearing chunks so LRU and
+        prefetcher order are preserved through every fill.  ``state``
+        is the mutable counter block ``[clock, hits, misses, pf_hits,
+        nreq, issued]``; the caller commits it to the cache.
+        """
         l1 = self.l1
         slot_of = l1._slot_of
         slot_get = slot_of.get
         tick = l1._tick
         pf_flag = l1._pf
         fill_from_l2 = self._fill_from_l2
-        degree = pf.degree if pf is not None else 0
+        prefetch_rels = self._prefetch_rels
+        line = self.system.l1d.line_bytes
+        not_mask = self._not_mask
+        l1_lat = self.system.l1d.load_to_use
         size_m1 = size_bytes - 1
-        arr_l = arr.tolist()
-        first_l = first.tolist()
-        strides_l = strides.tolist() if strides is not None else None
-        conf_l = conf.tolist() if conf is not None else ()
         # The LRU clock lives in a local between fills; any call that
         # can reach Cache.fill is bracketed by a flush/reload.
-        clock = l1._clock
+        clock, hits, misses, pf_hits, nreq, issued = state
 
-        for i in idxs.tolist():
+        for i in rows:
             addr_i = arr_l[i]
             lo = first_l[i]
             hi = (addr_i + size_m1) & not_mask
             if conf_l and conf_l[i]:
-                # Inline of StridePrefetcher.observe's emission plus
-                # _train's fill staging, bit for bit: same exclusion
-                # window, in-order dedup, and issued count.
-                stride_i = strides_l[i]
-                targets: "list[int]" = []
-                target = addr_i
-                for _ in range(degree):
-                    target += stride_i
-                    if target >= 0:
-                        target_line = target & not_mask
-                        if (
-                            target_line < lo or target_line > hi
-                        ) and target_line not in targets:
-                            targets.append(target_line)
-                if targets:
-                    issued += len(targets)
+                rels = prefetch_rels(addr_i, lo, hi, strides_l[i])
+                if rels:
+                    issued += len(rels)
                     l1._clock = clock
-                    for pf_line in targets:
+                    for rel in rels:
+                        pf_line = lo + rel
                         if pf_line not in slot_of:
                             fill_from_l2(pf_line, stream_id, prefetch=True)
                     clock = l1._clock
@@ -375,16 +436,46 @@ class MemoryHierarchy:
             if worst != l1_lat:
                 out[i] = worst
 
-        l1._clock = clock
-        l1.stats.hits += hits
-        l1.stats.misses += misses
-        l1.stats.prefetch_hits += pf_hits
-        self.requests += nreq
-        if pf is not None:
-            pf.end_batch(
-                stream_id, arr_l[-1], strides_l[-1], bool(conf_l[-1]), issued
-            )
-        return out
+        state[0] = clock
+        state[1] = hits
+        state[2] = misses
+        state[3] = pf_hits
+        state[4] = nreq
+        state[5] = issued
+
+    def _prefetch_rels(self, addr_i, lo, hi, stride):
+        """Line-relative prefetch-target offsets of one confident access.
+
+        The single inline of ``StridePrefetcher.observe``'s emission
+        rules plus ``_train``'s staging decision, bit for bit — the
+        non-negative-target check, the inclusive ``[lo, hi]``
+        demand-window exclusion, and the in-order dedup — shared by
+        every batch engine (this replaces the per-call-site copies that
+        had drifted apart).  A positive stride from a non-negative
+        address can only produce positive targets, so those scans
+        depend on nothing but (line offset, stride, span) and are
+        memoized in ``_pf_rel_cache``.
+        """
+        cacheable = stride > 0 and addr_i >= 0
+        if cacheable:
+            rkey = (addr_i - lo, stride, hi - lo)
+            rels = self._pf_rel_cache.get(rkey)
+            if rels is not None:
+                return rels
+        scan: "list[int]" = []
+        span = hi - lo
+        not_mask = self._not_mask
+        target = addr_i
+        for _ in range(self._l1_degree):
+            target += stride
+            if target >= 0:
+                rel = (target & not_mask) - lo
+                if (rel < 0 or rel > span) and rel not in scan:
+                    scan.append(rel)
+        rels = tuple(scan)
+        if cacheable:
+            self._pf_rel_cache[rkey] = rels
+        return rels
 
     #: Batch lengths at or below this run the scalar engine: numpy's
     #: per-array setup costs more than a short Python loop (measured
@@ -400,7 +491,10 @@ class MemoryHierarchy:
         to the serial loop), returning only ``max()`` of the per-request
         latencies — the lean entry for gather/scatter accounting, which
         exposes nothing but the slowest lane.  Returns 0 for an empty
-        batch.
+        batch.  Routes through the same engines as
+        :meth:`access_batch`: the scalar walk (with pattern
+        memoization) for short batches, the vectorized classifier for
+        long ones — there is no separate retirement loop to drift.
         """
         n = len(addrs)
         if n == 0:
@@ -447,11 +541,44 @@ class MemoryHierarchy:
                 l1._pf,
                 self._fill_from_l2,
                 pf,
-                pf.degree if pf is not None else 0,
-                {},  # (line offset, stride, span) -> prefetch target rels
+                self._prefetch_rels,
             )
         (l1, l1_lat, line, not_mask, slot_of, slot_get, tick, pf_flag,
-         fill_from_l2, pf, degree, rel_cache) = ctx
+         fill_from_l2, pf, prefetch_rels) = ctx
+        if (
+            pf is not None
+            and self.use_vectorized_memory
+            and not self._memvec_skip
+        ):
+            # Adaptive per-stream scoring keeps the memoization attempt
+            # off streams that never pay: replays and fresh compiles
+            # feed the score, sightings and declines drain it, and an
+            # exhausted stream backs off for a long stretch before one
+            # retry.  Scoring only decides whether to *attempt* — a
+            # replay itself is bit-identical to the walk, so any policy
+            # here is sound.
+            scores = self._memvec_score
+            sc = scores.get(stream_id, 16)
+            if sc >= 0:
+                code = memvec.replay_batch(
+                    self, arr, size_bytes, stream_id, pf, line,
+                    self._l1_degree,
+                )
+                if code == memvec.REPLAYED:
+                    # Memoized shape, pure-hit run: all state was
+                    # committed closed-form.  `out` is prefilled with
+                    # the L1 latency, which is exactly what every
+                    # request of such a batch resolves to.
+                    scores[stream_id] = sc + 4 if sc < 28 else 32
+                    return out if out is not None else l1_lat
+                if code == memvec.SEEN:
+                    scores[stream_id] = sc - 1 if sc > 0 else -256
+                elif code == memvec.DECLINED:
+                    scores[stream_id] = sc - 2 if sc > 1 else -256
+                # COMPILED is score-neutral: the compile is an
+                # investment the next sighting cashes in.
+            else:
+                scores[stream_id] = sc + 1
         size_m1 = size_bytes - 1
         clock = l1._clock
         hits = misses = pf_hits = issued = 0
@@ -478,49 +605,15 @@ class MemoryHierarchy:
                 hits += 1  # collapsed: out[i] is already l1_lat
                 continue
             if conf:
-                if stride > 0 and addr_i >= 0:
-                    # The candidate lines depend only on the position
-                    # within the demand line, the stride, and the demand
-                    # span — memoize the line-relative offsets instead of
-                    # re-scanning `degree` targets for every lane.
-                    rkey = (addr_i - lo, stride, hi - lo)
-                    rels = rel_cache.get(rkey)
-                    if rels is None:
-                        scan = []
-                        target = addr_i
-                        span = hi - lo
-                        for _ in range(degree):
-                            target += stride
-                            rel = (target & not_mask) - lo
-                            if (rel < 0 or rel > span) and rel not in scan:
-                                scan.append(rel)
-                        rels = rel_cache[rkey] = tuple(scan)
-                    if rels:
-                        issued += len(rels)
-                        l1._clock = clock
-                        for rel in rels:
-                            pf_line = lo + rel
-                            if pf_line not in slot_of:
-                                fill_from_l2(pf_line, stream_id, prefetch=True)
-                        clock = l1._clock
-                else:
-                    targets: "list[int]" = []
-                    target = addr_i
-                    for _ in range(degree):
-                        target += stride
-                        if target >= 0:
-                            target_line = target & not_mask
-                            if (
-                                target_line < lo or target_line > hi
-                            ) and target_line not in targets:
-                                targets.append(target_line)
-                    if targets:
-                        issued += len(targets)
-                        l1._clock = clock
-                        for pf_line in targets:
-                            if pf_line not in slot_of:
-                                fill_from_l2(pf_line, stream_id, prefetch=True)
-                        clock = l1._clock
+                rels = prefetch_rels(addr_i, lo, hi, stride)
+                if rels:
+                    issued += len(rels)
+                    l1._clock = clock
+                    for rel in rels:
+                        pf_line = lo + rel
+                        if pf_line not in slot_of:
+                            fill_from_l2(pf_line, stream_id, prefetch=True)
+                    clock = l1._clock
             if lo == hi:
                 prev_line = lo
                 slot = slot_get(lo)

@@ -95,6 +95,19 @@ class StridePrefetcher:
         self._table[stream_id] = _StreamEntry(last_addr=first_addr)
         return None
 
+    def peek(self, stream_id: int) -> "tuple[int, int] | None":
+        """Read a stream's ``(last_addr, stride)`` without side effects.
+
+        Unlike :meth:`begin_batch` this never creates (or evicts) an
+        entry — it is the key probe of the pattern-memoization layer
+        (:mod:`repro.memory.memvec`), which must stay state-neutral
+        until it has decided to commit a replay.
+        """
+        entry = self._table.get(stream_id)
+        if entry is None:
+            return None
+        return entry.last_addr, entry.stride
+
     def end_batch(
         self,
         stream_id: int,

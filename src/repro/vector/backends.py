@@ -582,6 +582,11 @@ def _make_fast_imem(buf):
 
     base = buf.base
     eb = buf.elem_bytes
+    # Arena for the issue path: loop kernels gather the same lane set
+    # every iteration, so the last lanes -> addrs translation is kept
+    # per entry and reused on a C-level list compare (vectorized memory
+    # engine only; pure address arithmetic, bit-identical either way).
+    memo = [None, None]
 
     def _imf(mach, indices, size_bytes, sid):
         if not mach.use_batched_memory:
@@ -591,10 +596,16 @@ def _make_fast_imem(buf):
         if not m:
             return 0
         if m > 1:
-            if eb == 1:
-                addrs = [base + i for i in lst]
+            if lst == memo[0]:
+                addrs = memo[1]
             else:
-                addrs = [base + i * eb for i in lst]
+                if eb == 1:
+                    addrs = [base + i for i in lst]
+                else:
+                    addrs = [base + i * eb for i in lst]
+                if mach.mem.use_vectorized_memory:
+                    memo[0] = lst
+                    memo[1] = addrs
             t0 = time.perf_counter()
             worst = mach.mem.access_batch_max(addrs, size_bytes, sid)
         else:

@@ -34,9 +34,12 @@ bit-identical per pair to a fleet of width 1 — the same fresh-machine
 
 from __future__ import annotations
 
+from time import perf_counter as _pc
+
 import numpy as np
 
 from repro.vector.machine import (
+    MEM_MODEL_CLOCK,
     _BINOPS,
     _CMPOPS,
     _clz_values,
@@ -743,6 +746,13 @@ def _gather_rows(machs, bufs_parts, idx2, pred2, sids_parts, n, occ_lut, memo):
         slot_get = l1._slot_of.get
         pf_flag = l1._pf
         lstats = l1.stats
+        # Fallback rows reuse the gather's fused address matrix instead
+        # of rebuilding per-lane addresses through _indexed_memory —
+        # the batch goes straight to the hierarchy's batch engine
+        # (where pattern replay lives).  The tracer membatch event is
+        # skipped, matching the fast path (signatures never compare
+        # tracer output).
+        coalesce = mach.use_batched_memory and mem.use_vectorized_memory
         for r in range(mi, R, nm):
             ok = False
             if prev_ok and not fb_mask[r]:
@@ -836,12 +846,28 @@ def _gather_rows(machs, bufs_parts, idx2, pred2, sids_parts, n, occ_lut, memo):
                 # Exact engine; later ops of this machine follow it
                 # there (it may have moved lines under the screen).
                 fb_n += 1
-                if pred2 is None:
-                    ti = idx2[r]
+                if coalesce and counts_l[r] >= 2:
+                    # Pattern attempts are suppressed: these rows just
+                    # failed the fast path's own residency screen (or
+                    # follow a row that did), so memoized replays would
+                    # mostly decline — the batch engine's walk is the
+                    # right tool.
+                    t0 = _pc()
+                    mem._memvec_skip = True
+                    try:
+                        worst = mem.access_batch_max(
+                            addr2[r, : counts_l[r]].tolist(), 8, sids[r]
+                        )
+                    finally:
+                        mem._memvec_skip = False
+                    MEM_MODEL_CLOCK.s += _pc() - t0
                 else:
-                    tp = pred2[r]
-                    ti = idx2[r] if tp.all() else idx2[r][tp]
-                worst = mach._indexed_memory(bufs[r], ti, 8, sids[r])
+                    if pred2 is None:
+                        ti = idx2[r]
+                    else:
+                        tp = pred2[r]
+                        ti = idx2[r] if tp.all() else idx2[r][tp]
+                    worst = mach._indexed_memory(bufs[r], ti, 8, sids[r])
                 ltu = mach._l1_ltu
                 if worst > ltu:
                     extra[r] = worst - ltu

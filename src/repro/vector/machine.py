@@ -268,6 +268,10 @@ class VectorMachine:
         self._occ_lut = lut
         # Cached ``np.arange(n)`` per lane count (``whilelt``).
         self._lane_arange: dict[int, np.ndarray] = {}
+        # Last (buffer, lane list, address list) of a short indexed
+        # batch (``_indexed_memory``); reused while the kernel gathers
+        # the same lanes (vectorized memory engine only).
+        self._imem_memo = None
         # Per-prefix buffer-name sequences (``name_uid``): keeping the
         # sequence machine-local makes buffer names — and the prefetch
         # stream ids derived from them — independent of how many other
@@ -949,14 +953,24 @@ class VectorMachine:
         elif m <= 64:
             # Short batches run the hierarchy's scalar engine, which
             # wants a plain list — build it directly instead of paying
-            # two numpy ops plus a tolist round-trip.
+            # two numpy ops plus a tolist round-trip.  Replay-loop
+            # kernels gather the same lane set every iteration, so with
+            # the vectorized memory engine on the last (buffer, lanes)
+            # -> addrs translation is kept and reused when it matches
+            # (pure address arithmetic; bit-identical either way).
             base = buf.base
             eb = buf.elem_bytes
             lanes = indices.tolist() if hasattr(indices, "tolist") else indices
-            if eb == 1:
-                addrs = [base + i for i in lanes]
+            memo = self._imem_memo
+            if memo is not None and memo[0] is buf and memo[1] == lanes:
+                addrs = memo[2]
             else:
-                addrs = [base + i * eb for i in lanes]
+                if eb == 1:
+                    addrs = [base + i for i in lanes]
+                else:
+                    addrs = [base + i * eb for i in lanes]
+                if self.mem.use_vectorized_memory:
+                    self._imem_memo = (buf, lanes, addrs)
             t0 = _pc()
             worst = self.mem.access_batch_max(addrs, size_bytes, sid)
         else:

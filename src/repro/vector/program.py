@@ -108,12 +108,16 @@ class ReplayMeter:
         self.reset()
 
     def reset(self) -> None:
+        from repro.memory.memvec import MEMVEC_METER
         from repro.vector.backends import CODEGEN_METER
 
         # The codegen counters share the replay meter's window (the
         # parallel engine resets per run); the arena itself survives —
-        # its buffers are the whole point of warm steady state.
+        # its buffers are the whole point of warm steady state.  The
+        # memvec counters ride the same window; the pattern tables
+        # survive (like the arena, warm patterns are the point).
         CODEGEN_METER.reset()
+        MEMVEC_METER.reset()
         self.captures = 0
         self.replayed_blocks = 0
         self.replayed_instructions = 0
@@ -137,9 +141,15 @@ class ReplayMeter:
         self.fleet_retired: dict = {}
 
     def snapshot(self) -> dict:
+        from repro.memory.memvec import MEMVEC_METER
         from repro.vector.backends import ARENA, CODEGEN_METER
 
         return {
+            "memvec_pattern_hits": MEMVEC_METER.pattern_hits,
+            "memvec_pattern_misses": MEMVEC_METER.pattern_misses,
+            "memvec_patterns_compiled": MEMVEC_METER.patterns_compiled,
+            "memvec_pattern_declined": MEMVEC_METER.pattern_declined,
+            "memvec_vector_rows": MEMVEC_METER.vector_rows,
             "backend": CODEGEN_METER.backend,
             "backends": dict(CODEGEN_METER.backends),
             "kernel_cache_hits": CODEGEN_METER.kernel_cache_hits,

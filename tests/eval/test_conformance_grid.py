@@ -41,6 +41,15 @@ run even when numba is not importable — the documented behaviour is a
 metered fallback to ``numpy-opt``, so with the dependency absent those
 cells double as proof that the fallback is bit-exact.
 
+The vectorized memory-model engine adds a fifth axis: every cell of
+
+    {use_vectorized_memory} x {use_batched_memory} x {fleet 1/4}
+
+with replay on must reproduce the baseline on both batch kinds — the
+memvec engines (pattern memoization, phase-split retirement, the fleet
+fallback coalescing) sit underneath the batched hierarchy paths and
+the fleet executor, so those are the axes that can disturb them.
+
 All cells (including the baseline) run ``shard_size=1`` so the shard
 plan — the unit of determinism — is common to every jobs value; fresh
 machines per pair make the serial and pooled walks directly
@@ -58,6 +67,7 @@ from repro.align.quetzal_impl import KswQz
 from repro.align.vectorized import SsVec, WfaVec
 from repro.eval import records
 from repro.eval.runner import run_implementation
+from repro.memory.hierarchy import MemoryHierarchy
 from repro.genomics.generator import ErrorProfile, ReadPairGenerator
 from repro.vector.backends import BACKEND_NAMES
 from repro.vector.machine import VectorMachine
@@ -285,6 +295,42 @@ def test_backend_cell_matches_baseline(name, cell, kind):
             fleet_impl(name), _fleet_batches[(name, kind)],
             True, True, False, 1, trees=trees,
         )
+    assert got[0] == expected[0], "per-pair cycle counts diverged"
+    assert got[1] == expected[1], "per-pair instruction counts diverged"
+    assert got[2] == expected[2], "machine statistics diverged"
+    assert got[3] == expected[3], "alignment outputs diverged"
+
+
+#: (use_vectorized_memory, use_batched_memory, fleet width) — replay on
+#: throughout: the memvec engines sit underneath the batched hierarchy
+#: paths and the fleet fallback, so those are the axes that can disturb
+#: them.
+MEMVEC_GRID = list(itertools.product((False, True), (False, True), (1, 4)))
+
+
+def memvec_cell_id(cell):
+    return (
+        f"{'memvec' if cell[0] else 'serialwalk'}-"
+        f"{'batched' if cell[1] else 'serialmem'}-fleet{cell[2]}"
+    )
+
+
+@pytest.mark.parametrize("kind", ("standard", "divergent"))
+@pytest.mark.parametrize("name", sorted(IMPLS))
+@pytest.mark.parametrize("cell", MEMVEC_GRID, ids=memvec_cell_id)
+def test_memvec_cell_matches_baseline(name, cell, kind):
+    memvec, batched, fleet = cell
+    expected = fleet_baseline_for(name, kind)
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(MemoryHierarchy, "use_vectorized_memory", memvec)
+        mp.setattr(VectorMachine, "use_batched_memory", batched)
+        mp.setattr(VectorMachine, "use_replay", True)
+        got = signature(
+            run_implementation(
+                fleet_impl(name)(), _fleet_batches[(name, kind)], fleet=fleet
+            )
+        )
+        assert_meter_conserved()
     assert got[0] == expected[0], "per-pair cycle counts diverged"
     assert got[1] == expected[1], "per-pair instruction counts diverged"
     assert got[2] == expected[2], "machine statistics diverged"
