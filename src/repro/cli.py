@@ -8,6 +8,8 @@ Usage::
     python -m repro fig4 --emit-json results/fig4.json --emit-csv results/fig4.csv
     python -m repro compare results/baselines/fig4.json results/fig4.json
     python -m repro bench --quick --check
+    python -m repro serve --unix /tmp/repro.sock --max-batch 16
+    python -m repro serve --smoke
 
 ``--jobs N`` fans experiment cells out across N worker processes
 (default: the ``REPRO_JOBS`` environment variable, else fully serial);
@@ -365,7 +367,8 @@ def build_bench_parser() -> argparse.ArgumentParser:
         help="run a subset (repeatable); choose from "
         "stride_sweep, random_gather, wfa_extend, fig4_cell, "
         "replay_extend, replay_ss, fleet_extend, fleet_fig4, trace_tree, "
-        "memvec_gather",
+        "memvec_gather, serve (service-level load points; "
+        "not in the default set — see results/BENCH_serve.json)",
     )
     parser.add_argument(
         "--check",
@@ -709,6 +712,14 @@ def main(argv: "list[str] | None" = None) -> int:
     if argv[:1] == ["run"]:
         try:
             return run_main(argv[1:])
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    if argv[:1] == ["serve"]:
+        from repro.serve.cli import serve_main
+
+        try:
+            return serve_main(argv[1:])
         except ReproError as exc:
             print(str(exc), file=sys.stderr)
             return 2

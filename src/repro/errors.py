@@ -41,6 +41,14 @@ class SupervisionError(ReproError):
     """A supervised run could not complete (units failed permanently)."""
 
 
+class ServeError(ReproError):
+    """The alignment service was misconfigured or misused."""
+
+
+class ServeProtocolError(ServeError):
+    """A serve request line could not be parsed or validated."""
+
+
 class FaultAbort(SupervisionError):
     """An injected kill/hang fault aborted an in-process supervised run.
 

@@ -115,6 +115,12 @@ from repro.vector.program import REPLAY_METER, ReplaySession
 #: Default report location (relative to the working directory).
 DEFAULT_OUT = "results/BENCH_membatch.json"
 
+#: The service-level workload (``--only serve``): not a two-leg toggle
+#: comparison, so it is excluded from the default workload list and
+#: produces its own cells via :func:`repro.serve.bench.serve_bench_cells`
+#: (committed report: ``results/BENCH_serve.json``).
+SERVE_WORKLOAD = "serve"
+
 #: Workload name -> (reps in full mode, reps in --quick mode).
 _SCALES = {
     "stride_sweep": (400, 60),
@@ -648,11 +654,11 @@ def run_bench(
     generated-numpy vs the process-default backend).
     """
     names = list(_WORKLOADS) if not only else list(only)
-    unknown = [n for n in names if n not in _WORKLOADS]
+    unknown = [n for n in names if n not in _WORKLOADS and n != SERVE_WORKLOAD]
     if unknown:
         raise ReproError(
             f"unknown bench workload(s) {', '.join(unknown)}; "
-            f"choose from {', '.join(_WORKLOADS)}"
+            f"choose from {', '.join(_WORKLOADS)}, {SERVE_WORKLOAD}"
         )
     if dimension is not None and dimension not in _LEGS:
         raise ReproError(
@@ -677,6 +683,15 @@ def run_bench(
         "workloads": {},
     }
     for name in names:
+        if name == SERVE_WORKLOAD:
+            # Service-level workload: not a two-leg toggle comparison,
+            # so it bypasses _measure and contributes its own cells
+            # (serve_open / serve_sat), shaped for the same render,
+            # identity, and regression machinery.
+            from repro.serve.bench import serve_bench_cells
+
+            report["workloads"].update(serve_bench_cells(quick=quick))
+            continue
         reps = _SCALES[name][1 if quick else 0]
         report["workloads"][name] = {
             "reps": reps,
@@ -804,7 +819,17 @@ def render_report(report: dict) -> str:
     ]
     for name, cell in report["workloads"].items():
         dim = cell.get("dimension")
-        tag = f" ({dim})" if dim in ("replay", "fleet", "backend", "memvec") else ""
+        tag = (
+            f" ({dim})"
+            if dim in ("replay", "fleet", "backend", "memvec", "serve")
+            else ""
+        )
+        if dim == "serve":
+            tag += (
+                f" [{cell.get('served_aps', 0)}/{cell.get('offered_aps', 0)} "
+                f"aps, p50 {cell.get('p50_ms', 0):.0f}ms "
+                f"p99 {cell.get('p99_ms', 0):.0f}ms]"
+            )
         kernel = cell.get("speedup_kernel")
         if kernel is not None:
             tag += f" [kernel {kernel:.2f}x]"

@@ -130,14 +130,13 @@ def evaluate_units(
     per-unit timeout/retry, and crash recovery layered underneath.
     """
     from repro.eval import supervise
-    from repro.vector.program import REPLAY_METER
 
-    # The replay meter is a process-global singleton: without a reset,
-    # back-to-back runs in one process (``all``, pytest) accumulate and
-    # report inflated hit rates.  Re-anchor any open measure windows so
-    # their deltas stay non-negative.
-    REPLAY_METER.reset()
-    timing.note_meter_reset()
+    # The replay/codegen/memvec meters are process-global singletons:
+    # without a reset, back-to-back runs in one process (``all``,
+    # pytest, a serve process) accumulate and report inflated hit
+    # rates.  Any open measure windows are re-anchored so their deltas
+    # stay non-negative.
+    timing.reset_run_meters()
 
     units = list(units)
     jobs = max(1, int(jobs))

@@ -222,6 +222,20 @@ def measure(name: str, jobs: int = 1):
         HISTORY.append(record)
 
 
+def reset_run_meters() -> None:
+    """Reset every process-global execution meter for a fresh run.
+
+    ``REPLAY_METER.reset()`` cascades to the codegen, memvec, and
+    memory-model clocks, and :func:`note_meter_reset` re-anchors any
+    open measure windows.  ``evaluate_units`` calls this per run; direct
+    ``run_implementation`` callers that live long (the serve engine, a
+    REPL) must call it themselves, or meters accumulate across runs and
+    report inflated hit rates.
+    """
+    REPLAY_METER.reset()
+    note_meter_reset()
+
+
 def note_meter_reset() -> None:
     """Called when :data:`REPLAY_METER` is reset mid-measurement (the
     parallel engine resets it per ``evaluate_units`` run): re-anchor every

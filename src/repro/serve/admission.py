@@ -1,0 +1,133 @@
+"""Admission control: per-tenant token buckets and a bounded queue.
+
+Pure logic with an injected clock so tests can drive time
+deterministically.  The server consults :meth:`AdmissionController.admit`
+for every parsed request; a denial carries a machine-readable reason
+(``rate_limited`` / ``queue_full`` / ``draining``) that becomes the
+``reason`` field of the 429-style rejection record.
+
+The controller tracks *in-flight* load itself (``admit`` increments,
+:meth:`release` decrements) so the bounded-queue invariant holds no
+matter how many connections feed it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ServeError
+
+#: Denial reasons, in evaluation order.
+REASON_DRAINING = "draining"
+REASON_RATE_LIMITED = "rate_limited"
+REASON_QUEUE_FULL = "queue_full"
+
+
+@dataclass
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``rate <= 0`` disables limiting (the bucket always grants).
+    Tokens are replenished lazily from the timestamps passed to
+    :meth:`take`, so no timer task is needed.
+    """
+
+    rate: float
+    burst: float
+    tokens: float = field(init=False)
+    updated: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.rate > 0 and self.burst <= 0:
+            raise ServeError("token bucket burst must be positive")
+        self.tokens = self.burst
+
+    def take(self, now: float, amount: float = 1.0) -> bool:
+        if self.rate <= 0:
+            return True
+        if now > self.updated:
+            self.tokens = min(self.burst, self.tokens + (now - self.updated) * self.rate)
+            self.updated = now
+        if self.tokens >= amount:
+            self.tokens -= amount
+            return True
+        return False
+
+
+class AdmissionController:
+    """Gate requests on tenant rate and total in-flight capacity.
+
+    Parameters
+    ----------
+    rate, burst:
+        Per-tenant token-bucket parameters (requests/second and burst
+        size).  ``rate=0`` disables rate limiting.
+    max_pending:
+        Upper bound on admitted-but-unanswered requests across all
+        tenants; 0 disables the bound.
+    clock:
+        Callable returning monotonic seconds; injected for tests.
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        burst: float = 0.0,
+        max_pending: int = 0,
+        clock=None,
+    ) -> None:
+        if max_pending < 0:
+            raise ServeError("max_pending must be >= 0")
+        self.rate = rate
+        self.burst = burst if burst > 0 else max(rate, 1.0)
+        self.max_pending = max_pending
+        if clock is None:
+            import time
+
+            clock = time.monotonic
+        self._clock = clock
+        self._buckets: "dict[str, TokenBucket]" = {}
+        self.pending = 0
+        self.draining = False
+        self.admitted = 0
+        self.rejected: "dict[str, int]" = {}
+
+    def admit(self, tenant: str) -> "str | None":
+        """Try to admit one request; return None or a denial reason.
+
+        On success the request counts against ``pending`` until the
+        caller invokes :meth:`release`.
+        """
+        if self.draining:
+            return self._deny(REASON_DRAINING)
+        if self.max_pending and self.pending >= self.max_pending:
+            return self._deny(REASON_QUEUE_FULL)
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(self.rate, self.burst)
+        if not bucket.take(self._clock()):
+            return self._deny(REASON_RATE_LIMITED)
+        self.pending += 1
+        self.admitted += 1
+        return None
+
+    def release(self) -> None:
+        """One admitted request was answered (ok, error, or dropped)."""
+        if self.pending <= 0:
+            raise ServeError("release() without a matching admit()")
+        self.pending -= 1
+
+    def start_drain(self) -> None:
+        """Stop admitting; already-admitted requests still complete."""
+        self.draining = True
+
+    def _deny(self, reason: str) -> str:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+        return reason
+
+    def counters(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "pending": self.pending,
+            "rejected": dict(sorted(self.rejected.items())),
+        }

@@ -1,0 +1,334 @@
+"""Supervise-style batch execution for the alignment service.
+
+The engine takes one coalesced batch (requests sharing a
+:attr:`~repro.serve.protocol.AlignRequest.batch_key`) and turns it into
+one response record per request, in order.  Execution mirrors
+:mod:`repro.eval.supervise`:
+
+* **Worker isolation.**  Each batch attempt runs in its own forked
+  worker process (``workers`` mode) so a crash — real or injected —
+  kills the worker, never the server.  The parent classifies the death
+  (``signal:SIGKILL``, ``exit:N``, ``timeout``, ``exception:...``) and
+  retries with exponential backoff up to the retry budget; exhaustion
+  turns every request of the batch into an explicit ``status: "error"``
+  response instead of a hang.
+* **Journal.**  Completed requests are recorded to an fsync'd
+  :class:`~repro.eval.supervise.RunJournal` (one single-pair
+  :class:`~repro.eval.runner.RunResult` per request, keyed by the
+  request content fingerprint), so results survive worker death *and*
+  server restarts: a restarted engine pointed at the same journal
+  answers already-computed requests without recomputation, byte-
+  identically.
+* **Fault injection.**  The same ``ORDINAL:ACTION[@ATTEMPT]`` grammar as
+  ``--fault-plan``, with ORDINAL addressing *batches* in execution
+  order.
+* **Determinism.**  Batches always execute through
+  ``run_implementation(..., fleet=w)`` with ``w >= 1`` — one fresh
+  machine per pair — so a response never depends on which batch carried
+  the request, and :func:`repro.eval.timing.reset_run_meters` runs
+  before every batch so a long-lived serve process meters each run from
+  zero exactly like a fresh CLI invocation.
+
+Inline mode (``workers=0``) executes batches in-process — no fork, no
+timeout enforcement — for fast tests and the conformance grid; injected
+``kill``/``hang`` faults degrade to retryable exceptions there because
+there is no worker to sacrifice.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import time
+from dataclasses import dataclass
+
+from repro.errors import ServeError
+from repro.eval import timing
+from repro.eval.runner import RunResult, run_implementation
+from repro.eval.supervise import (
+    FaultPlan,
+    InjectedFault,
+    RunJournal,
+    _trigger_in_worker,
+)
+from repro.serve.protocol import (
+    AlignRequest,
+    error_record,
+    response_record,
+)
+
+
+def _toggles_snapshot() -> tuple:
+    """Capture the process-global execution-path toggles for a worker.
+
+    Fork already inherits them; re-applying makes the worker correct
+    under a spawn start method too.
+    """
+    from repro.memory.hierarchy import MemoryHierarchy
+    from repro.vector.machine import VectorMachine
+
+    return (
+        VectorMachine.use_batched_memory,
+        VectorMachine.use_replay,
+        VectorMachine.use_fleet,
+        VectorMachine.use_trace_trees,
+        VectorMachine.jit_backend,
+        MemoryHierarchy.use_vectorized_memory,
+    )
+
+
+def _apply_toggles(toggles: tuple) -> None:
+    from repro.memory.hierarchy import MemoryHierarchy
+    from repro.vector.machine import VectorMachine
+
+    (
+        VectorMachine.use_batched_memory,
+        VectorMachine.use_replay,
+        VectorMachine.use_fleet,
+        VectorMachine.use_trace_trees,
+        VectorMachine.jit_backend,
+        MemoryHierarchy.use_vectorized_memory,
+    ) = toggles
+
+
+def compute_batch(requests: "list[AlignRequest]", fleet: int) -> list:
+    """Simulate one coalesced batch; returns per-request ``PairResult``s.
+
+    The meters are reset first so every batch runs from a zero meter
+    state — the same contract ``evaluate_units`` gives each CLI run.
+    ``fleet`` is clamped to >= 1: the fleet path builds one fresh
+    machine per pair, which is what makes serve responses independent
+    of batch composition.
+    """
+    if not requests:
+        return []
+    timing.reset_run_meters()
+    impl = requests[0].make_impl()
+    system = requests[0].system()
+    pairs = [request.make_pair() for request in requests]
+    result = run_implementation(
+        impl, pairs, system=system, fleet=max(1, int(fleet))
+    )
+    return result.pair_results
+
+
+def _batch_worker_main(
+    conn, requests, ordinal, attempt, fleet, toggles, fault_spec, cache_dir
+) -> None:  # pragma: no cover — runs in a child process
+    """Entry point of one serve worker process (one batch, one attempt)."""
+    try:
+        from repro.cache import CALIBRATION, configure_from_env
+
+        configure_from_env(default_disk=False)
+        if cache_dir is not None:
+            CALIBRATION.enable_disk(cache_dir)
+        _apply_toggles(toggles)
+        plan = FaultPlan.parse(fault_spec)
+        if plan is not None:
+            _trigger_in_worker(plan.lookup(ordinal, attempt))
+        conn.send(("ok", compute_batch(requests, fleet)))
+    except BaseException as exc:  # report, then die: nothing to salvage
+        try:
+            conn.send(("error", f"exception:{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+        os._exit(1)
+    os._exit(0)
+
+
+@dataclass(frozen=True)
+class ServeEngineConfig:
+    """Execution policy for the serve engine.
+
+    ``workers=0`` selects inline (in-process) execution; any positive
+    value selects one worker process per batch attempt.  ``fleet`` is
+    the lockstep width batches advance at (>= 1; results are identical
+    at every width).  ``journal_dir=None`` disables the journal.
+    """
+
+    workers: int = 1
+    fleet: int = 4
+    timeout: float = 120.0
+    retries: int = 2
+    backoff: float = 0.05
+    journal_dir: "str | None" = None
+    fault_plan: "FaultPlan | None" = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ServeError(f"workers must be >= 0: {self.workers}")
+        if self.fleet < 1:
+            raise ServeError(f"fleet width must be >= 1: {self.fleet}")
+        if self.timeout <= 0:
+            raise ServeError(f"batch timeout must be positive: {self.timeout}")
+        if self.retries < 0:
+            raise ServeError(f"retry budget must be >= 0: {self.retries}")
+        if self.backoff < 0:
+            raise ServeError(f"backoff must be >= 0: {self.backoff}")
+
+
+class ServeEngine:
+    """Turn coalesced request batches into response records."""
+
+    def __init__(self, config: "ServeEngineConfig | None" = None) -> None:
+        self.config = config or ServeEngineConfig()
+        self.journal: "RunJournal | None" = None
+        self._restored: "dict[str, RunResult]" = {}
+        if self.config.journal_dir is not None:
+            self.journal = RunJournal(self.config.journal_dir)
+            self._restored = self.journal.load()
+        self._next_ordinal = 0
+        self.batches = 0
+        self.completed = 0
+        self.restored = 0
+        self.errors = 0
+        self.retries = 0
+        self.classifications: "list[str]" = []
+
+    # -- public entry --------------------------------------------------
+    def execute_batch(self, requests: "list[AlignRequest]") -> "list[dict]":
+        """One coalesced batch in, one response record per request out.
+
+        Requests already present in the journal are answered from it;
+        only the remainder is computed (and then journaled).  A batch
+        that fails permanently yields ``status: "error"`` records — the
+        caller always gets exactly ``len(requests)`` responses.
+        """
+        ordinal = self._next_ordinal
+        self._next_ordinal += 1
+        self.batches += 1
+        responses: "list[dict | None]" = [None] * len(requests)
+        todo: "list[tuple[int, AlignRequest, str]]" = []
+        for i, request in enumerate(requests):
+            fingerprint = request.fingerprint()
+            journaled = self._restored.get(fingerprint)
+            if journaled is not None and journaled.pair_results:
+                self.restored += 1
+                responses[i] = response_record(
+                    request, journaled.pair_results[0]
+                )
+            else:
+                todo.append((i, request, fingerprint))
+        if todo:
+            outcome = self._run_supervised([r for _, r, _ in todo], ordinal)
+            if isinstance(outcome, str):
+                self.errors += len(todo)
+                for i, request, _ in todo:
+                    responses[i] = error_record(request, outcome)
+            else:
+                for (i, request, fingerprint), pair_result in zip(todo, outcome):
+                    single = RunResult(
+                        name=request.impl,
+                        system=request.system(),
+                        pair_results=[pair_result],
+                    )
+                    if self.journal is not None:
+                        self.journal.record(fingerprint, single)
+                    self._restored[fingerprint] = single
+                    self.completed += 1
+                    responses[i] = response_record(request, pair_result)
+        return responses  # type: ignore[return-value]
+
+    def counters(self) -> dict:
+        return {
+            "batches": self.batches,
+            "completed": self.completed,
+            "restored": self.restored,
+            "errors": self.errors,
+            "retries": self.retries,
+            "classifications": list(self.classifications),
+        }
+
+    # -- supervised execution ------------------------------------------
+    def _run_supervised(self, requests, ordinal: int):
+        """Run one batch with retries; PairResults, or a failure reason.
+
+        Returns either the list of per-request results (success) or the
+        final classification string (permanent failure after the retry
+        budget).
+        """
+        attempt = 0
+        while True:
+            if self.config.workers > 0:
+                outcome = self._attempt_in_worker(requests, ordinal, attempt)
+            else:
+                outcome = self._attempt_inline(requests, ordinal, attempt)
+            if isinstance(outcome, list):
+                return outcome
+            self.classifications.append(outcome)
+            attempt += 1
+            if attempt > self.config.retries:
+                return outcome
+            self.retries += 1
+            time.sleep(self.config.backoff * (2.0 ** max(0, attempt - 1)))
+
+    def _attempt_inline(self, requests, ordinal: int, attempt: int):
+        """In-process attempt: no fork, no timeout enforcement.
+
+        ``kill``/``hang`` faults target a worker process this mode does
+        not have; they degrade to a retryable injected exception so the
+        retry path is still exercised without killing the server.
+        """
+        plan = self.config.fault_plan
+        try:
+            action = plan.lookup(ordinal, attempt) if plan else None
+            if action is not None:
+                raise InjectedFault(
+                    f"injected {action} fault (inline: no worker to kill)"
+                )
+            return compute_batch(requests, self.config.fleet)
+        except Exception as exc:
+            return f"exception:{type(exc).__name__}: {exc}"
+
+    def _attempt_in_worker(self, requests, ordinal: int, attempt: int):
+        """One attempt in a fresh worker process, with classification."""
+        from repro.cache import CALIBRATION
+        from repro.eval.parallel import _pool_context
+
+        ctx = _pool_context()
+        cache_dir = (
+            str(CALIBRATION.directory) if CALIBRATION.disk_enabled else None
+        )
+        fault_spec = (
+            self.config.fault_plan.to_spec() if self.config.fault_plan else None
+        )
+        parent, child = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_batch_worker_main,
+            args=(
+                child, list(requests), ordinal, attempt,
+                self.config.fleet, _toggles_snapshot(), fault_spec, cache_dir,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        try:
+            if not parent.poll(self.config.timeout):
+                if proc.is_alive():
+                    proc.kill()
+                return "timeout"
+            try:
+                kind, payload = parent.recv()
+            except (EOFError, OSError, pickle.UnpicklingError):
+                # The worker died without reporting: classify its end.
+                proc.join()
+                code = proc.exitcode
+                if code is not None and code < 0:
+                    try:
+                        sig = signal.Signals(-code).name
+                    except ValueError:
+                        sig = str(-code)
+                    return f"signal:{sig}"
+                return f"exit:{code}"
+            if kind == "ok":
+                return payload
+            return str(payload)
+        finally:
+            try:
+                parent.close()
+            except OSError:
+                pass
+            proc.join()
+            proc.close()

@@ -50,6 +50,15 @@ memvec engines (pattern memoization, phase-split retirement, the fleet
 fallback coalescing) sit underneath the batched hierarchy paths and
 the fleet executor, so those are the axes that can disturb them.
 
+The alignment service adds a sixth axis: every cell of
+
+    {fleet 1/4} x {jit backend numpy/numpy-opt}
+
+executed through the serve engine (parsed requests, the production
+serve toggles: replay + batched memory on) must produce response
+records byte-identical to the ones derived from the all-off interpreted
+serial baseline, on both batch kinds.
+
 All cells (including the baseline) run ``shard_size=1`` so the shard
 plan — the unit of determinism — is common to every jobs value; fresh
 machines per pair make the serial and pooled walks directly
@@ -335,6 +344,94 @@ def test_memvec_cell_matches_baseline(name, cell, kind):
     assert got[1] == expected[1], "per-pair instruction counts diverged"
     assert got[2] == expected[2], "machine statistics diverged"
     assert got[3] == expected[3], "alignment outputs diverged"
+
+
+#: (fleet width, jit backend) — the serve axis: the alignment service's
+#: compute path (AlignRequest -> ServeEngine -> per-request response
+#: records) must land byte-for-byte on the same per-pair results as the
+#: all-off interpreted serial baseline, with replay and batched memory
+#: on — the production serve configuration.
+SERVE_GRID = list(itertools.product((1, 4), ("numpy", "numpy-opt")))
+
+
+def serve_requests(name, kind):
+    """The fleet batch re-expressed as parsed serve requests.
+
+    Reconstructed pairs drop generator metadata (``edits_applied``), so
+    a passing cell additionally proves execution never reads it.
+    """
+    from repro.serve.protocol import AlignRequest
+
+    fleet_baseline_for(name, kind)  # materialize _fleet_batches[key]
+    params = (("band", 64),) if name == "ksw-qz" else ()
+    return [
+        AlignRequest(
+            id=f"g{i:02d}", tenant="grid", impl=name,
+            pattern=str(pair.pattern), text=str(pair.text), params=params,
+        )
+        for i, pair in enumerate(_fleet_batches[(name, kind)])
+    ]
+
+
+_serve_expected: dict = {}
+
+
+def serve_expected_lines(name, kind):
+    """Canonical response lines derived from the all-off interpreted
+    serial baseline (fresh machine per pair via ``shard_size=1``) — the
+    strongest form of the identity contract: per-request byte identity
+    including each pair's full machine statistics."""
+    key = (name, kind)
+    if key not in _serve_expected:
+        from repro.serve.protocol import canonical_encode, response_record
+
+        requests = serve_requests(name, kind)
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(VectorMachine, "use_batched_memory", False)
+            mp.setattr(VectorMachine, "use_replay", False)
+            mp.setattr(VectorMachine, "auto_trace", False)
+            result = run_implementation(
+                fleet_impl(name)(), _fleet_batches[key], shard_size=1
+            )
+        _serve_expected[key] = [
+            canonical_encode(response_record(request, pair_result))
+            for request, pair_result in zip(requests, result.pair_results)
+        ]
+    return _serve_expected[key]
+
+
+def serve_cell_id(cell):
+    return f"fleet{cell[0]}-{cell[1]}"
+
+
+@pytest.mark.parametrize("kind", ("standard", "divergent"))
+@pytest.mark.parametrize("name", sorted(IMPLS))
+@pytest.mark.parametrize("cell", SERVE_GRID, ids=serve_cell_id)
+def test_serve_cell_matches_baseline(name, cell, kind):
+    from repro.serve.engine import ServeEngine, ServeEngineConfig
+    from repro.serve.protocol import canonical_encode
+
+    fleet, backend = cell
+    expected = fleet_baseline_for(name, kind)
+    expected_lines = serve_expected_lines(name, kind)
+    requests = serve_requests(name, kind)
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(VectorMachine, "jit_backend", backend)
+        mp.setattr(VectorMachine, "use_batched_memory", True)
+        mp.setattr(VectorMachine, "use_replay", True)
+        engine = ServeEngine(ServeEngineConfig(workers=0, fleet=fleet))
+        responses = engine.execute_batch(requests)
+        assert_meter_conserved()
+    assert engine.errors == 0
+    assert all(r["status"] == "ok" for r in responses)
+    # Byte identity per request against the interpreted serial baseline.
+    got_lines = [canonical_encode(r) for r in responses]
+    assert got_lines == expected_lines, "serve responses diverged byte-wise"
+    # Anchor to the shared fleet-baseline signature too, tying this axis
+    # to every other cell that reproduces the same reference.
+    assert [r["cycles"] for r in responses] == expected[0]
+    assert [r["instructions"] for r in responses] == expected[1]
+    assert [r["output"] for r in responses] == [repr(o) for o in expected[3]]
 
 
 @pytest.mark.parametrize("name", sorted(IMPLS))

@@ -1,0 +1,110 @@
+"""Unit tests for admission control: token buckets, the bounded
+pending queue, drain semantics, and denial-reason precedence."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.admission import (
+    REASON_DRAINING,
+    REASON_QUEUE_FULL,
+    REASON_RATE_LIMITED,
+    AdmissionController,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestTokenBucket:
+    def test_burst_then_deny(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0)
+        assert bucket.take(0.0)
+        assert bucket.take(0.0)
+        assert not bucket.take(0.0)
+
+    def test_lazy_replenish(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0)
+        assert bucket.take(0.0) and bucket.take(0.0)
+        assert bucket.take(1.0)  # 2 tokens/s for 1s refills both
+        assert bucket.take(1.0)
+        assert not bucket.take(1.0)
+
+    def test_replenish_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=1.0)
+        assert bucket.take(0.0)
+        assert bucket.take(100.0)
+        assert not bucket.take(100.0)
+
+    def test_zero_rate_always_grants(self):
+        bucket = TokenBucket(rate=0.0, burst=0.0)
+        assert all(bucket.take(0.0) for _ in range(100))
+
+    def test_positive_rate_needs_positive_burst(self):
+        with pytest.raises(ServeError, match="burst"):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestAdmissionController:
+    def test_unlimited_by_default(self):
+        controller = AdmissionController(clock=FakeClock())
+        assert all(controller.admit("t") is None for _ in range(50))
+        assert controller.pending == 50
+        assert controller.admitted == 50
+
+    def test_rate_limit_is_per_tenant(self):
+        clock = FakeClock()
+        controller = AdmissionController(rate=1.0, burst=1.0, clock=clock)
+        assert controller.admit("a") is None
+        assert controller.admit("a") == REASON_RATE_LIMITED
+        # A different tenant has its own bucket.
+        assert controller.admit("b") is None
+        clock.now = 1.0
+        assert controller.admit("a") is None
+
+    def test_queue_full_bound_spans_tenants(self):
+        controller = AdmissionController(max_pending=2, clock=FakeClock())
+        assert controller.admit("a") is None
+        assert controller.admit("b") is None
+        assert controller.admit("c") == REASON_QUEUE_FULL
+        controller.release()
+        assert controller.admit("c") is None
+
+    def test_draining_precedes_other_reasons(self):
+        controller = AdmissionController(
+            rate=1.0, burst=1.0, max_pending=1, clock=FakeClock()
+        )
+        assert controller.admit("a") is None
+        controller.start_drain()
+        # Would be queue_full / rate_limited; draining wins.
+        assert controller.admit("a") == REASON_DRAINING
+        assert controller.admit("b") == REASON_DRAINING
+
+    def test_denied_requests_do_not_consume_pending(self):
+        controller = AdmissionController(max_pending=1, clock=FakeClock())
+        assert controller.admit("a") is None
+        assert controller.admit("a") == REASON_QUEUE_FULL
+        assert controller.pending == 1
+
+    def test_release_without_admit_raises(self):
+        controller = AdmissionController(clock=FakeClock())
+        with pytest.raises(ServeError, match="release"):
+            controller.release()
+
+    def test_counters_shape(self):
+        clock = FakeClock()
+        controller = AdmissionController(rate=1.0, burst=1.0, clock=clock)
+        controller.admit("a")
+        controller.admit("a")
+        controller.start_drain()
+        controller.admit("a")
+        assert controller.counters() == {
+            "admitted": 1,
+            "pending": 1,
+            "rejected": {REASON_DRAINING: 1, REASON_RATE_LIMITED: 1},
+        }

@@ -1,0 +1,210 @@
+"""Coalescer properties, deterministic and hypothesis-driven.
+
+The coalescer is pure logic over an injected clock, so the property
+suite drives it with simulated time: randomized arrival scripts (tenant
+mixes, batch-key mixes, inter-arrival gaps) across randomized batch
+caps and flush timeouts.  The invariants:
+
+* **no drop, no duplicate** — after a final flush, the released batches
+  contain exactly the added requests, each once;
+* **no reorder** — within each batch key (and therefore within each
+  tenant's stream for one configuration) requests leave in arrival
+  order, and consecutive batches of a key release oldest-first;
+* **homogeneity and bounds** — every batch holds one batch key and at
+  most ``max_batch`` requests; size-triggered batches hold exactly
+  ``max_batch``;
+* **deadline honesty** — ``due`` never releases a batch whose oldest
+  request is younger than ``max_wait``, and ``next_deadline`` is exactly
+  the age the oldest pending request has left.
+
+A second property drives the admission controller and the coalescer
+together, as the server does: every offered request is either denied
+with an explicit reason or released in exactly one batch — nothing is
+silently lost between admission and execution.
+"""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ServeError
+from repro.serve.admission import AdmissionController
+from repro.serve.coalescer import Coalescer
+from repro.serve.protocol import AlignRequest
+
+
+def make_request(i, tenant=0, key=0):
+    """Distinct id per i; batch key varied through an allowed param."""
+    return AlignRequest(
+        id=f"r{i:04d}", tenant=f"t{tenant}", impl="ss-vec",
+        pattern="ACGT", text="ACGT", params=(("threshold", key),),
+    )
+
+
+class TestDeterministic:
+    def test_size_trigger_releases_exactly_max_batch(self):
+        coalescer = Coalescer(max_batch=3, max_wait=10.0)
+        assert coalescer.add(make_request(0), 0.0) is None
+        assert coalescer.add(make_request(1), 0.0) is None
+        batch = coalescer.add(make_request(2), 0.0)
+        assert [r.id for r in batch] == ["r0000", "r0001", "r0002"]
+        assert len(coalescer) == 0
+
+    def test_time_trigger_respects_max_wait(self):
+        coalescer = Coalescer(max_batch=16, max_wait=0.5)
+        coalescer.add(make_request(0), 1.0)
+        assert coalescer.due(1.4) == []
+        assert coalescer.next_deadline(1.4) == pytest.approx(0.1)
+        released = coalescer.due(1.5)
+        assert [[r.id for r in b] for b in released] == [["r0000"]]
+        assert coalescer.next_deadline(1.5) is None
+
+    def test_due_releases_oldest_key_first(self):
+        coalescer = Coalescer(max_batch=16, max_wait=0.1)
+        coalescer.add(make_request(0, key=0), 0.0)
+        coalescer.add(make_request(1, key=1), 0.05)
+        released = coalescer.due(1.0)
+        assert [[r.id for r in b] for b in released] == [["r0000"], ["r0001"]]
+
+    def test_flush_all_empties(self):
+        coalescer = Coalescer(max_batch=16, max_wait=100.0)
+        for i in range(5):
+            coalescer.add(make_request(i, key=i % 2), float(i))
+        released = coalescer.flush_all()
+        assert sorted(r.id for b in released for r in b) == [
+            f"r{i:04d}" for i in range(5)
+        ]
+        assert len(coalescer) == 0 and coalescer.flush_all() == []
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ServeError):
+            Coalescer(max_batch=0)
+        with pytest.raises(ServeError):
+            Coalescer(max_wait=-1.0)
+
+
+#: One arrival: (tenant index, batch-key index, inter-arrival gap).
+ARRIVALS = st.lists(
+    st.tuples(
+        st.integers(0, 3),
+        st.integers(0, 2),
+        st.floats(0.0, 0.05, allow_nan=False, allow_infinity=False),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(script=ARRIVALS, max_batch=st.integers(1, 5),
+       max_wait=st.floats(0.0, 0.04, allow_nan=False, allow_infinity=False))
+def test_coalescer_conserves_and_orders(script, max_batch, max_wait):
+    coalescer = Coalescer(max_batch=max_batch, max_wait=max_wait)
+    released = []  # (trigger, release_time, batch)
+    added = []
+    now = 0.0
+    for i, (tenant, key, gap) in enumerate(script):
+        now += gap
+        request = make_request(i, tenant=tenant, key=key)
+        added.append(request)
+        batch = coalescer.add(request, now)
+        if batch is not None:
+            released.append(("size", now, batch))
+        for due_batch in coalescer.due(now):
+            released.append(("due", now, due_batch))
+    # Run the clock out the way the server's flush loop would.
+    deadline = coalescer.next_deadline(now)
+    if deadline is not None:
+        now += deadline
+        for due_batch in coalescer.due(now):
+            released.append(("due", now, due_batch))
+    for batch in coalescer.flush_all():
+        released.append(("flush", now, batch))
+    assert len(coalescer) == 0
+
+    # No drop, no duplicate: released == added, as a multiset.
+    out_ids = [r.id for _, _, batch in released for r in batch]
+    assert sorted(out_ids) == sorted(r.id for r in added)
+    assert len(out_ids) == len(set(out_ids))
+
+    arrival_time = {request.id: t for request, t in zip(
+        added, _arrival_times(script)
+    )}
+    per_key_out: dict = {}
+    for trigger, release_time, batch in released:
+        # Homogeneous batches, bounded by max_batch; size-triggered
+        # batches are exactly full.
+        keys = {r.batch_key for r in batch}
+        assert len(keys) == 1
+        assert 1 <= len(batch) <= max_batch
+        if trigger == "size":
+            assert len(batch) == max_batch
+        if trigger == "due":
+            # Deadline honesty: the oldest member really aged out.
+            oldest = min(arrival_time[r.id] for r in batch)
+            assert release_time - oldest >= max_wait - 1e-9
+        per_key_out.setdefault(batch[0].batch_key, []).extend(
+            r.id for r in batch
+        )
+    # No reorder: per key — and therefore per (tenant, key) stream —
+    # requests leave in arrival order.
+    for key, ids in per_key_out.items():
+        expected = [r.id for r in added if r.batch_key == key]
+        assert ids == expected
+
+
+def _arrival_times(script):
+    now, times = 0.0, []
+    for _, _, gap in script:
+        now += gap
+        times.append(now)
+    return times
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    script=ARRIVALS,
+    max_batch=st.integers(1, 4),
+    max_pending=st.integers(0, 8),
+    rate=st.sampled_from([0.0, 1.0, 20.0]),
+)
+def test_every_offered_request_is_answered_or_denied(
+    script, max_batch, max_pending, rate
+):
+    """Admission + coalescing conserve requests end to end: each offered
+    request is denied with an explicit reason, or released in exactly
+    one batch (whose execution the engine then answers 1:1)."""
+    now_box = [0.0]
+    admission = AdmissionController(
+        rate=rate, burst=max(rate, 1.0), max_pending=max_pending,
+        clock=lambda: now_box[0],
+    )
+    coalescer = Coalescer(max_batch=max_batch, max_wait=0.02)
+    denied, batched = [], []
+    for i, (tenant, key, gap) in enumerate(script):
+        now_box[0] += gap
+        request = make_request(i, tenant=tenant, key=key)
+        reason = admission.admit(request.tenant)
+        if reason is not None:
+            denied.append((request.id, reason))
+            continue
+        batch = coalescer.add(request, now_box[0])
+        if batch is not None:
+            batched.extend(batch)
+            for _ in batch:
+                admission.release()
+        for due_batch in coalescer.due(now_box[0]):
+            batched.extend(due_batch)
+            for _ in due_batch:
+                admission.release()
+    for batch in coalescer.flush_all():
+        batched.extend(batch)
+        for _ in batch:
+            admission.release()
+    assert admission.pending == 0
+    assert all(reason for _, reason in denied)
+    answered = sorted([rid for rid, _ in denied] + [r.id for r in batched])
+    assert answered == [f"r{i:04d}" for i in range(len(script))]
+    counters = admission.counters()
+    assert counters["admitted"] == len(batched)
+    assert sum(counters["rejected"].values()) == len(denied)

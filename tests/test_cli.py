@@ -321,3 +321,97 @@ class TestBenchCommand:
         )
         assert rc == 2
         assert "unknown bench workload" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_parser_defaults(self):
+        from repro.serve.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args([])
+        assert args.unix is None
+        assert args.port is None
+        assert args.stdio is False
+        assert args.max_batch == 16
+        assert args.max_wait == 0.01
+        assert args.rate == 0.0
+        assert args.max_pending == 256
+        assert args.workers == 1
+        assert args.fleet == 4
+        assert args.retries == 2
+        assert args.journal is None
+        assert args.fault_plan is None
+        assert args.smoke is False
+
+    def test_serve_help_documents_the_surface(self, capsys):
+        from repro.serve.cli import build_serve_parser
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_serve_parser().parse_args(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for flag in (
+            "--unix", "--port", "--stdio", "--max-batch", "--max-wait",
+            "--rate", "--burst", "--max-pending", "--workers", "--fleet",
+            "--journal", "--fault-plan", "--smoke", "--jit-backend",
+        ):
+            assert flag in out
+
+    def test_serve_requires_exactly_one_transport(self, capsys):
+        assert main(["serve"]) == 2
+        assert "exactly one transport" in capsys.readouterr().err
+        assert main(["serve", "--unix", "/tmp/x.sock", "--stdio"]) == 2
+
+    def test_serve_config_from_args(self):
+        from repro.serve.cli import _config_from_args, build_serve_parser
+
+        args = build_serve_parser().parse_args([
+            "--unix", "/tmp/s.sock", "--max-batch", "8",
+            "--max-wait", "0.5", "--rate", "10", "--max-pending", "4",
+            "--workers", "0", "--fleet", "2", "--retries", "1",
+            "--fault-plan", "0:kill@0",
+        ])
+        config = _config_from_args(args)
+        assert config.unix_path == "/tmp/s.sock"
+        assert config.max_batch == 8 and config.max_wait == 0.5
+        assert config.rate == 10.0 and config.max_pending == 4
+        assert config.engine.workers == 0 and config.engine.fleet == 2
+        assert config.engine.retries == 1
+        assert config.engine.fault_plan.to_spec() == "0:kill@0"
+
+    def test_serve_smoke_gates_identity(self, capsys):
+        rc = main([
+            "serve", "--smoke", "--smoke-requests", "4",
+            "--smoke-rate", "500", "--impl", "ss-vec",
+            "--workers", "0", "--no-cache",
+        ])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["completed"] == 4
+        assert summary["dropped"] == 0
+        assert summary["errors"] == 0
+        assert summary["identity_mismatches"] == 0
+
+    def test_stdio_transport_round_trips(self, tmp_path):
+        import subprocess
+        import sys as _sys
+
+        from repro.serve.client import request_line
+        from repro.serve.protocol import AlignRequest
+
+        request = AlignRequest(
+            id="s1", tenant="t", impl="ss-vec",
+            pattern="ACGTACGTACGTACGT", text="ACGTACGTACGTACGT",
+        )
+        proc = subprocess.run(
+            [_sys.executable, "-m", "repro", "serve", "--stdio",
+             "--workers", "0", "--no-cache", "--max-wait", "0.001"],
+            input=(request_line(request) + "\nnot json\n").encode("utf-8"),
+            capture_output=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr.decode()
+        lines = proc.stdout.decode().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["status"] for r in records] == ["ok", "invalid"]
+        assert records[0]["id"] == "s1"
+        counters = json.loads(proc.stderr.decode().splitlines()[-1])
+        assert counters["served"] == 2
